@@ -1,0 +1,52 @@
+"""Ablation A1: the paper's cost functions vs uniform costs.
+
+Definition 2/9's asymmetric costs exist to keep queries *local* (about
+few sources of imprecision) and to steer proof obligations away from the
+execution environment and witnesses toward it.  Under uniform costs the
+abduction is free to mix input and abstraction variables arbitrarily.
+
+Measured effect: with the paper's Pi_p, proof obligations avoid input
+variables whenever possible; with uniform costs they frequently do not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnosis import Abducer, pi_p, uniform
+from repro.suite import BENCHMARKS
+
+
+def obligations(suite_artifacts, cost_factory):
+    results = {}
+    for name, (_bench, _program, analysis) in suite_artifacts.items():
+        abducer = Abducer()
+        inv, phi = analysis.invariants, analysis.success
+        gamma = abducer.proof_obligation(inv, phi, cost_factory(inv, phi))
+        results[name] = gamma
+    return results
+
+
+def test_paper_costs_prefer_local_queries(suite_artifacts):
+    paper = obligations(suite_artifacts, pi_p)
+    flat = obligations(suite_artifacts, uniform)
+
+    def input_var_uses(gammas):
+        return sum(
+            sum(1 for v in g.formula.free_vars() if v.is_input)
+            for g in gammas.values() if g is not None
+        )
+
+    paper_inputs = input_var_uses(paper)
+    flat_inputs = input_var_uses(flat)
+    print(f"\ninput variables mentioned by first obligations: "
+          f"paper-cost={paper_inputs}  uniform-cost={flat_inputs}")
+    # the paper's cost model must not use *more* environment facts
+    assert paper_inputs <= flat_inputs
+
+
+def test_cost_model_benchmark(benchmark, suite_artifacts):
+    """Time the paper-cost abduction across the whole suite."""
+    benchmark.pedantic(
+        obligations, args=(suite_artifacts, pi_p), rounds=1, iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Ablation A3: contextual simplification on/off (the Lemma 3 remark).
+
+The paper simplifies the QE output with I as the critical constraint "to
+avoid unnecessary queries".  Measured effect: query formula size with
+and without the simplification pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnosis import Abducer, pi_p
+from repro.suite import BENCHMARKS
+
+
+def first_obligation(analysis, use_simplification):
+    abducer = Abducer(use_simplification=use_simplification)
+    inv, phi = analysis.invariants, analysis.success
+    return abducer.proof_obligation(inv, phi, pi_p(inv, phi))
+
+
+def test_simplification_never_hurts(suite_artifacts):
+    print()
+    total_with, total_without = 0, 0
+    for name, (_bench, _program, analysis) in suite_artifacts.items():
+        with_simp = first_obligation(analysis, True)
+        without = first_obligation(analysis, False)
+        if with_simp is None or without is None:
+            continue
+        total_with += with_simp.formula.size()
+        total_without += without.unsimplified.size()
+        print(f"  {name:16s} simplified: {with_simp.formula.size():3d} "
+              f"nodes   raw: {without.unsimplified.size():4d} nodes")
+    print(f"  totals: simplified={total_with} raw={total_without}")
+    assert total_with <= total_without
+
+
+@pytest.mark.parametrize("use_simplification", [True, False],
+                         ids=["simplify-on", "simplify-off"])
+def test_simplification_cost(benchmark, suite_artifacts,
+                             use_simplification):
+    """The runtime price of the simplification pass itself."""
+    _bench, _program, analysis = suite_artifacts["p01_accumulate"]
+    benchmark.pedantic(
+        first_obligation, args=(analysis, use_simplification),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )

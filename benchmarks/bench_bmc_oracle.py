@@ -1,0 +1,50 @@
+"""Experiment F2 (Section 8 future work, static flavor): answering
+queries by bounded unrolling.
+
+Complements F1 (random testing): the unrolling oracle decides queries
+against *all* executions with at most k iterations per loop — sound in
+the existential direction always, and complete when no input can exceed
+the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import analyze_source
+from repro.bmc import UnrollingOracle, unroll_program
+from repro.diagnosis import EngineConfig, Verdict, diagnose_error
+
+OFF_BY_ONE = """
+program offbyone(unsigned n) {
+  var i = 0, written = 0;
+  while (i <= n) { i = i + 1; written = written + 1; }
+  @post(written >= 0)
+  assert(written <= n);
+}
+"""
+
+
+def test_bmc_validates_without_human(benchmark):
+    outcome = analyze_source(OFF_BY_ONE, auto_annotate=False)
+
+    def run():
+        oracle = UnrollingOracle(outcome.program, outcome.analysis,
+                                 bound=6)
+        return diagnose_error(outcome.analysis, oracle,
+                              EngineConfig(max_rounds=8))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.verdict is Verdict.VALIDATED
+    # fully automatic: zero human involvement
+    assert all(
+        interaction.answer.value in ("yes", "no")
+        for interaction in result.interactions
+    )
+
+
+@pytest.mark.parametrize("bound", [2, 4, 8])
+def test_unrolling_cost(benchmark, bound):
+    outcome = analyze_source(OFF_BY_ONE, auto_annotate=False)
+    unrolled, info = benchmark(unroll_program, outcome.program, bound)
+    assert info.bound == bound

@@ -1,0 +1,42 @@
+"""Experiment E4: queries per benchmark.
+
+Paper (Section 6): participants answered "a series of questions ...
+ranging from one to three questions on these benchmarks", and the
+initial analysis reports a potential (not certain) error on all eleven.
+
+With the ground-truth oracle the engine must resolve every problem to
+its Figure 7 classification within that band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnosis import diagnose_error
+from repro.suite import BENCHMARKS
+
+
+@pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+def test_query_count(benchmark, suite_artifacts, suite_oracles, name):
+    bench, _program, analysis = suite_artifacts[name]
+    oracle = suite_oracles[name]
+
+    result = benchmark.pedantic(
+        diagnose_error, args=(analysis, oracle), rounds=1, iterations=1,
+    )
+    assert result.classification == bench.classification
+    assert 1 <= result.num_queries <= 3, (
+        f"{name}: {result.num_queries} queries (paper band is 1-3)"
+    )
+
+
+def test_total_queries_across_suite(suite_artifacts, suite_oracles):
+    """Aggregate: print the per-problem counts as a table row."""
+    counts = {}
+    for name, (bench, _program, analysis) in suite_artifacts.items():
+        result = diagnose_error(analysis, suite_oracles[name])
+        counts[name] = result.num_queries
+    print()
+    print("queries per problem:",
+          " ".join(f"{k.split('_')[0]}={v}" for k, v in counts.items()))
+    assert all(1 <= c <= 3 for c in counts.values())

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the decision-procedure stack (substrate health).
+
+Not a paper experiment — these keep the from-scratch solver layers
+honest: SAT on a pigeonhole family, the Omega test on structured
+systems, Cooper QE on alternating quantifiers, and a representative SMT
+entailment from the diagnosis workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lia import OmegaSolver
+from repro.logic import (
+    LinTerm,
+    Var,
+    conj,
+    dvd,
+    exists,
+    forall,
+    ge,
+    le,
+    lt,
+    parse_formula,
+)
+from repro.qe import decide_closed
+from repro.sat import SatSolver
+from repro.smt import SmtSolver
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def pigeonhole_unsat(holes: int) -> bool:
+    pigeons = holes + 1
+    solver = SatSolver()
+    solver.ensure_vars(pigeons * holes)
+    var = lambda p, h: p * holes + h + 1
+    for p in range(pigeons):
+        solver.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+    return solver.solve()
+
+
+def test_sat_pigeonhole(benchmark):
+    result = benchmark(pigeonhole_unsat, 5)
+    assert result is False
+
+
+def omega_workload() -> bool:
+    solver = OmegaSolver()
+    lits = [
+        ge(LinTerm.make([(x, 3), (y, -2)]), 1),
+        le(LinTerm.make([(x, 3), (y, -2)]), 5),
+        ge(LinTerm.make([(y, 7), (z, 2)]), 10),
+        le(LinTerm.var(z), 50),
+        ge(LinTerm.var(z), -50),
+        dvd(4, LinTerm.var(x) + LinTerm.var(y)),
+    ]
+    return solver.solve_literals(lits) is not None
+
+
+def test_omega_structured_system(benchmark):
+    assert benchmark(omega_workload)
+
+
+def cooper_workload() -> bool:
+    # forall x exists y. 2y <= x < 2y + 2  (floor division exists)
+    phi = forall([x], exists([y], conj(
+        le(LinTerm.var(y, 2), LinTerm.var(x)),
+        lt(LinTerm.var(x), LinTerm.var(y, 2) + 2),
+    )))
+    return decide_closed(phi)
+
+
+def test_cooper_alternation(benchmark):
+    assert benchmark(cooper_workload)
+
+
+def smt_entailment_workload() -> bool:
+    solver = SmtSolver()
+    inv = parse_formula(
+        "ann >= 0 && ai >= 0 && ai > n && n >= 0 && aj >= n"
+    )
+    phi = parse_formula(
+        "(1 + ai + aj > 2*n && flag == 0) ||"
+        " (ann + ai + aj > 2*n && flag != 0)"
+    )
+    return solver.entails(inv, phi)
+
+
+def test_smt_entailment(benchmark):
+    assert benchmark(smt_entailment_workload)

@@ -1,0 +1,67 @@
+"""Direct use of the logic stack: abduction on raw formulas.
+
+Run:  python examples/abduction_playground.py
+
+Shows the pieces below the program analysis — the SMT solver, Cooper
+quantifier elimination, minimum satisfying assignments, and weakest
+minimum abduction — on the paper's Example 1/2 formulas.  Useful as a
+template for using `repro` as a general abductive-inference library.
+"""
+
+from repro.logic import VarKind, conj, neg, parse_formula
+from repro.msa import find_msa
+from repro.qe import eliminate_forall
+from repro.simplify import simplify
+from repro.smt import SmtSolver
+
+KINDS = {
+    "ai": VarKind.ABSTRACTION, "aj": VarKind.ABSTRACTION,
+    "n1": VarKind.INPUT, "n2": VarKind.INPUT,
+}
+
+# Example 1's analysis output: invariants I and success condition phi
+I = parse_formula("ai >= 0 && ai > n2", KINDS)
+PHI = parse_formula(
+    "(n2 + ai + aj > 2*n2 && n2 > 0 && n1 > 0) ||"
+    " (1 + ai + aj > 2*n2 && n2 <= 0 && n1 > 0) ||"
+    " (2*n2 + 1 > 2*n2 && n1 <= 0)",
+    KINDS,
+)
+
+
+def main() -> None:
+    solver = SmtSolver()
+    print("I   =", I)
+    print("phi =", PHI)
+    print()
+    print("I |= phi  ?", solver.entails(I, PHI))
+    print("I |= !phi ?", solver.entails(I, neg(PHI)))
+    print()
+
+    # Definition 2's cost map: abstraction vars cost 1, inputs cost |Vars|
+    goal = I.implies(PHI)
+    nvars = len(goal.free_vars())
+    costs = {
+        v: (1 if v.kind is VarKind.ABSTRACTION else nvars)
+        for v in goal.free_vars()
+    }
+
+    msa = find_msa(goal, costs, consistency=[I])
+    assert msa is not None
+    print("minimum satisfying assignment:",
+          {str(v): c for v, c in msa.assignment}, f"(cost {msa.cost})")
+
+    keep = msa.variables
+    eliminate = [v for v in goal.free_vars() if v not in keep]
+    gamma_raw = eliminate_forall(eliminate, goal)
+    gamma = simplify(gamma_raw, critical=I)
+    print("weakest minimum proof obligation:", gamma)
+    print()
+
+    print("checks (Definition 1):")
+    print("  SAT(gamma && I)      :", solver.is_sat(conj(gamma, I)))
+    print("  gamma && I |= phi    :", solver.entails(conj(gamma, I), PHI))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The paper's marquee anecdote: Problem 6, modeled on coreutils chroot.
+
+Run:  python examples/coreutils_chroot.py
+
+Section 6: "the value of variable optind is correlated with four
+different return values of function getopt_long ... an author of this
+submission spent approximately half an hour to decide that the report is
+indeed a false alarm.  In contrast ... the user only needs to answer one
+simple query asking whether the value of optind is always greater than
+zero after a while loop."
+
+This script loads the benchmark, shows that the analysis is stuck, and
+resolves the report (a) with a simulated programmer and (b) fully
+automatically with the exhaustive ground-truth oracle.
+"""
+
+from repro.api import ground_truth_oracle, load_benchmark
+from repro.diagnosis import ScriptedOracle, diagnose_error
+from repro.logic import neg
+from repro.smt import SmtSolver
+
+
+def main() -> None:
+    bench, program, analysis = load_benchmark("p06_chroot")
+    print(f"benchmark: {bench.name}  (paper problem {bench.problem_id}, "
+          f"{bench.kind}, truth: {bench.classification})")
+    print(f"cause of the report: {bench.cause}")
+    print()
+
+    solver = SmtSolver()
+    print("can the analysis settle it alone?")
+    print(f"  I |= phi  : {solver.entails(analysis.invariants, analysis.success)}")
+    print(f"  I |= !phi : "
+          f"{solver.entails(analysis.invariants, neg(analysis.success))}")
+    print()
+
+    print("--- with a programmer answering (scripted 'yes') ---")
+    result = diagnose_error(analysis, ScriptedOracle(["yes"]))
+    for interaction in result.interactions:
+        print("tool asks:")
+        print("   " + interaction.query.render().replace("\n", "\n   "))
+        print(f"answer: {interaction.answer.value}")
+    print(f"=> {result.classification.upper()}")
+    print()
+
+    print("--- with the exhaustive ground-truth oracle ---")
+    analysis2, oracle = ground_truth_oracle("p06_chroot")
+    result2 = diagnose_error(analysis2, oracle)
+    print(f"=> {result2.classification.upper()} "
+          f"after {result2.num_queries} query/queries")
+
+
+if __name__ == "__main__":
+    main()

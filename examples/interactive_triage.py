@@ -1,0 +1,65 @@
+"""Interactive triage session: you are the oracle.
+
+Run:  python examples/interactive_triage.py [--auto]
+
+Presents a real-bug program (an off-by-one in a fill loop).  The engine
+asks you yes/no/unknown questions until the report is classified.  With
+``--auto`` (or when stdin is not a terminal) the questions are answered
+by the random-testing oracle instead — the paper's Section 8 idea of
+discharging witness queries dynamically.
+"""
+
+import sys
+
+from repro.api import analyze_source
+from repro.diagnosis import (
+    EngineConfig,
+    InteractiveOracle,
+    SamplingOracle,
+    diagnose_error,
+)
+
+SOURCE = """
+program ring_fill(unsigned capacity, unsigned stride) {
+  var i = 0;
+  var written = 0;
+  var cursor = 0;
+  var step = 1;
+  if (stride > 0) { step = stride; }
+  // BUG: <= writes one element past the end
+  while (i <= capacity) {
+    i = i + 1;
+    written = written + 1;
+    cursor = cursor + step;
+  } @post(written >= 0 && cursor >= 0)
+  assert(written <= capacity);
+}
+"""
+
+
+def main() -> None:
+    auto = "--auto" in sys.argv or not sys.stdin.isatty()
+    outcome = analyze_source(SOURCE)
+    print("analysis verdict:", outcome.verdict.value)
+    print()
+    if auto:
+        print("(answering queries by random testing — pass no --auto and "
+              "run in a terminal to answer yourself)")
+        oracle = SamplingOracle(outcome.program, outcome.analysis,
+                                samples=400)
+    else:
+        print("answer each question with yes / no / unknown")
+        oracle = InteractiveOracle()
+    result = diagnose_error(outcome.analysis, oracle,
+                            EngineConfig(max_rounds=10))
+    print()
+    print(f"classification: {result.classification.upper()} "
+          f"after {result.num_queries} queries")
+    if result.witnesses:
+        print("learned witnesses:")
+        for witness in result.witnesses:
+            print(f"  - {witness}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Procedures, library models, and the bounded static oracle together.
+
+Run:  python examples/library_models.py
+
+A small "application" slice: a helper procedure (inlined before
+analysis, like the paper's interprocedural Compass frontend), a library
+call modeled by havoc with a partial @assume contract, and diagnosis
+where a *static underapproximation* (bounded unrolling, Section 8's
+future-work idea) answers part of the interaction before a human is
+consulted.
+"""
+
+from repro.api import analyze_source
+from repro.bmc import UnrollingOracle
+from repro.diagnosis import (
+    ChainOracle,
+    EngineConfig,
+    ScriptedOracle,
+    diagnose_error,
+)
+
+SOURCE = """
+proc clamp(lo, hi, v) {
+  var r;
+  r = v;
+  if (r < lo) { r = lo; }
+  if (r > hi) { r = hi; }
+  return r;
+}
+
+program retry_budget(unsigned max_tries) {
+  var tries = 0;
+  var status = 0;
+  var done = 0;
+  var budget = 0;
+  budget = call clamp(1, 4, max_tries);
+  while (done == 0) {
+    if (tries >= budget) {
+      done = 1;
+    } else {
+      // connect() returns 0 on success, -1 on failure
+      havoc status @assume(status >= -1 && status <= 0);
+      tries = tries + 1;
+      if (status == 0) { done = 1; }
+    }
+  } @post(tries >= 0 && done == 1)
+  assert(tries <= 4);
+}
+"""
+
+
+def main() -> None:
+    outcome = analyze_source(SOURCE)
+    print("program (after inlining):", outcome.program.name)
+    print("locals:", ", ".join(outcome.program.locals))
+    print("initial verdict:", outcome.verdict.value)
+    print()
+
+    # chain: bounded static oracle first, then a (scripted) human
+    bounded = UnrollingOracle(outcome.program, outcome.analysis, bound=5)
+    human = ScriptedOracle(["yes", "yes", "yes"])
+    oracle = ChainOracle([bounded, human])
+
+    result = diagnose_error(outcome.analysis, oracle,
+                            EngineConfig(max_rounds=10))
+    for interaction in result.interactions:
+        print(f"Q ({interaction.query.kind}): {interaction.query.text}")
+        print(f"A: {interaction.answer.value}")
+    print()
+    print(f"classification: {result.classification.upper()} "
+          f"({result.num_queries} queries)")
+
+
+if __name__ == "__main__":
+    main()

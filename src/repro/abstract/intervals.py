@@ -1,0 +1,278 @@
+"""Interval abstract interpretation.
+
+One of the two "any sound static analysis" substrates the paper assumes
+for loop postconditions (``@p'`` annotations).  Intervals carry
+non-relational bounds (``0 <= j``, ``k >= 1``); the zone domain
+(:mod:`repro.abstract.zones`) adds the relational facts (``i > n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..lang.ast import (
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    Name,
+    NotPred,
+    Pred,
+)
+
+_NEG_CMP = {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=",
+            "!=": "=="}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An integer interval; ``None`` bounds mean unbounded."""
+
+    lo: int | None
+    hi: int | None
+
+    TOP: "Interval" = None  # type: ignore[assignment]
+
+    @property
+    def is_bottom(self) -> bool:
+        return (self.lo is not None and self.hi is not None
+                and self.lo > self.hi)
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    # ------------------------------------------------------------------
+    # lattice operations
+    # ------------------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        lo = None if self.lo is None or other.lo is None else min(
+            self.lo, other.lo
+        )
+        hi = None if self.hi is None or other.hi is None else max(
+            self.hi, other.hi
+        )
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        lo = other.lo if self.lo is None else (
+            self.lo if other.lo is None else max(self.lo, other.lo)
+        )
+        hi = other.hi if self.hi is None else (
+            self.hi if other.hi is None else min(self.hi, other.hi)
+        )
+        return Interval(lo, hi)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to infinity."""
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        lo = self.lo if (self.lo is not None and other.lo is not None
+                         and other.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and other.hi is not None
+                         and other.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    def le(self, other: "Interval") -> bool:
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        lo_ok = other.lo is None or (self.lo is not None
+                                     and self.lo >= other.lo)
+        hi_ok = other.hi is None or (self.hi is not None
+                                     and self.hi <= other.hi)
+        return lo_ok and hi_ok
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return _BOTTOM
+        lo = None if self.lo is None or other.lo is None \
+            else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None \
+            else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def negate(self) -> "Interval":
+        if self.is_bottom:
+            return _BOTTOM
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.negate())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return _BOTTOM
+        products = []
+        unbounded = False
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if a is None or b is None:
+                    unbounded = True
+                else:
+                    products.append(a * b)
+        if unbounded:
+            # precise sign reasoning for the common nonneg cases
+            if (self.lo is not None and self.lo >= 0
+                    and other.lo is not None and other.lo >= 0):
+                return Interval(
+                    (self.lo * other.lo), None
+                )
+            return Interval.TOP
+        return Interval(min(products), max(products))
+
+    def __str__(self) -> str:
+        lo = "-oo" if self.lo is None else str(self.lo)
+        hi = "+oo" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+Interval.TOP = Interval(None, None)
+_BOTTOM = Interval(1, 0)
+
+
+class IntervalEnv(dict):
+    """Variable -> interval; missing variables are TOP."""
+
+    def __missing__(self, key: str) -> Interval:
+        return Interval.TOP
+
+    def copy(self) -> "IntervalEnv":
+        return IntervalEnv(self)
+
+    @property
+    def is_bottom(self) -> bool:
+        return any(iv.is_bottom for iv in self.values())
+
+    def join(self, other: "IntervalEnv") -> "IntervalEnv":
+        if self.is_bottom:
+            return other.copy()
+        if other.is_bottom:
+            return self.copy()
+        result = IntervalEnv()
+        for name in set(self) | set(other):
+            result[name] = self[name].join(other[name])
+        return result
+
+    def widen(self, other: "IntervalEnv") -> "IntervalEnv":
+        if self.is_bottom:
+            return other.copy()
+        result = IntervalEnv()
+        for name in set(self) | set(other):
+            result[name] = self[name].widen(other[name])
+        return result
+
+    def le(self, other: "IntervalEnv") -> bool:
+        if self.is_bottom:
+            return True
+        return all(
+            self[name].le(other[name]) for name in set(self) | set(other)
+        )
+
+
+def eval_interval(expr: Expr, env: IntervalEnv) -> Interval:
+    if isinstance(expr, Const):
+        return Interval.const(expr.value)
+    if isinstance(expr, Name):
+        return env[expr.name]
+    if isinstance(expr, BinOp):
+        left = eval_interval(expr.left, env)
+        right = eval_interval(expr.right, env)
+        if expr.op == "+":
+            return left.add(right)
+        if expr.op == "-":
+            return left.sub(right)
+        return left.mul(right)
+    raise TypeError(f"unexpected expression {expr!r}")
+
+
+def assume(pred: Pred, env: IntervalEnv) -> IntervalEnv:
+    """Refine ``env`` with ``pred`` (sound over-approximation)."""
+    if env.is_bottom:
+        return env
+    if isinstance(pred, BoolConst):
+        if pred.value:
+            return env
+        result = env.copy()
+        result["$bottom"] = _BOTTOM
+        return result
+    if isinstance(pred, BoolOp):
+        if pred.op == "&&":
+            result = env
+            for part in pred.parts:
+                result = assume(part, result)
+            return result
+        joined: IntervalEnv | None = None
+        for part in pred.parts:
+            refined = assume(part, env)
+            joined = refined if joined is None else joined.join(refined)
+        return joined if joined is not None else env
+    if isinstance(pred, NotPred):
+        return assume(_negate(pred.arg), env)
+    if isinstance(pred, Cmp):
+        return _assume_cmp(pred, env)
+    raise TypeError(f"unexpected predicate {pred!r}")
+
+
+def _negate(pred: Pred) -> Pred:
+    if isinstance(pred, BoolConst):
+        return BoolConst(not pred.value, pred.span)
+    if isinstance(pred, NotPred):
+        return pred.arg
+    if isinstance(pred, BoolOp):
+        flipped = "||" if pred.op == "&&" else "&&"
+        return BoolOp(flipped, tuple(_negate(p) for p in pred.parts),
+                      pred.span)
+    if isinstance(pred, Cmp):
+        return Cmp(_NEG_CMP[pred.op], pred.left, pred.right, pred.span)
+    raise TypeError(f"unexpected predicate {pred!r}")
+
+
+def _assume_cmp(pred: Cmp, env: IntervalEnv) -> IntervalEnv:
+    result = env.copy()
+    op = pred.op
+    left, right = pred.left, pred.right
+    if op == "!=":
+        return result  # intervals cannot represent a hole
+    # normalize to <=, >=, == refinements on a variable side
+    for var_side, other_side, direction in (
+        (left, right, "le"), (right, left, "ge"),
+    ):
+        if not isinstance(var_side, Name):
+            continue
+        bound = eval_interval(other_side, env)
+        name = var_side.name
+        current = result[name]
+        effective = op if direction == "le" else _mirror(op)
+        if effective in ("<", "<="):
+            hi = bound.hi
+            if hi is not None:
+                limit = hi - 1 if effective == "<" else hi
+                result[name] = current.meet(Interval(None, limit))
+        elif effective in (">", ">="):
+            lo = bound.lo
+            if lo is not None:
+                limit = lo + 1 if effective == ">" else lo
+                result[name] = current.meet(Interval(limit, None))
+        elif effective == "==":
+            result[name] = current.meet(bound)
+    return result
+
+
+def _mirror(op: str) -> str:
+    return {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+            "==": "==", "!=": "!="}[op]

@@ -1,0 +1,430 @@
+"""Octagon abstract interpretation.
+
+Octagons track constraints of the form ``+-x +-y <= c`` (and unary
+``+-x <= c``), strictly generalizing zones: they additionally capture
+*sum* invariants such as ``evens + odds <= i``, which neither intervals
+nor difference bounds can express.
+
+Encoding (Mine): each program variable ``x`` gets two signed forms —
+index ``2k`` for ``+x`` and ``2k+1`` for ``-x``.  The DBM entry
+``m[i][j]`` bounds ``form_i - form_j <= m[i][j]`` (same orientation as
+:mod:`repro.abstract.zones`); unary bounds ride on the
+``(+x) - (-x) = 2x`` channels.  Coherence (``m[i][j] == m[j^1][i^1]``)
+is maintained by always writing both entries, and strong closure adds
+the tightening through the unary channels with sound integer halving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import BinOp, BoolConst, Cmp, Const, Expr, Name, Pred
+from ..logic.terms import LinTerm, Var
+
+_INF = None
+
+
+def _badd(a: int | None, b: int | None) -> int | None:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _bmin(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _ble(a: int | None, b: int | None) -> bool:
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return a <= b
+
+
+@dataclass
+class Octagon:
+    """An octagon over ``names``.
+
+    Index ``2k`` is ``+names[k]``; index ``2k+1`` is ``-names[k]``.
+    ``m[i][j]`` bounds ``form_i - form_j <= m[i][j]``.
+    """
+
+    names: tuple[str, ...]
+    m: list[list[int | None]] = field(default_factory=list)
+    bottom: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.m:
+            n = 2 * len(self.names)
+            self.m = [
+                [0 if i == j else _INF for j in range(n)] for i in range(n)
+            ]
+
+    # ------------------------------------------------------------------
+    def pos(self, name: str) -> int:
+        return 2 * self.names.index(name)
+
+    def neg(self, name: str) -> int:
+        return 2 * self.names.index(name) + 1
+
+    def copy(self) -> "Octagon":
+        return Octagon(self.names, [row[:] for row in self.m], self.bottom)
+
+    @staticmethod
+    def top(names) -> "Octagon":
+        return Octagon(tuple(names))
+
+    # ------------------------------------------------------------------
+    def add_constraint(self, i: int, j: int, c: int) -> None:
+        """Record ``form_i - form_j <= c`` (and its coherent mirror)."""
+        self.m[i][j] = _bmin(self.m[i][j], c)
+        self.m[j ^ 1][i ^ 1] = _bmin(self.m[j ^ 1][i ^ 1], c)
+
+    def set_upper(self, name: str, c: int) -> None:
+        """x <= c  as  (+x) - (-x) <= 2c."""
+        self.add_constraint(self.pos(name), self.neg(name), 2 * c)
+
+    def set_lower(self, name: str, c: int) -> None:
+        """x >= c  as  (-x) - (+x) <= -2c."""
+        self.add_constraint(self.neg(name), self.pos(name), -2 * c)
+
+    def upper(self, name: str) -> int | None:
+        bound = self.m[self.pos(name)][self.neg(name)]
+        return None if bound is None else bound // 2
+
+    def lower(self, name: str) -> int | None:
+        bound = self.m[self.neg(name)][self.pos(name)]
+        return None if bound is None else _neg_half(bound)
+
+    # ------------------------------------------------------------------
+    def close(self) -> "Octagon":
+        """Strong closure: Floyd–Warshall + unary strengthening."""
+        if self.bottom:
+            return self
+        n = len(self.m)
+        m = self.m
+        for k in range(n):
+            for i in range(n):
+                ik = m[i][k]
+                if ik is None:
+                    continue
+                row_k = m[k]
+                row_i = m[i]
+                for j in range(n):
+                    through = _badd(ik, row_k[j])
+                    if through is not None and not _ble(row_i[j], through):
+                        row_i[j] = through
+        # integer tightening of the unary channels: 2x <= c -> 2x <= 2*(c//2)
+        for i in range(0, n, 2):
+            for a, b in ((i, i + 1), (i + 1, i)):
+                if m[a][b] is not None:
+                    m[a][b] = 2 * (m[a][b] // 2)
+        # strengthening: form_i - form_j <= (m[i][i^1] + m[j^1][j]) / 2
+        for i in range(n):
+            for j in range(n):
+                half = _badd(m[i][i ^ 1], m[j ^ 1][j])
+                if half is not None:
+                    strengthened = half // 2
+                    if not _ble(m[i][j], strengthened):
+                        m[i][j] = strengthened
+        for i in range(n):
+            if m[i][i] is not None and m[i][i] < 0:
+                self.bottom = True
+                break
+        return self
+
+    # ------------------------------------------------------------------
+    # lattice
+    # ------------------------------------------------------------------
+    def join(self, other: "Octagon") -> "Octagon":
+        if self.bottom:
+            return other.copy()
+        if other.bottom:
+            return self.copy()
+        a, b = self.copy().close(), other.copy().close()
+        if a.bottom:
+            return b
+        if b.bottom:
+            return a
+        n = len(a.m)
+        result = Octagon(self.names)
+        for i in range(n):
+            for j in range(n):
+                x, y = a.m[i][j], b.m[i][j]
+                result.m[i][j] = None if x is None or y is None else max(x, y)
+        return result
+
+    def widen(self, other: "Octagon") -> "Octagon":
+        if self.bottom:
+            return other.copy()
+        if other.bottom:
+            return self.copy()
+        n = len(self.m)
+        result = Octagon(self.names)
+        for i in range(n):
+            for j in range(n):
+                result.m[i][j] = (
+                    self.m[i][j] if _ble(other.m[i][j], self.m[i][j])
+                    else _INF
+                )
+        return result
+
+    def le(self, other: "Octagon") -> bool:
+        a = self.copy().close()
+        if a.bottom:
+            return True
+        if other.bottom:
+            return False
+        n = len(self.m)
+        return all(
+            _ble(a.m[i][j], other.m[i][j])
+            for i in range(n) for j in range(n)
+        )
+
+    # ------------------------------------------------------------------
+    # transfer functions
+    # ------------------------------------------------------------------
+    def forget(self, name: str) -> None:
+        self.close()
+        if self.bottom:
+            return
+        for i in (self.pos(name), self.neg(name)):
+            for j in range(len(self.m)):
+                if j != i:
+                    self.m[i][j] = _INF
+                    self.m[j][i] = _INF
+        self.m[self.pos(name)][self.neg(name)] = _INF
+        self.m[self.neg(name)][self.pos(name)] = _INF
+
+    def assign(self, name: str, expr: Expr) -> None:
+        if self.bottom:
+            return
+        form = _octagon_form(expr)
+        if form is None:
+            self.forget(name)
+            return
+        other, sign, c = form
+        if other is None:
+            self.forget(name)
+            self.set_upper(name, c)
+            self.set_lower(name, c)
+        elif other == name:
+            if sign == 1:
+                # x := x + c: shift both signed forms
+                self.close()
+                if self.bottom:
+                    return
+                i, ni = self.pos(name), self.neg(name)
+                n = len(self.m)
+                for j in range(n):
+                    if j not in (i, ni):
+                        self.m[i][j] = _badd(self.m[i][j], c)
+                        self.m[j][i] = _badd(self.m[j][i], -c)
+                        self.m[ni][j] = _badd(self.m[ni][j], -c)
+                        self.m[j][ni] = _badd(self.m[j][ni], c)
+                self.m[i][ni] = _badd(self.m[i][ni], 2 * c)
+                self.m[ni][i] = _badd(self.m[ni][i], -2 * c)
+            else:
+                # x := -x + c: swap the signed forms then shift
+                self.close()
+                if self.bottom:
+                    return
+                i, ni = self.pos(name), self.neg(name)
+                self._swap_rows_cols(i, ni)
+                if c:
+                    self.assign(name, BinOp("+", Name(name), Const(c)))
+        else:
+            k_pos = self.pos(other) if sign == 1 else self.neg(other)
+            k_neg = self.neg(other) if sign == 1 else self.pos(other)
+            self.forget(name)
+            i, ni = self.pos(name), self.neg(name)
+            # x - (sign*y) <= c  and  (sign*y) - x <= -c
+            self.add_constraint(i, k_pos, c)
+            self.add_constraint(k_pos, i, -c)
+            self.add_constraint(ni, k_neg, -c)
+            self.add_constraint(k_neg, ni, c)
+
+    def _swap_rows_cols(self, i: int, j: int) -> None:
+        self.m[i], self.m[j] = self.m[j], self.m[i]
+        for row in self.m:
+            row[i], row[j] = row[j], row[i]
+
+    def assume(self, pred: Pred) -> None:
+        if self.bottom:
+            return
+        if isinstance(pred, BoolConst):
+            if not pred.value:
+                self.bottom = True
+            return
+        from .intervals import _negate
+        from ..lang.ast import BoolOp, NotPred
+
+        if isinstance(pred, NotPred):
+            self.assume(_negate(pred.arg))
+            return
+        if isinstance(pred, BoolOp):
+            if pred.op == "&&":
+                for part in pred.parts:
+                    self.assume(part)
+                return
+            branches = []
+            for part in pred.parts:
+                branch = self.copy()
+                branch.assume(part)
+                branches.append(branch)
+            joined = branches[0]
+            for branch in branches[1:]:
+                joined = joined.join(branch)
+            self.m = joined.m
+            self.bottom = joined.bottom
+            return
+        if isinstance(pred, Cmp):
+            self._assume_cmp(pred)
+            return
+        raise TypeError(f"unexpected predicate {pred!r}")
+
+    def _assume_cmp(self, pred: Cmp) -> None:
+        from ..analysis.lowering import NonLinearError, lower_expr
+
+        env = {name: LinTerm.var(Var(name)) for name in self.names}
+        try:
+            term = lower_expr(pred.left, env) - lower_expr(pred.right, env)
+        except NonLinearError:
+            return
+        if pred.op in ("<", "<="):
+            self._assume_term_le(term if pred.op == "<=" else term + 1)
+        elif pred.op in (">", ">="):
+            self._assume_term_le((-term) if pred.op == ">=" else -term + 1)
+        elif pred.op == "==":
+            self._assume_term_le(term)
+            self._assume_term_le(-term)
+
+    def _assume_term_le(self, term: LinTerm) -> None:
+        """Record ``term <= 0`` when it is an octagonal constraint."""
+        coeffs = list(term.coeffs)
+        c = -term.const
+        if len(coeffs) == 1:
+            (v, a), = coeffs
+            if a == 1:
+                self.set_upper(v.name, c)
+            elif a == -1:
+                self.set_lower(v.name, -c)
+            elif a == 2:
+                self.add_constraint(self.pos(v.name), self.neg(v.name), c)
+            elif a == -2:
+                self.add_constraint(self.neg(v.name), self.pos(v.name), c)
+        elif len(coeffs) == 2:
+            (v1, a1), (v2, a2) = coeffs
+            if abs(a1) != 1 or abs(a2) != 1:
+                return
+            i = self.pos(v1.name) if a1 == 1 else self.neg(v1.name)
+            j = self.neg(v2.name) if a2 == 1 else self.pos(v2.name)
+            # a1*x + a2*y <= c  <=>  form_i - form_j <= c
+            self.add_constraint(i, j, c)
+
+    # ------------------------------------------------------------------
+    def facts(self, only: set[str] | None = None) -> list[Pred]:
+        """Non-redundant octagonal facts as surface predicates."""
+        octagon = self.copy().close()
+        if octagon.bottom:
+            return [BoolConst(False)]
+        result: list[Pred] = []
+
+        def relevant(*names: str) -> bool:
+            return only is None or any(name in only for name in names)
+
+        unary: dict[str, tuple[int | None, int | None]] = {}
+        for name in self.names:
+            hi = octagon.m[self.pos(name)][self.neg(name)]
+            lo = octagon.m[self.neg(name)][self.pos(name)]
+            hi_v = None if hi is None else hi // 2
+            lo_v = None if lo is None else _neg_half(lo)
+            unary[name] = (lo_v, hi_v)
+            if not relevant(name):
+                continue
+            if hi_v is not None:
+                result.append(Cmp("<=", Name(name), Const(hi_v)))
+            if lo_v is not None:
+                result.append(Cmp(">=", Name(name), Const(lo_v)))
+
+        n = len(self.names)
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                na, nb = self.names[a], self.names[b]
+                if not relevant(na, nb):
+                    continue
+                for i, j, kind in (
+                    (self.pos(na), self.neg(nb), "sum_le"),
+                    (self.neg(na), self.pos(nb), "sum_ge"),
+                    (self.pos(na), self.pos(nb), "diff"),
+                ):
+                    bound = octagon.m[i][j]
+                    if bound is None:
+                        continue
+                    if kind == "diff" and a > b:
+                        continue  # x-y and y-x both emitted via a<b pass
+                    implied = self._implied_by_unary(kind, na, nb, unary)
+                    if implied is not None and implied <= bound:
+                        continue
+                    result.append(_octagon_fact(kind, na, nb, bound))
+        return result
+
+    @staticmethod
+    def _implied_by_unary(kind, na, nb, unary) -> int | None:
+        lo_a, hi_a = unary[na]
+        lo_b, hi_b = unary[nb]
+        if kind == "sum_le":     # x + y <= c
+            if hi_a is None or hi_b is None:
+                return None
+            return hi_a + hi_b
+        if kind == "sum_ge":     # -(x + y) <= c  i.e. x + y >= -c
+            if lo_a is None or lo_b is None:
+                return None
+            return -(lo_a + lo_b)
+        # diff: x - y <= c
+        if hi_a is None or lo_b is None:
+            return None
+        return hi_a - lo_b
+
+
+def _neg_half(bound: int) -> int:
+    """lower bound from  (-x) - (+x) <= bound  i.e. -2x <= bound."""
+    return -(bound // 2)
+
+
+def _octagon_fact(kind: str, na: str, nb: str, bound: int) -> Pred:
+    if kind == "sum_le":
+        return Cmp("<=", BinOp("+", Name(na), Name(nb)), Const(bound))
+    if kind == "sum_ge":
+        return Cmp(">=", BinOp("+", Name(na), Name(nb)), Const(-bound))
+    rhs: Expr = Name(nb)
+    if bound:
+        rhs = BinOp("+", Name(nb), Const(bound))
+    return Cmp("<=", Name(na), rhs)
+
+
+def _octagon_form(expr: Expr) -> tuple[str | None, int, int] | None:
+    """Recognize ``c``, ``+-y + c`` shapes; returns (var, sign, const)."""
+    if isinstance(expr, Const):
+        return (None, 1, expr.value)
+    if isinstance(expr, Name):
+        return (expr.name, 1, 0)
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        left, right = expr.left, expr.right
+        if isinstance(left, Name) and isinstance(right, Const):
+            return (left.name, 1,
+                    right.value if expr.op == "+" else -right.value)
+        if expr.op == "+" and isinstance(left, Const) \
+                and isinstance(right, Name):
+            return (right.name, 1, left.value)
+        if expr.op == "-" and isinstance(left, Const) \
+                and isinstance(right, Name):
+            return (right.name, -1, left.value)
+    return None

@@ -1,0 +1,28 @@
+"""The Section 3 symbolic analysis: value sets, stores, transformers."""
+
+from .lowering import (
+    NonLinearError,
+    lower_expr,
+    lower_pred,
+    lower_pred_concrete,
+)
+from .symbolic import Store, ValueSet
+from .transformer import (
+    AbstractionInfo,
+    AnalysisResult,
+    SymbolicAnalyzer,
+    analyze_program,
+)
+
+__all__ = [
+    "NonLinearError",
+    "lower_expr",
+    "lower_pred",
+    "lower_pred_concrete",
+    "Store",
+    "ValueSet",
+    "AbstractionInfo",
+    "AnalysisResult",
+    "SymbolicAnalyzer",
+    "analyze_program",
+]

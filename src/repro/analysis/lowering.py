@@ -1,0 +1,110 @@
+"""Lowering of surface predicates/expressions into logic formulas.
+
+Used where a predicate must be interpreted over *plain variables* rather
+than symbolic value sets: concretized havoc assumptions, loop
+postconditions produced by the abstract interpreters, and test oracles.
+(The symbolic analysis itself evaluates predicates over value sets — see
+:mod:`repro.analysis.symbolic`.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..lang.ast import (
+    BinOp,
+    BoolConst,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    Name,
+    NotPred,
+    Pred,
+)
+from ..lang.diagnostics import AnalysisError
+from ..logic.formulas import (
+    FALSE,
+    TRUE,
+    Formula,
+    conj,
+    disj,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    neg,
+)
+from ..logic.terms import LinTerm, Var
+
+_CMP_BUILDERS = {"<": lt, ">": gt, "<=": le, ">=": ge, "==": eq, "!=": ne}
+
+
+class NonLinearError(AnalysisError):
+    """Raised when lowering meets a product of two non-constant operands."""
+
+
+def lower_expr(expr: Expr, env: Mapping[str, LinTerm]) -> LinTerm:
+    """Lower an expression to a linear term, mapping names via ``env``.
+
+    Raises :class:`NonLinearError` on a non-linear product — callers that
+    tolerate non-linearity (the symbolic analysis) catch it and abstract.
+    """
+    if isinstance(expr, Const):
+        return LinTerm.constant(expr.value)
+    if isinstance(expr, Name):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise AnalysisError(f"unbound variable {expr.name!r}", expr.span)
+    if isinstance(expr, BinOp):
+        left = lower_expr(expr.left, env)
+        right = lower_expr(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if left.is_constant:
+                return right.scale(left.const)
+            if right.is_constant:
+                return left.scale(right.const)
+            raise NonLinearError(
+                f"non-linear product {expr}", expr.span
+            )
+        raise AnalysisError(f"unknown operator {expr.op!r}", expr.span)
+    raise TypeError(f"unexpected expression node {expr!r}")
+
+
+def lower_pred(pred: Pred, env: Mapping[str, LinTerm]) -> Formula:
+    """Lower a predicate to a formula over the terms ``env`` provides."""
+    if isinstance(pred, BoolConst):
+        return TRUE if pred.value else FALSE
+    if isinstance(pred, Cmp):
+        builder = _CMP_BUILDERS[pred.op]
+        return builder(lower_expr(pred.left, env),
+                       lower_expr(pred.right, env))
+    if isinstance(pred, BoolOp):
+        parts = [lower_pred(p, env) for p in pred.parts]
+        return conj(*parts) if pred.op == "&&" else disj(*parts)
+    if isinstance(pred, NotPred):
+        return neg(lower_pred(pred.arg, env))
+    raise TypeError(f"unexpected predicate node {pred!r}")
+
+
+def lower_pred_concrete(pred: Pred, env: Mapping[str, int],
+                        free: Iterable[str]) -> Formula:
+    """Lower a predicate where all names are concrete except ``free``.
+
+    The free names become logic variables named after themselves.
+    """
+    free = set(free)
+    mapping: dict[str, LinTerm] = {
+        name: LinTerm.var(Var(name)) for name in free
+    }
+    for name, value in env.items():
+        if name not in free:
+            mapping[name] = LinTerm.constant(value)
+    return lower_pred(pred, mapping)

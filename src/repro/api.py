@@ -1,0 +1,109 @@
+"""High-level convenience API tying the pipeline together.
+
+Most callers want one of three things:
+
+* :func:`analyze_source` — parse, annotate, run the Section 3 analysis
+  and report whether the check is proved, refuted, or uncertain;
+* :func:`diagnose_source` — the full paper pipeline: analysis plus the
+  Figure 6 query loop against an oracle;
+* :func:`run_user_study` — regenerate Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .abstract import annotate_program
+from .analysis import AnalysisResult, analyze_program
+from .diagnosis import (
+    DiagnosisResult,
+    EngineConfig,
+    ExhaustiveOracle,
+    Oracle,
+    SamplingOracle,
+    diagnose_error,
+)
+from .lang import Program, parse_program
+from .logic import neg
+from .smt import SmtSolver
+from .suite import Benchmark, benchmark_by_name, load_analysis
+from .userstudy import StudyResult
+from .userstudy import run_user_study as _run_user_study
+
+
+class InitialVerdict(Enum):
+    """Outcome of the analysis alone (Lemmas 1 and 2)."""
+
+    VERIFIED = "verified"          # I |= phi: error-free
+    REFUTED = "refuted"            # I |= !phi: definitely buggy
+    UNCERTAIN = "uncertain"        # needs diagnosis
+
+
+@dataclass
+class AnalysisOutcome:
+    """Program + analysis + the Lemma 1/2 classification attempt."""
+
+    program: Program
+    analysis: AnalysisResult
+    verdict: InitialVerdict
+
+    @property
+    def invariants(self):
+        return self.analysis.invariants
+
+    @property
+    def success(self):
+        return self.analysis.success
+
+
+def analyze_source(source: str, *, auto_annotate: bool = True,
+                   solver: SmtSolver | None = None) -> AnalysisOutcome:
+    """Parse, annotate, analyze and pre-classify a program."""
+    program = parse_program(source)
+    if auto_annotate:
+        program = annotate_program(program)
+    analysis = analyze_program(program)
+    solver = solver or SmtSolver()
+    if solver.entails(analysis.invariants, analysis.success):
+        verdict = InitialVerdict.VERIFIED
+    elif solver.entails(analysis.invariants, neg(analysis.success)):
+        verdict = InitialVerdict.REFUTED
+    else:
+        verdict = InitialVerdict.UNCERTAIN
+    return AnalysisOutcome(program, analysis, verdict)
+
+
+def diagnose_source(source: str, oracle: Oracle, *,
+                    auto_annotate: bool = True,
+                    config: EngineConfig | None = None) -> DiagnosisResult:
+    """The full pipeline: analysis plus the Figure 6 interaction loop."""
+    outcome = analyze_source(source, auto_annotate=auto_annotate)
+    return diagnose_error(outcome.analysis, oracle, config)
+
+
+def load_benchmark(name: str) -> tuple[Benchmark, Program, AnalysisResult]:
+    """Load a Figure 7 benchmark with its analysis."""
+    bench = benchmark_by_name(name)
+    program, analysis = load_analysis(bench)
+    return bench, program, analysis
+
+
+def ground_truth_oracle(name: str) -> tuple[AnalysisResult, Oracle]:
+    """A benchmark's analysis with its exhaustive ground-truth oracle."""
+    bench, program, analysis = load_benchmark(name)
+    return analysis, ExhaustiveOracle(program, analysis,
+                                      radius=bench.oracle_radius)
+
+
+def dynamic_oracle(name: str, *, samples: int = 400) -> tuple[
+        AnalysisResult, Oracle]:
+    """A benchmark's analysis with the sampling (random-testing) oracle —
+    the Section 8 future-work mode that auto-answers witness queries."""
+    bench, program, analysis = load_benchmark(name)
+    return analysis, SamplingOracle(program, analysis, samples=samples)
+
+
+def run_user_study(**kwargs) -> StudyResult:
+    """Regenerate the Figure 7 user study (see repro.userstudy)."""
+    return _run_user_study(**kwargs)

@@ -1,0 +1,7 @@
+"""Bounded model checking: loop unrolling + the static-underapproximation
+oracle (the paper's Section 8 future-work direction)."""
+
+from .oracle import UnrollingOracle
+from .unroll import UnrollInfo, unroll_program
+
+__all__ = ["UnrollingOracle", "UnrollInfo", "unroll_program"]

@@ -1,0 +1,128 @@
+"""The bounded-unrolling oracle: answering queries by *static*
+underapproximation (the paper's Section 8 proposal).
+
+The oracle analyzes the unrolled program (exact, since it is loop-free)
+and answers:
+
+* **witness queries "yes"** when some bounded execution realizes the
+  queried condition — sound unconditionally, because every bounded
+  execution is a real execution;
+* **invariant queries "no"** when some bounded execution violates the
+  condition — sound for the same reason;
+* when no loop can exceed the bound on *any* input (the overflow marker
+  is unreachable), the bounded analysis is complete, so "no witness"
+  hardens into **witness "no"** and "no violation" into **invariant
+  "yes"**;
+* otherwise it answers "unknown" and defers to the next oracle (pair it
+  with a human via :class:`repro.diagnosis.ChainOracle`).
+"""
+
+from __future__ import annotations
+
+from ..analysis import AnalysisResult, analyze_program
+from ..diagnosis.oracles import Oracle
+from ..diagnosis.queries import Answer, Query
+from ..lang.ast import Program
+from ..logic.formulas import Formula, conj, disj, eq, neg
+from ..logic.terms import LinTerm, Var, VarKind
+from ..smt import SmtSolver
+from .unroll import unroll_program
+
+
+class UnrollingOracle(Oracle):
+    """Decides queries against all executions with <= ``bound`` loop
+    iterations, exactly."""
+
+    def __init__(self, program: Program, analysis: AnalysisResult,
+                 *, bound: int = 6, solver: SmtSolver | None = None):
+        self._program = program
+        self._analysis = analysis
+        self._bound = bound
+        self._solver = solver or SmtSolver()
+        self._prepared = False
+        self._bounded_state: Formula | None = None
+        self._exact = False
+        self._binding_vars: dict[Var, Var] = {}
+
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        if self._prepared:
+            return
+        self._prepared = True
+        unrolled, info = unroll_program(self._program, self._bound)
+        bounded = analyze_program(unrolled)
+
+        constraints: list[Formula] = [bounded.invariants]
+
+        def bind(term_sets, fresh: Var) -> Formula:
+            return disj(*(
+                conj(eq(LinTerm.var(fresh), pi), guard)
+                for pi, guard in term_sets
+            ))
+
+        # overflow markers must be 0 (the execution stayed in bounds)
+        overflow_free: list[Formula] = []
+        for label, ovf_name in info.overflow_vars.items():
+            fresh = Var(f"$OVF{label}", VarKind.AUX)
+            constraints.append(bind(bounded.store[ovf_name], fresh))
+            overflow_free.append(eq(LinTerm.var(fresh), 0))
+        constraints.extend(overflow_free)
+
+        # bind each original loop abstraction to its snapshot's value
+        for var, meta in self._analysis.info.items():
+            if meta.kind != "loop":
+                continue
+            key = (meta.label, meta.program_var)
+            snap_name = info.snapshot_vars.get(key)  # type: ignore[arg-type]
+            if snap_name is None:
+                continue
+            constraints.append(bind(bounded.store[snap_name], var))
+            self._binding_vars[var] = var
+
+        # original input variables coincide with the unrolled program's
+        # (same parameter names), so no renaming is needed
+        self._bounded_state = conj(*constraints)
+
+        # completeness: can any input overflow the bound?
+        with_overflow = conj(
+            bounded.invariants,
+            *(
+                bind(bounded.store[name], Var(f"$OVF{label}", VarKind.AUX))
+                for label, name in info.overflow_vars.items()
+            ),
+            neg(conj(*overflow_free)) if overflow_free else neg(conj()),
+        )
+        if not info.overflow_vars:
+            self._exact = True
+        else:
+            self._exact = not self._solver.is_sat(with_overflow)
+
+    # ------------------------------------------------------------------
+    def answer(self, query: Query) -> Answer:
+        self._prepare()
+        assert self._bounded_state is not None
+
+        supported = self._analysis.input_vars.values()
+        for v in query.formula.free_vars():
+            meta = self._analysis.info.get(v)
+            if v in set(supported):
+                continue
+            if meta is not None and meta.kind == "loop" \
+                    and v in self._binding_vars:
+                continue
+            return Answer.UNKNOWN  # havoc/product abstractions: no map
+
+        realizable = self._solver.is_sat(
+            conj(self._bounded_state, query.formula)
+        )
+        if query.kind == "witness":
+            if realizable:
+                return Answer.YES
+            return Answer.NO if self._exact else Answer.UNKNOWN
+        # invariant query
+        violated = self._solver.is_sat(
+            conj(self._bounded_state, neg(query.formula))
+        )
+        if violated:
+            return Answer.NO
+        return Answer.YES if self._exact else Answer.UNKNOWN

@@ -1,0 +1,114 @@
+"""Bounded loop unrolling.
+
+Transforms a program into a loop-free one that exactly simulates every
+execution with at most ``k`` iterations per loop visit, and *detects*
+executions that would need more:
+
+* each ``while (c) { s }`` becomes ``k`` nested ``if (c) { s ... }``
+  levels, with an innermost ``if (c) { $ovfL = 1; }`` marking bound
+  overflow;
+* after the unrolled construct, every loop-modified variable ``v`` is
+  snapshotted into a fresh local ``$exitL_v`` — the exact value of ``v``
+  at the loop's exit point, which is what the original analysis's loop
+  abstraction variables denote.
+
+Because the Section 3 analysis is exact on loop-free code, analyzing the
+unrolled program yields an *exact* symbolic characterization of all
+bounded executions — the static underapproximation the paper's Section 8
+proposes for deciding queries automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast import (
+    Assign,
+    Block,
+    Const,
+    If,
+    Name,
+    Program,
+    Stmt,
+    While,
+)
+
+
+@dataclass(frozen=True)
+class UnrollInfo:
+    """Metadata tying unrolled artifacts back to the original loops."""
+
+    bound: int
+    overflow_vars: dict[int, str]       # loop label -> $ovfL
+    snapshot_vars: dict[tuple[int, str], str]  # (label, var) -> $exitL_v
+
+
+def unroll_program(program: Program, bound: int) -> tuple[Program, UnrollInfo]:
+    """Unroll every loop ``bound`` times; returns the loop-free program
+    plus the bookkeeping needed to interpret its results."""
+    if bound < 0:
+        raise ValueError("unroll bound must be non-negative")
+    overflow_vars: dict[int, str] = {}
+    snapshot_vars: dict[tuple[int, str], str] = {}
+    new_locals: list[str] = []
+
+    def unroll_block(block: Block) -> Block:
+        statements: list[Stmt] = []
+        for stmt in block.body:
+            statements.extend(unroll_stmt(stmt))
+        return Block(tuple(statements), block.span)
+
+    def unroll_stmt(stmt: Stmt) -> list[Stmt]:
+        if isinstance(stmt, While):
+            return unroll_while(stmt)
+        if isinstance(stmt, If):
+            return [If(stmt.cond, unroll_block(stmt.then_branch),
+                       unroll_block(stmt.else_branch), stmt.span)]
+        if isinstance(stmt, Block):
+            return [unroll_block(stmt)]
+        return [stmt]
+
+    def unroll_while(loop: While) -> list[Stmt]:
+        body = unroll_block(loop.body)
+        label = loop.label
+
+        ovf = f"$ovf{label}"
+        if label not in overflow_vars:
+            overflow_vars[label] = ovf
+            new_locals.append(ovf)
+
+        # innermost level: the bound was not enough
+        nested: Stmt = If(
+            loop.cond,
+            Block((Assign(ovf, Const(1), loop.span),), loop.span),
+            Block((), loop.span),
+            loop.span,
+        )
+        for _ in range(bound):
+            nested = If(
+                loop.cond,
+                Block(body.body + (nested,), loop.span),
+                Block((), loop.span),
+                loop.span,
+            )
+
+        snapshots: list[Stmt] = []
+        for name in sorted(loop.modified_vars()):
+            snap = f"$exit{label}_{name}"
+            if (label, name) not in snapshot_vars:
+                snapshot_vars[(label, name)] = snap
+                new_locals.append(snap)
+            snapshots.append(Assign(snap, Name(name), loop.span))
+        return [nested, *snapshots]
+
+    unrolled_body = unroll_block(program.body)
+    unrolled = Program(
+        name=f"{program.name}$unrolled{bound}",
+        params=program.params,
+        locals=program.locals + tuple(new_locals),
+        body=unrolled_body,
+        check=program.check,
+        span=program.span,
+        source=program.source,
+    )
+    return unrolled, UnrollInfo(bound, overflow_vars, snapshot_vars)

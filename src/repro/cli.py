@@ -1,0 +1,151 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-diagnose analyze FILE            run the analysis, print (I, phi)
+    repro-diagnose diagnose FILE           interactive Figure 6 session
+    repro-diagnose suite [NAME]            run benchmark(s) w/ ground truth
+    repro-diagnose userstudy [--seed N]    regenerate Figure 7
+
+(Equivalently: ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .api import InitialVerdict, analyze_source
+from .diagnosis import (
+    EngineConfig,
+    ExhaustiveOracle,
+    InteractiveOracle,
+    SamplingOracle,
+    diagnose_error,
+)
+from .suite import BENCHMARKS, benchmark_by_name, load_analysis
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    outcome = analyze_source(source, auto_annotate=not args.no_annotate)
+    print(f"program: {outcome.program.name}")
+    print(f"invariants I:      {outcome.invariants}")
+    print(f"success cond phi:  {outcome.success}")
+    print(f"verdict: {outcome.verdict.value}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    outcome = analyze_source(source, auto_annotate=not args.no_annotate)
+    if outcome.verdict is InitialVerdict.VERIFIED:
+        print("verified outright: the report is a FALSE ALARM")
+        return 0
+    if outcome.verdict is InitialVerdict.REFUTED:
+        print("refuted outright: the program has a REAL BUG")
+        return 0
+    print("the analysis cannot decide; starting the query session")
+    if args.oracle == "interactive":
+        oracle = InteractiveOracle()
+    else:
+        oracle = SamplingOracle(outcome.program, outcome.analysis)
+    result = diagnose_error(outcome.analysis, oracle,
+                            EngineConfig(max_rounds=args.max_rounds))
+    print()
+    print(f"verdict: {result.classification.upper()} "
+          f"after {result.num_queries} queries "
+          f"({result.elapsed_seconds:.2f}s)")
+    if args.report is not None:
+        from .diagnosis import render_report
+
+        Path(args.report).write_text(
+            render_report(result, markdown=args.report.endswith(".md"))
+        )
+        print(f"session report written to {args.report}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    benches = (
+        [benchmark_by_name(args.name)] if args.name else list(BENCHMARKS)
+    )
+    failures = 0
+    for bench in benches:
+        program, analysis = load_analysis(bench)
+        oracle = ExhaustiveOracle(program, analysis,
+                                  radius=bench.oracle_radius)
+        result = diagnose_error(analysis, oracle)
+        ok = result.classification == bench.classification
+        failures += 0 if ok else 1
+        marker = "ok " if ok else "FAIL"
+        print(f"[{marker}] {bench.name:16s} -> {result.classification:12s}"
+              f" ({result.num_queries} queries, "
+              f"{result.elapsed_seconds:.2f}s)")
+        if args.verbose:
+            for interaction in result.interactions:
+                print(f"        Q: {interaction.query.text}")
+                print(f"        A: {interaction.answer.value}")
+    return 1 if failures else 0
+
+
+def _cmd_userstudy(args: argparse.Namespace) -> int:
+    from .userstudy import format_figure7, run_user_study
+
+    study = run_user_study(
+        seed=args.seed,
+        num_recruited=args.participants,
+        engine_config=EngineConfig(max_rounds=8),
+    )
+    print(format_figure7(study))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-diagnose",
+        description=(
+            "Automated error diagnosis using abductive inference "
+            "(PLDI 2012 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="run the static analysis")
+    p_analyze.add_argument("file")
+    p_analyze.add_argument("--no-annotate", action="store_true",
+                           help="skip automatic loop-invariant inference")
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_diag = sub.add_parser("diagnose", help="interactive diagnosis")
+    p_diag.add_argument("file")
+    p_diag.add_argument("--oracle", choices=["interactive", "sampling"],
+                        default="interactive")
+    p_diag.add_argument("--max-rounds", type=int, default=25)
+    p_diag.add_argument("--no-annotate", action="store_true")
+    p_diag.add_argument("--report", default=None, metavar="PATH",
+                        help="write a session report (.md for Markdown)")
+    p_diag.set_defaults(fn=_cmd_diagnose)
+
+    p_suite = sub.add_parser("suite", help="run the Figure 7 benchmarks")
+    p_suite.add_argument("name", nargs="?", default=None)
+    p_suite.add_argument("--verbose", "-v", action="store_true")
+    p_suite.set_defaults(fn=_cmd_suite)
+
+    p_study = sub.add_parser("userstudy",
+                             help="regenerate the Figure 7 user study")
+    p_study.add_argument("--seed", type=int, default=2012)
+    p_study.add_argument("--participants", type=int, default=56)
+    p_study.set_defaults(fn=_cmd_userstudy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Query-guided error diagnosis (Section 4 of the paper)."""
+
+from .abduction import Abducer, Abduction
+from .cost import formula_cost, pi_p, pi_w, uniform
+from .engine import (
+    DiagnosisEngine,
+    DiagnosisResult,
+    EngineConfig,
+    Interaction,
+    Verdict,
+    diagnose_error,
+)
+from .oracles import (
+    ChainOracle,
+    ExhaustiveOracle,
+    FunctionOracle,
+    InteractiveOracle,
+    Oracle,
+    SamplingOracle,
+    ScriptedOracle,
+)
+from .report import render_report
+from .queries import (
+    Answer,
+    Query,
+    QueryRenderer,
+    decompose_invariant,
+    decompose_witness,
+)
+
+__all__ = [
+    "Abducer", "Abduction",
+    "formula_cost", "pi_p", "pi_w", "uniform",
+    "DiagnosisEngine", "DiagnosisResult", "EngineConfig", "Interaction",
+    "Verdict", "diagnose_error",
+    "ChainOracle", "ExhaustiveOracle", "FunctionOracle",
+    "InteractiveOracle", "Oracle", "SamplingOracle", "ScriptedOracle",
+    "Answer", "Query", "QueryRenderer",
+    "decompose_invariant", "decompose_witness",
+    "render_report",
+]

@@ -1,0 +1,178 @@
+"""Abductive inference of proof obligations and failure witnesses
+(Sections 4.1 and 4.2, Lemmas 3 and 5).
+
+Given invariants ``I`` and success condition ``phi``:
+
+* a *weakest minimum proof obligation* ``Gamma`` satisfies
+  ``Gamma ∧ I |= phi`` and ``SAT(Gamma ∧ I)`` with minimum cost under
+  ``Pi_p``, and is the weakest such formula at that cost;
+* a *weakest minimum failure witness* ``Upsilon`` satisfies
+  ``Upsilon ∧ I |= ¬phi`` and ``SAT(Upsilon ∧ I)`` with minimum cost
+  under ``Pi_w``.
+
+Both are computed the same way (Lemma 3 / Lemma 5):
+
+1. find a minimum satisfying assignment of ``I => target`` consistent
+   with the required side formulas (the invariants — plus, for proof
+   obligations, all learned witnesses);
+2. universally eliminate every variable *not* in the assignment from
+   ``I => target``;
+3. simplify the result with ``I`` as the critical constraint so the user
+   is not asked about facts the analysis already knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.formulas import Formula, implies, neg
+from ..logic.terms import Var
+from ..msa import MsaResult, MsaSolver
+from ..qe import eliminate_forall
+from ..simplify import Simplifier
+from ..smt import SmtSolver
+from .cost import CostFn, formula_cost
+
+
+def _relevant_variables(goal: Formula,
+                        seeds: frozenset[Var]) -> list[Var]:
+    """Variables connected to ``seeds`` through shared atoms of ``goal``.
+
+    A variable in a connected component disjoint from the target can only
+    influence ``I => target`` by falsifying its own slice of ``I`` —
+    which consistency with ``I`` (Definition 6) forbids — so no optimal
+    assignment ever mentions it.  Restricting the MSA search to the
+    connected variables is therefore exact, and it prunes the search
+    space dramatically on programs with many independent facts.
+    """
+    adjacency: dict[Var, set[Var]] = {}
+    for atom in goal.atoms():
+        group = atom.free_vars()
+        for v in group:
+            adjacency.setdefault(v, set()).update(group)
+    reached = set(seeds) & set(adjacency)
+    frontier = list(reached)
+    while frontier:
+        v = frontier.pop()
+        for u in adjacency.get(v, ()):
+            if u not in reached:
+                reached.add(u)
+                frontier.append(u)
+    return sorted(reached, key=lambda v: v.name)
+
+
+@dataclass(frozen=True)
+class Abduction:
+    """A computed query formula with its provenance."""
+
+    formula: Formula
+    cost: int
+    kind: str                      # 'proof_obligation' | 'failure_witness'
+    msa: MsaResult
+    unsimplified: Formula
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.formula.is_true
+
+
+class Abducer:
+    """Shared abduction engine (one SMT solver/cache for all steps)."""
+
+    def __init__(self, *, msa_strategy: str = "branch_bound",
+                 use_simplification: bool = True):
+        self._solver = SmtSolver()
+        self._msa = MsaSolver(self._solver)
+        self._simplifier = Simplifier(self._solver)
+        self._strategy = msa_strategy
+        self._use_simplification = use_simplification
+
+    # ------------------------------------------------------------------
+    def proof_obligation(
+        self,
+        invariants: Formula,
+        success: Formula,
+        costs: CostFn,
+        witnesses: Sequence[Formula] = (),
+        extra_consistency: Sequence[Formula] = (),
+    ) -> Abduction | None:
+        """Compute a weakest minimum proof obligation (Definition 3).
+
+        The MSA must be consistent with ``I`` and with every learned
+        witness (Figure 6, line 5) and with any ``extra_consistency``
+        formulas (the potential witnesses of Section 5).
+        """
+        return self._abduce(
+            invariants,
+            target=success,
+            costs=costs,
+            consistency=[invariants, *witnesses, *extra_consistency],
+            kind="proof_obligation",
+        )
+
+    def failure_witness(
+        self,
+        invariants: Formula,
+        success: Formula,
+        costs: CostFn,
+        extra_consistency: Sequence[Formula] = (),
+    ) -> Abduction | None:
+        """Compute a weakest minimum failure witness (Definition 10).
+
+        Consistency with learned witnesses is *not* required (a witness
+        needs to hold in only one execution), but Section 5's potential
+        invariants are passed via ``extra_consistency``.
+        """
+        return self._abduce(
+            invariants,
+            target=neg(success),
+            costs=costs,
+            consistency=[invariants, *extra_consistency],
+            kind="failure_witness",
+        )
+
+    # ------------------------------------------------------------------
+    def _abduce(
+        self,
+        invariants: Formula,
+        target: Formula,
+        costs: CostFn,
+        consistency: list[Formula],
+        kind: str,
+    ) -> Abduction | None:
+        goal = implies(invariants, target)
+        relevant = _relevant_variables(goal, target.free_vars())
+        msa = self._msa.find(
+            goal, costs, consistency=consistency, strategy=self._strategy,
+            restrict=relevant,
+        )
+        if msa is None:
+            return None
+        keep = msa.variables
+        eliminate = [v for v in goal.free_vars() if v not in keep]
+        raw = eliminate_forall(eliminate, goal)
+        if self._use_simplification:
+            formula = self._simplifier.simplify(raw, critical=invariants)
+        else:
+            formula = raw
+        return Abduction(
+            formula=formula,
+            cost=formula_cost(formula, costs),
+            kind=kind,
+            msa=msa,
+            unsimplified=raw,
+        )
+
+    # convenience handles for the engine ---------------------------------
+    @property
+    def solver(self) -> SmtSolver:
+        return self._solver
+
+    @property
+    def msa_solver(self) -> MsaSolver:
+        return self._msa
+
+    @property
+    def simplifier(self) -> Simplifier:
+        return self._simplifier

@@ -1,0 +1,303 @@
+"""The full diagnosis algorithm (Figure 6) with Section 5's extensions.
+
+Given the analysis judgment ``(I, phi)`` and an oracle (normally a
+human), the engine alternates:
+
+1. try to close the report outright — ``I |= phi`` discharges it
+   (Lemma 1), and a learned witness ``psi`` with ``UNSAT(I ∧ psi ∧ phi)``
+   validates it (Lemma 2 relativized to learned facts);
+2. otherwise compute a weakest minimum proof obligation and failure
+   witness by abduction, and ask whichever is cheaper;
+3. fold the answer back in: "yes" closes the report; "no" still teaches
+   the engine something (a refuted invariant is a witness, a refuted
+   witness is an invariant); "I don't know" (Section 5) records potential
+   invariants/witnesses that steer later MSAs away from unanswerable
+   queries.
+
+Queries are decomposed per Section 4.4 — invariant queries split into
+CNF clauses, witness queries into DNF clauses — and the engine learns
+from every subquery even when the enclosing query fails.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..analysis import AnalysisResult
+from ..logic.formulas import Formula, conj, implies, neg
+from .abduction import Abducer, Abduction
+from .cost import pi_p, pi_w, uniform
+from .oracles import Oracle
+from .queries import Answer, Query, QueryRenderer, decompose_invariant, \
+    decompose_witness
+
+
+class Verdict(Enum):
+    DISCHARGED = "discharged"      # proven error-free: false alarm
+    VALIDATED = "validated"        # proven buggy: real bug
+    UNRESOLVED = "unresolved"
+
+
+@dataclass(frozen=True)
+class Interaction:
+    query: Query
+    answer: Answer
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of a diagnosis session."""
+
+    verdict: Verdict
+    interactions: list[Interaction]
+    rounds: int
+    invariants: Formula            # final (possibly strengthened) I
+    witnesses: list[Formula]       # learned witnesses W
+    analysis: AnalysisResult
+    elapsed_seconds: float = 0.0
+    immediate: bool = False        # closed with zero queries
+
+    @property
+    def classification(self) -> str:
+        if self.verdict is Verdict.DISCHARGED:
+            return "false alarm"
+        if self.verdict is Verdict.VALIDATED:
+            return "real bug"
+        return "unknown"
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.interactions)
+
+
+@dataclass
+class EngineConfig:
+    """Knobs exposed for the ablation experiments (A1–A4)."""
+
+    cost_model: str = "paper"          # 'paper' | 'uniform'
+    msa_strategy: str = "branch_bound"  # 'branch_bound' | 'subsets'
+    use_simplification: bool = True
+    use_abduction: bool = True          # False: trivial Gamma = phi (A2)
+    max_rounds: int = 25
+
+
+class DiagnosisEngine:
+    """Drives the Figure 6 interaction loop."""
+
+    def __init__(self, analysis: AnalysisResult, oracle: Oracle,
+                 config: EngineConfig | None = None):
+        self._analysis = analysis
+        self._oracle = oracle
+        self._config = config or EngineConfig()
+        self._abducer = Abducer(
+            msa_strategy=self._config.msa_strategy,
+            use_simplification=self._config.use_simplification,
+        )
+        self._renderer = QueryRenderer(analysis)
+        self._asked: dict[tuple[str, Formula], Answer] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> DiagnosisResult:
+        start = time.perf_counter()
+        invariants = self._analysis.invariants
+        success = self._analysis.success
+        solver = self._abducer.solver
+
+        witnesses: list[Formula] = []
+        potential_invariants: list[Formula] = []
+        potential_witnesses: list[Formula] = []
+        interactions: list[Interaction] = []
+
+        def finish(verdict: Verdict, rounds: int) -> DiagnosisResult:
+            return DiagnosisResult(
+                verdict=verdict,
+                interactions=interactions,
+                rounds=rounds,
+                invariants=invariants,
+                witnesses=witnesses,
+                analysis=self._analysis,
+                elapsed_seconds=time.perf_counter() - start,
+                immediate=not interactions,
+            )
+
+        for round_index in range(self._config.max_rounds):
+            # Inconsistent knowledge would make every check below vacuous;
+            # bail out before trusting it (only reachable via an oracle
+            # that contradicted itself).
+            if not solver.is_sat(invariants):
+                return finish(Verdict.UNRESOLVED, round_index)
+            # Figure 6, lines 3-4: try to close the report outright.
+            if solver.is_valid(implies(invariants, success)):
+                return finish(Verdict.DISCHARGED, round_index)
+            if not solver.is_sat(conj(invariants, success)):
+                # Lemma 2: I |= !phi — every execution fails the check
+                return finish(Verdict.VALIDATED, round_index)
+            if any(
+                not solver.is_sat(conj(invariants, psi, success))
+                for psi in witnesses
+            ):
+                return finish(Verdict.VALIDATED, round_index)
+
+            gamma, upsilon = self._abduce(
+                invariants, success, witnesses,
+                potential_invariants, potential_witnesses,
+            )
+            if gamma is None and upsilon is None:
+                return finish(Verdict.UNRESOLVED, round_index)
+
+            # Figure 6, line 9: ask the cheaper side first.
+            ask_invariant = upsilon is None or (
+                gamma is not None and gamma.cost <= upsilon.cost
+            )
+
+            if ask_invariant:
+                assert gamma is not None
+                yes_clauses = self._ask_invariant(
+                    gamma.formula, interactions, witnesses,
+                    potential_invariants, potential_witnesses,
+                )
+                # every affirmed clause is a learned invariant, even when
+                # the query as a whole was not affirmed (Section 4.4)
+                invariants = conj(invariants, *yes_clauses)
+            else:
+                assert upsilon is not None
+                validated, refuted = self._ask_witness(
+                    upsilon.formula, interactions, witnesses,
+                    potential_invariants, potential_witnesses,
+                )
+                if validated:
+                    return finish(Verdict.VALIDATED, round_index + 1)
+                # a refuted witness clause is a learned invariant
+                invariants = conj(invariants, *refuted)
+
+        return finish(Verdict.UNRESOLVED, self._config.max_rounds)
+
+    # ------------------------------------------------------------------
+    def _abduce(
+        self,
+        invariants: Formula,
+        success: Formula,
+        witnesses: list[Formula],
+        potential_invariants: list[Formula],
+        potential_witnesses: list[Formula],
+    ) -> tuple[Abduction | None, Abduction | None]:
+        if self._config.cost_model == "uniform":
+            cost_p = uniform(invariants, success)
+            cost_w = uniform(invariants, success)
+        else:
+            cost_p = pi_p(invariants, success)
+            cost_w = pi_w(invariants, success)
+
+        if not self._config.use_abduction:
+            # Ablation A2: the trivial proof obligation Gamma = phi and
+            # trivial witness Upsilon = not phi (when consistent).
+            from ..msa import MsaResult
+            from .cost import formula_cost
+
+            solver = self._abducer.solver
+            gamma = None
+            if solver.is_sat(conj(success, invariants)):
+                gamma = Abduction(
+                    formula=success,
+                    cost=formula_cost(success, cost_p),
+                    kind="proof_obligation",
+                    msa=MsaResult((), 0),
+                    unsimplified=success,
+                )
+            upsilon = None
+            if solver.is_sat(conj(neg(success), invariants)):
+                upsilon = Abduction(
+                    formula=neg(success),
+                    cost=formula_cost(neg(success), cost_w),
+                    kind="failure_witness",
+                    msa=MsaResult((), 0),
+                    unsimplified=neg(success),
+                )
+            return gamma, upsilon
+
+        gamma = self._abducer.proof_obligation(
+            invariants, success, cost_p,
+            witnesses=witnesses,
+            extra_consistency=potential_witnesses,
+        )
+        upsilon = self._abducer.failure_witness(
+            invariants, success, cost_w,
+            extra_consistency=potential_invariants,
+        )
+        return gamma, upsilon
+
+    # ------------------------------------------------------------------
+    def _ask(self, query: Query) -> Answer:
+        key = (query.kind, query.formula)
+        if key in self._asked:
+            return self._asked[key]
+        answer = self._oracle.answer(query)
+        self._asked[key] = answer
+        return answer
+
+    def _ask_invariant(
+        self,
+        gamma: Formula,
+        interactions: list[Interaction],
+        witnesses: list[Formula],
+        potential_invariants: list[Formula],
+        potential_witnesses: list[Formula],
+    ) -> list[Formula]:
+        """Ask the CNF clauses of an invariant query.
+
+        Returns the clauses affirmed by the oracle (learned invariants).
+        Refuted clauses are appended to ``witnesses``; unanswerable ones
+        are recorded as potential invariants/witnesses (Section 5).
+        """
+        clauses = decompose_invariant(gamma)
+        yes_clauses: list[Formula] = []
+        for clause in clauses:
+            query = self._renderer.invariant_query(clause)
+            answer = self._ask(query)
+            interactions.append(Interaction(query, answer))
+            if answer is Answer.YES:
+                yes_clauses.append(clause)
+            elif answer is Answer.NO:
+                witnesses.append(neg(clause))
+            else:
+                potential_invariants.append(clause)
+                potential_witnesses.append(neg(clause))
+        return yes_clauses
+
+    def _ask_witness(
+        self,
+        upsilon: Formula,
+        interactions: list[Interaction],
+        witnesses: list[Formula],
+        potential_invariants: list[Formula],
+        potential_witnesses: list[Formula],
+    ) -> tuple[bool, list[Formula]]:
+        """Ask the DNF clauses of a witness query.
+
+        Returns ``(validated, refuted_negations)``: validation succeeds
+        the moment a clause is affirmed; negations of refuted clauses are
+        learned invariants.
+        """
+        clauses = decompose_witness(upsilon)
+        refuted: list[Formula] = []
+        for clause in clauses:
+            query = self._renderer.witness_query(clause)
+            answer = self._ask(query)
+            interactions.append(Interaction(query, answer))
+            if answer is Answer.YES:
+                witnesses.append(clause)
+                return True, refuted
+            if answer is Answer.NO:
+                refuted.append(neg(clause))
+            else:
+                potential_witnesses.append(clause)
+                potential_invariants.append(neg(clause))
+        return False, refuted
+
+
+def diagnose_error(analysis: AnalysisResult, oracle: Oracle,
+                   config: EngineConfig | None = None) -> DiagnosisResult:
+    """Run the Figure 6 algorithm on an analysis result."""
+    return DiagnosisEngine(analysis, oracle, config).run()

@@ -1,0 +1,238 @@
+"""From formulas to user-facing queries (Section 4.4).
+
+Two concerns live here:
+
+* **Translation** — analysis variables are internal names; queries must
+  speak in program terms.  Input variables print as the parameter name,
+  loop abstraction variables as the program variable (with a note tying
+  it to "immediately after the loop at line N"), havoc/product variables
+  as a readable phrase.
+* **Decomposition** — users should not be asked about complex boolean
+  structure.  Invariant queries distribute over CNF clauses (each clause
+  must independently be an invariant); witness queries distribute over
+  DNF clauses (some clause must be realizable).  Conjunctive witness
+  clauses additionally decompose into a chain of sub-questions ("can X
+  hold?", "...and can Y hold in that same execution?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..analysis import AnalysisResult
+from ..logic.formulas import Atom, Dvd, Formula, Rel, conj
+from ..logic.normal_forms import cnf_clauses, dnf_clauses
+from ..logic.terms import LinTerm, Var
+
+
+class Answer(Enum):
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    @staticmethod
+    def parse(text: str) -> "Answer":
+        norm = text.strip().lower()
+        if norm in ("y", "yes", "true", "1"):
+            return Answer.YES
+        if norm in ("n", "no", "false", "0"):
+            return Answer.NO
+        if norm in ("?", "unknown", "dont know", "don't know", "dk", "idk"):
+            return Answer.UNKNOWN
+        raise ValueError(f"cannot interpret answer {text!r}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single question posed to the user.
+
+    ``formula`` is over analysis variables; ``text`` and ``notes`` are the
+    human rendering; ``subquestions`` is the Section 4.4 chain
+    decomposition for conjunctive witness clauses.
+    """
+
+    kind: str                      # 'invariant' | 'witness'
+    formula: Formula
+    text: str
+    notes: tuple[str, ...] = ()
+    subquestions: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [self.text]
+        for index, sub in enumerate(self.subquestions, 1):
+            lines.append(f"    {index}. {sub}")
+        for note in self.notes:
+            lines.append(f"  where {note}")
+        return "\n".join(lines)
+
+
+class QueryRenderer:
+    """Renders analysis-variable formulas in program terms."""
+
+    def __init__(self, analysis: AnalysisResult):
+        self._analysis = analysis
+        self._display: dict[Var, str] = {}
+        self._build_display_names()
+
+    def _build_display_names(self) -> None:
+        used: set[str] = set()
+        for v, info in self._analysis.info.items():
+            if info.kind == "input":
+                name = info.program_var or v.name
+            elif info.kind == "loop":
+                name = info.program_var or v.name
+            elif info.kind == "havoc":
+                name = info.program_var or v.name
+            else:  # 'mul'
+                name = v.name
+            if name in used:
+                line = info.span.line if info.span else 0
+                name = f"{name}#L{line}"
+            used.add(name)
+            self._display[v] = name
+
+    def display_name(self, v: Var) -> str:
+        return self._display.get(v, v.name)
+
+    # ------------------------------------------------------------------
+    def format_term_pair(self, term: LinTerm) -> tuple[str, str]:
+        """Split ``term REL 0`` into human-friendly lhs/rhs strings."""
+        positive: list[str] = []
+        negative: list[str] = []
+        for v, c in term.coeffs:
+            name = self.display_name(v)
+            text = name if abs(c) == 1 else f"{abs(c)}*{name}"
+            (positive if c > 0 else negative).append(text)
+        const = term.const
+        if const > 0:
+            positive.append(str(const))
+        elif const < 0:
+            negative.append(str(-const))
+        lhs = " + ".join(positive) if positive else "0"
+        rhs = " + ".join(negative) if negative else "0"
+        return lhs, rhs
+
+    def format_atom(self, a: Formula) -> str:
+        if isinstance(a, Atom):
+            lhs, rhs = self.format_term_pair(a.term)
+            op = {Rel.LE: "<=", Rel.EQ: "==", Rel.NE: "!="}[a.rel]
+            return f"{lhs} {op} {rhs}"
+        if isinstance(a, Dvd):
+            inner = self._format_term(a.term)
+            op = "does not divide" if a.negated_flag else "divides"
+            return f"{a.divisor} {op} {inner}"
+        raise TypeError(f"not an atom: {a!r}")
+
+    def _format_term(self, term: LinTerm) -> str:
+        parts: list[str] = []
+        for v, c in term.coeffs:
+            name = self.display_name(v)
+            if not parts:
+                prefix = "" if c == 1 else "-" if c == -1 else f"{c}*"
+                parts.append(f"{prefix}{name}")
+            else:
+                sign = "+" if c > 0 else "-"
+                mag = "" if abs(c) == 1 else f"{abs(c)}*"
+                parts.append(f" {sign} {mag}{name}")
+        if term.const:
+            if parts:
+                sign = "+" if term.const > 0 else "-"
+                parts.append(f" {sign} {abs(term.const)}")
+            else:
+                parts.append(str(term.const))
+        return "".join(parts) or "0"
+
+    def format_formula(self, phi: Formula) -> str:
+        if phi.is_true:
+            return "true"
+        if phi.is_false:
+            return "false"
+        if isinstance(phi, (Atom, Dvd)):
+            return self.format_atom(phi)
+        from ..logic.formulas import And, Not, Or
+
+        if isinstance(phi, And):
+            return " and ".join(
+                self._wrap(arg) for arg in phi.args
+            )
+        if isinstance(phi, Or):
+            return " or ".join(
+                self._wrap(arg) for arg in phi.args
+            )
+        if isinstance(phi, Not):
+            return f"not ({self.format_formula(phi.arg)})"
+        return str(phi)
+
+    def _wrap(self, phi: Formula) -> str:
+        text = self.format_formula(phi)
+        if isinstance(phi, (Atom, Dvd)) or phi.is_true or phi.is_false:
+            return text
+        return f"({text})"
+
+    def notes_for(self, phi: Formula) -> tuple[str, ...]:
+        notes: list[str] = []
+        seen: set[str] = set()
+        for v in sorted(phi.free_vars(), key=lambda u: u.name):
+            info = self._analysis.info.get(v)
+            if info is None or info.kind == "input":
+                continue
+            note = f"{self.display_name(v)} is {info.description}"
+            if note not in seen:
+                seen.add(note)
+                notes.append(note)
+        return tuple(notes)
+
+    # ------------------------------------------------------------------
+    def invariant_query(self, clause: Formula) -> Query:
+        text = (
+            f"Is it true that  {self.format_formula(clause)}  holds in "
+            f"EVERY execution of the program?"
+        )
+        return Query(
+            kind="invariant",
+            formula=clause,
+            text=text,
+            notes=self.notes_for(clause),
+        )
+
+    def witness_query(self, clause: Formula) -> Query:
+        text = (
+            f"Can  {self.format_formula(clause)}  hold in SOME execution "
+            f"of the program?"
+        )
+        subquestions: tuple[str, ...] = ()
+        from ..logic.formulas import And
+
+        if isinstance(clause, And) and len(clause.args) > 1:
+            chain = [
+                f"Can  {self.format_formula(clause.args[0])}  hold in some "
+                f"execution?"
+            ]
+            for part in clause.args[1:]:
+                chain.append(
+                    f"...and can  {self.format_formula(part)}  also hold "
+                    f"in that same execution?"
+                )
+            subquestions = tuple(chain)
+        return Query(
+            kind="witness",
+            formula=clause,
+            text=text,
+            notes=self.notes_for(clause),
+            subquestions=subquestions,
+        )
+
+
+def decompose_invariant(gamma: Formula) -> list[Formula]:
+    """CNF clauses of an invariant query, each an independent question."""
+    clauses = cnf_clauses(gamma)
+    from ..logic.formulas import disj
+
+    return [disj(*clause) for clause in clauses]
+
+
+def decompose_witness(upsilon: Formula) -> list[Formula]:
+    """DNF clauses of a witness query, each an independent question."""
+    clauses = dnf_clauses(upsilon)
+    return [conj(*clause) for clause in clauses]

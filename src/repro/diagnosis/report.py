@@ -1,0 +1,75 @@
+"""Human-readable session reports.
+
+Turns a :class:`DiagnosisResult` into text or Markdown a reviewer can
+read without knowing the analysis internals: the verdict, the question/
+answer transcript, what the engine learned, and where the abstraction
+variables came from.
+"""
+
+from __future__ import annotations
+
+from .engine import DiagnosisResult, Verdict
+from .queries import QueryRenderer
+
+
+def render_report(result: DiagnosisResult, *, markdown: bool = False) -> str:
+    """Render a diagnosis session as text (or GitHub-flavored Markdown)."""
+    renderer = QueryRenderer(result.analysis)
+    program = result.analysis.program
+
+    def heading(text: str) -> str:
+        return f"## {text}" if markdown else f"=== {text} ==="
+
+    def bullet(text: str) -> str:
+        return f"- {text}" if markdown else f"  * {text}"
+
+    lines: list[str] = []
+    title = f"Diagnosis report: {program.name}"
+    lines.append(f"# {title}" if markdown else title)
+    lines.append("")
+
+    lines.append(heading("verdict"))
+    verdict_text = {
+        Verdict.DISCHARGED: "FALSE ALARM — the checked assertion holds "
+                            "on every execution",
+        Verdict.VALIDATED: "REAL BUG — some execution violates the "
+                           "checked assertion",
+        Verdict.UNRESOLVED: "UNRESOLVED — the available answers did not "
+                            "settle the report",
+    }[result.verdict]
+    lines.append(verdict_text)
+    lines.append(
+        f"({result.num_queries} queries, {result.rounds} engine rounds, "
+        f"{result.elapsed_seconds:.2f}s)"
+    )
+    lines.append("")
+
+    if result.interactions:
+        lines.append(heading("transcript"))
+        for index, interaction in enumerate(result.interactions, 1):
+            q = interaction.query
+            kind = ("invariant" if q.kind == "invariant"
+                    else "failure witness")
+            lines.append(f"{index}. [{kind}] {q.text}")
+            for note in q.notes:
+                lines.append(bullet(f"where {note}"))
+            lines.append(bullet(f"answer: {interaction.answer.value}"))
+        lines.append("")
+
+    if result.witnesses:
+        lines.append(heading("learned witnesses"))
+        for witness in result.witnesses:
+            lines.append(bullet(renderer.format_formula(witness)))
+        lines.append("")
+
+    abstractions = [
+        info for info in result.analysis.info.values()
+        if info.kind != "input"
+    ]
+    if abstractions:
+        lines.append(heading("sources of analysis imprecision"))
+        for info in abstractions:
+            lines.append(bullet(info.description))
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,47 @@
+"""The paper's source language: AST, parser, diagnostics, interpreter."""
+
+from .ast import (
+    Assert,
+    Assign,
+    BinOp,
+    Block,
+    BoolConst,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    Havoc,
+    If,
+    Name,
+    NotPred,
+    Param,
+    Pred,
+    Program,
+    Skip,
+    Stmt,
+    While,
+)
+from .diagnostics import AnalysisError, ParseError, SourceError, Span
+from .interp import (
+    ExecutionResult,
+    FixedHavocPolicy,
+    HavocPolicy,
+    Interpreter,
+    OutOfFuel,
+    eval_expr,
+    eval_pred,
+    run_program,
+)
+from .parser import parse_module, parse_program
+from .procedures import CallStmt, Module, Proc, inline_module
+
+__all__ = [
+    "Assert", "Assign", "BinOp", "Block", "BoolConst", "BoolOp", "Cmp",
+    "Const", "Expr", "Havoc", "If", "Name", "NotPred", "Param", "Pred",
+    "Program", "Skip", "Stmt", "While",
+    "AnalysisError", "ParseError", "SourceError", "Span",
+    "ExecutionResult", "FixedHavocPolicy", "HavocPolicy", "Interpreter",
+    "OutOfFuel", "eval_expr", "eval_pred", "run_program",
+    "parse_module", "parse_program",
+    "CallStmt", "Module", "Proc", "inline_module",
+]

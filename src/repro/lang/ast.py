@@ -1,0 +1,286 @@
+"""Abstract syntax for the paper's source language (Section 2), extended
+with the Section 5 features exercised by the benchmark suite:
+
+* general multiplication ``e1 * e2`` (non-linear products are abstracted
+  by the analysis, as the paper's implementation does);
+* ``havoc x [@assume(p)]`` — models calls to unanalyzed library functions
+  whose result is unknown except for an optional postcondition;
+* ``unsigned`` parameters — inputs known to be non-negative (the paper's
+  running example relies on ``unsigned int n``).
+
+Loops carry an optional ``@post`` annotation: the sound postcondition
+produced by an external static analysis (Section 2's ``@p'``), or by the
+interval/zone analyses of :mod:`repro.abstract`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .diagnostics import DUMMY_SPAN, Span
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class of integer expressions."""
+
+    span: Span
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def variables(self) -> set[str]:
+        return {n.name for n in self.walk() if isinstance(n, Name)}
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    name: str
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # '+', '-', '*'
+    left: Expr
+    right: Expr
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# predicates
+# ---------------------------------------------------------------------------
+
+class Pred:
+    """Base class of boolean predicates."""
+
+    span: Span
+
+    def children(self) -> tuple["Pred | Expr", ...]:
+        return ()
+
+    def variables(self) -> set[str]:
+        result: set[str] = set()
+        stack: list[Pred | Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Name):
+                result.add(node.name)
+            stack.extend(node.children())
+        return result
+
+
+@dataclass(frozen=True)
+class BoolConst(Pred):
+    value: bool
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Cmp(Pred):
+    op: str  # '<', '>', '<=', '>=', '==', '!='
+    left: Expr
+    right: Expr
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def children(self) -> tuple[Pred | Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp(Pred):
+    op: str  # '&&' or '||'
+    parts: tuple[Pred, ...]
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def children(self) -> tuple[Pred | Expr, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        sep = f" {self.op} "
+        return "(" + sep.join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class NotPred(Pred):
+    arg: Pred
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def children(self) -> tuple[Pred | Expr, ...]:
+        return (self.arg,)
+
+    def __str__(self) -> str:
+        return f"!({self.arg})"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class of statements."""
+
+    span: Span
+
+    def substatements(self) -> tuple["Stmt", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        yield self
+        for sub in self.substatements():
+            yield from sub.walk()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    value: Expr
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+
+@dataclass(frozen=True)
+class Havoc(Stmt):
+    """``havoc x [@assume(p)]`` — x receives an arbitrary value satisfying
+    the optional assumption (modeling an unanalyzed library call)."""
+
+    target: str
+    assume: Pred | None = None
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    body: tuple[Stmt, ...]
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def substatements(self) -> tuple[Stmt, ...]:
+        return self.body
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Pred
+    then_branch: Block
+    else_branch: Block
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def substatements(self) -> tuple[Stmt, ...]:
+        return (self.then_branch, self.else_branch)
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """A while loop with a unique label and optional sound postcondition.
+
+    ``post`` is the paper's ``@p'`` annotation: a predicate guaranteed to
+    hold immediately after the loop, typically produced by an abstract
+    interpreter.  The analysis constrains the loop's abstraction variables
+    with it.
+    """
+
+    cond: Pred
+    body: Block
+    label: int
+    post: Pred | None = None
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+    def substatements(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def modified_vars(self) -> set[str]:
+        """Program variables assigned (or havocked) anywhere in the body."""
+        result: set[str] = set()
+        for stmt in self.body.walk():
+            if isinstance(stmt, Assign):
+                result.add(stmt.target)
+            elif isinstance(stmt, Havoc):
+                result.add(stmt.target)
+        return result
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """The program's ``check(p)``: the property under verification."""
+
+    pred: Pred
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# programs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    unsigned: bool = False
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+
+
+@dataclass(frozen=True)
+class Program:
+    """``lambda a1..ak. (let v1..vn in (s; check(p)))``.
+
+    ``body`` excludes the final assert, which is stored separately as
+    ``check`` (mirroring the paper's program form).  Local variables are
+    implicitly 0-initialized per the concrete semantics; ``var`` decls
+    with initializers are sugar for declaration plus assignment.
+    """
+
+    name: str
+    params: tuple[Param, ...]
+    locals: tuple[str, ...]
+    body: Block
+    check: Assert
+    span: Span = field(default=DUMMY_SPAN, compare=False)
+    source: str | None = field(default=None, compare=False)
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def loops(self) -> list[While]:
+        return [s for s in self.body.walk() if isinstance(s, While)]
+
+    def loop_by_label(self, label: int) -> While:
+        for loop in self.loops():
+            if loop.label == label:
+                return loop
+        raise KeyError(f"no loop labeled {label}")

@@ -1,0 +1,294 @@
+"""Concrete interpreter implementing the operational semantics (Figure 1).
+
+The interpreter serves three roles in the reproduction:
+
+* differential testing — the symbolic analysis must agree with it exactly
+  on loop-free programs;
+* ground truth for the benchmark suite — a program "is buggy" iff some
+  execution makes the final check false (Figure 1's semantics);
+* the sampling oracle (Section 8's future-work direction) runs it to
+  answer failure-witness queries automatically.
+
+``havoc`` statements make execution nondeterministic; a
+:class:`HavocPolicy` resolves each havoc, by default sampling values that
+satisfy the ``@assume`` predicate (via the SMT stack when sampling fails).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .ast import (
+    Assert,
+    Assign,
+    BinOp,
+    Block,
+    BoolConst,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    Havoc,
+    If,
+    Name,
+    NotPred,
+    Pred,
+    Program,
+    Skip,
+    Stmt,
+    While,
+)
+from .diagnostics import AnalysisError
+
+
+class OutOfFuel(RuntimeError):
+    """Raised when execution exceeds the step budget (possible divergence)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one concrete execution.
+
+    ``site_values`` records, keyed by source offset, the last value
+    produced at instrumented sites (havocs and non-linear products) so
+    that oracles can evaluate abstraction variables against this run.
+    ``loop_exit_envs`` records the environment each time a loop exits.
+    """
+
+    ok: bool                       # did check(p) evaluate to true?
+    env: dict[str, int]            # final variable environment
+    steps: int
+    havoc_values: list[int] = field(default_factory=list)
+    loop_exit_envs: dict[int, list[dict[str, int]]] = field(
+        default_factory=dict
+    )
+    site_values: dict[int, int] = field(default_factory=dict)
+
+
+class HavocPolicy:
+    """Resolves ``havoc x @assume(p)`` to concrete values.
+
+    Tries random sampling against the assumption first; falls back to the
+    SMT solver for assumptions random probing cannot hit.
+    """
+
+    def __init__(self, rng: random.Random | None = None,
+                 *, low: int = -64, high: int = 64, attempts: int = 64):
+        self._rng = rng or random.Random(0)
+        self._low = low
+        self._high = high
+        self._attempts = attempts
+
+    def resolve(self, stmt: Havoc, env: Mapping[str, int]) -> int:
+        if stmt.assume is None:
+            return self._rng.randint(self._low, self._high)
+        for _ in range(self._attempts):
+            candidate = self._rng.randint(self._low, self._high)
+            trial = dict(env)
+            trial[stmt.target] = candidate
+            if eval_pred(stmt.assume, trial):
+                return candidate
+        return self._solve(stmt, env)
+
+    def _solve(self, stmt: Havoc, env: Mapping[str, int]) -> int:
+        from ..analysis.lowering import lower_pred_concrete  # lazy: layering
+        from ..logic.terms import Var
+        from ..smt import SmtSolver
+
+        assert stmt.assume is not None
+        phi = lower_pred_concrete(stmt.assume, env, free={stmt.target})
+        model = SmtSolver().get_model(phi)
+        if model is None:
+            raise AnalysisError(
+                f"havoc assumption is unsatisfiable in this state: "
+                f"{stmt.assume}",
+                stmt.span,
+            )
+        return model.value(Var(stmt.target))
+
+
+class FixedHavocPolicy(HavocPolicy):
+    """Replays a fixed sequence of havoc values (for deterministic tests).
+
+    Values that violate the assumption are replaced via the base policy.
+    """
+
+    def __init__(self, values: Sequence[int]):
+        super().__init__(random.Random(0))
+        self._values = list(values)
+        self._index = 0
+
+    def resolve(self, stmt: Havoc, env: Mapping[str, int]) -> int:
+        if self._index < len(self._values):
+            candidate = self._values[self._index]
+            self._index += 1
+            if stmt.assume is None:
+                return candidate
+            trial = dict(env)
+            trial[stmt.target] = candidate
+            if eval_pred(stmt.assume, trial):
+                return candidate
+        return super().resolve(stmt, env)
+
+
+def eval_expr(expr: Expr, env: Mapping[str, int],
+              recorder: dict[int, int] | None = None) -> int:
+    """Evaluate an expression (Figure 1's expression judgments).
+
+    When ``recorder`` is given, non-linear products record their value
+    keyed by the source offset of the ``*`` expression.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Name):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise AnalysisError(f"unbound variable {expr.name!r}", expr.span)
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, env, recorder)
+        right = eval_expr(expr.right, env, recorder)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            value = left * right
+            if recorder is not None and not (
+                isinstance(expr.left, Const) or isinstance(expr.right, Const)
+            ):
+                recorder[expr.span.start] = value
+            return value
+        raise AnalysisError(f"unknown operator {expr.op!r}", expr.span)
+    raise TypeError(f"unexpected expression node {expr!r}")
+
+
+_CMP = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def eval_pred(pred: Pred, env: Mapping[str, int],
+              recorder: dict[int, int] | None = None) -> bool:
+    """Evaluate a predicate (Figure 1's predicate judgments)."""
+    if isinstance(pred, BoolConst):
+        return pred.value
+    if isinstance(pred, Cmp):
+        return _CMP[pred.op](eval_expr(pred.left, env, recorder),
+                             eval_expr(pred.right, env, recorder))
+    if isinstance(pred, BoolOp):
+        if pred.op == "&&":
+            return all(eval_pred(p, env, recorder) for p in pred.parts)
+        return any(eval_pred(p, env, recorder) for p in pred.parts)
+    if isinstance(pred, NotPred):
+        return not eval_pred(pred.arg, env, recorder)
+    raise TypeError(f"unexpected predicate node {pred!r}")
+
+
+class Interpreter:
+    """Executes programs under the Figure 1 semantics."""
+
+    def __init__(self, *, fuel: int = 200_000,
+                 havoc_policy: HavocPolicy | None = None):
+        self._fuel = fuel
+        self._policy = havoc_policy or HavocPolicy()
+
+    def run(self, program: Program,
+            inputs: Mapping[str, int] | Sequence[int]) -> ExecutionResult:
+        """Run ``program`` on ``inputs``; returns the execution outcome.
+
+        ``inputs`` is either a mapping from parameter names to values or a
+        positional sequence.  Unsigned parameters reject negative values.
+        """
+        env = self._initial_env(program, inputs)
+        result = ExecutionResult(ok=True, env=env, steps=0)
+        self._exec_block(program.body, env, result)
+        result.ok = eval_pred(program.check.pred, env, result.site_values)
+        return result
+
+    # ------------------------------------------------------------------
+    def _initial_env(self, program: Program,
+                     inputs: Mapping[str, int] | Sequence[int]
+                     ) -> dict[str, int]:
+        if not isinstance(inputs, Mapping):
+            values = list(inputs)
+            if len(values) != len(program.params):
+                raise ValueError(
+                    f"{program.name} expects {len(program.params)} inputs, "
+                    f"got {len(values)}"
+                )
+            inputs = dict(zip(program.param_names(), values))
+        env: dict[str, int] = {}
+        for param in program.params:
+            if param.name not in inputs:
+                raise ValueError(f"missing input {param.name!r}")
+            value = int(inputs[param.name])
+            if param.unsigned and value < 0:
+                raise ValueError(
+                    f"unsigned parameter {param.name!r} got {value}"
+                )
+            env[param.name] = value
+        for name in program.locals:
+            env[name] = 0  # concrete semantics: locals start at 0
+        return env
+
+    def _exec_block(self, block: Block, env: dict[str, int],
+                    result: ExecutionResult) -> None:
+        for stmt in block.body:
+            self._exec(stmt, env, result)
+
+    def _exec(self, stmt: Stmt, env: dict[str, int],
+              result: ExecutionResult) -> None:
+        result.steps += 1
+        if result.steps > self._fuel:
+            raise OutOfFuel(
+                f"execution exceeded {self._fuel} steps at {stmt.span}"
+            )
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Assign):
+            env[stmt.target] = eval_expr(stmt.value, env, result.site_values)
+            return
+        if isinstance(stmt, Havoc):
+            value = self._policy.resolve(stmt, env)
+            env[stmt.target] = value
+            result.havoc_values.append(value)
+            result.site_values[stmt.span.start] = value
+            return
+        if isinstance(stmt, Block):
+            self._exec_block(stmt, env, result)
+            return
+        if isinstance(stmt, If):
+            taken = eval_pred(stmt.cond, env, result.site_values)
+            branch = stmt.then_branch if taken else stmt.else_branch
+            self._exec_block(branch, env, result)
+            return
+        if isinstance(stmt, While):
+            while eval_pred(stmt.cond, env, result.site_values):
+                result.steps += 1
+                if result.steps > self._fuel:
+                    raise OutOfFuel(
+                        f"loop at {stmt.span} exceeded {self._fuel} steps"
+                    )
+                self._exec_block(stmt.body, env, result)
+            result.loop_exit_envs.setdefault(stmt.label, []).append(dict(env))
+            return
+        if isinstance(stmt, Assert):
+            raise AnalysisError(
+                "assert may only appear as the final check", stmt.span
+            )
+        raise TypeError(f"unexpected statement node {stmt!r}")
+
+
+def run_program(program: Program,
+                inputs: Mapping[str, int] | Sequence[int],
+                **kwargs) -> ExecutionResult:
+    """Convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(**kwargs).run(program, inputs)

@@ -1,0 +1,24 @@
+"""Integer linear arithmetic decision procedures (the Omega test).
+
+Decides satisfiability of *conjunctions* of linear integer literals and
+produces integer models and minimal unsat cores.  Full boolean structure
+is handled one level up, in :mod:`repro.smt`.
+"""
+
+from .omega import (
+    BudgetExceeded,
+    Model,
+    OmegaSolver,
+    is_sat_literals,
+    solve_literals,
+    unsat_core,
+)
+
+__all__ = [
+    "BudgetExceeded",
+    "Model",
+    "OmegaSolver",
+    "is_sat_literals",
+    "solve_literals",
+    "unsat_core",
+]

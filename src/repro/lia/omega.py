@@ -1,0 +1,464 @@
+"""The Omega test: exact integer feasibility for conjunctions of linear
+constraints, with model extraction.
+
+This is the theory solver underneath :mod:`repro.smt` and the workhorse of
+the whole reproduction (the paper used the authors' Mistral solver).  The
+implementation follows Pugh's Omega test:
+
+* equalities are eliminated with the "mod-hat" change of variables, which
+  keeps all arithmetic exact over the integers;
+* inequalities are eliminated variable by variable with Fourier–Motzkin
+  shadows: when every bound pair has a unit coefficient the shadow is
+  exact; otherwise the *dark shadow* proves satisfiability and, when the
+  dark shadow is infeasible, *splinters* (case splits on ``beta*x = b+i``)
+  restore completeness;
+* every recursive call returns a complete integer model of its subsystem,
+  so eliminated variables are reconstructed by exact back-substitution.
+
+Disequalities and (negated) divisibility literals are lowered at the entry
+point (:func:`solve_literals`):  ``t != 0`` case-splits into ``t <= -1`` or
+``t >= 1``;  ``d | t`` introduces a fresh quotient variable;  ``d !| t``
+introduces a quotient and a bounded nonzero remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..logic.formulas import Atom, Dvd, Formula, Rel
+from ..logic.terms import LinTerm, Var, VarSupply
+
+
+class Model(dict):
+    """An integer model: a dict from :class:`Var` to ``int``.
+
+    Variables not mentioned are unconstrained; :meth:`value` defaults
+    them to 0.
+    """
+
+    def value(self, v: Var, default: int = 0) -> int:
+        return self.get(v, default)
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when the solver exceeds its step budget (safety valve; the
+    formulas arising in this system are far below the budget)."""
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """ceil(a / b) for b > 0."""
+    return -((-a) // b)
+
+
+def _floor_div(a: int, b: int) -> int:
+    """floor(a / b) for b > 0."""
+    return a // b
+
+
+def _mod_hat(a: int, m: int) -> int:
+    """Pugh's symmetric residue: a modulo m, shifted into [-m/2, m/2)."""
+    r = a - m * _floor_div(2 * a + m, 2 * m)
+    assert (r - a) % m == 0 and -m <= 2 * r < m
+    return r
+
+
+def _normalize_le(term: LinTerm) -> LinTerm | None | bool:
+    """Tighten ``term <= 0``.
+
+    Returns ``None`` when trivially true, ``False`` when trivially false,
+    otherwise the gcd-tightened term.
+    """
+    if term.is_constant:
+        return None if term.const <= 0 else False
+    g = term.content()
+    if g > 1:
+        coeffs = [(v, c // g) for v, c in term.coeffs]
+        bound = _floor_div(-term.const, g)
+        term = LinTerm.make(coeffs, -bound)
+    return term
+
+
+def _normalize_eq(term: LinTerm) -> LinTerm | None | bool:
+    """Normalize ``term = 0``; ``None``/``False`` as in :func:`_normalize_le`."""
+    if term.is_constant:
+        return None if term.const == 0 else False
+    g = term.content()
+    if g > 1:
+        if term.const % g != 0:
+            return False
+        term = term.exact_div(g)
+    return term
+
+
+class OmegaSolver:
+    """Exact integer linear arithmetic solver for conjunctions of literals."""
+
+    def __init__(self, *, budget: int = 5_000_000):
+        self._budget = budget
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve_literals(self, literals: Iterable[Formula]) -> Model | None:
+        """Solve a conjunction of atom literals; return a model or ``None``.
+
+        Accepts :class:`Atom` (LE / EQ / NE) and :class:`Dvd` literals, plus
+        the constants TRUE (ignored) / FALSE (unsat).
+        """
+        literals = list(literals)
+        self._steps = 0
+        les: list[LinTerm] = []
+        eqs: list[LinTerm] = []
+        nes: list[LinTerm] = []
+        free: set[Var] = set()
+        for lit in literals:
+            free |= lit.free_vars()
+        supply = VarSupply(free, prefix="$w")
+        aux: set[Var] = set()
+
+        for lit in literals:
+            if lit.is_true:
+                continue
+            if lit.is_false:
+                return None
+            if isinstance(lit, Atom):
+                if lit.rel is Rel.LE:
+                    les.append(lit.term)
+                elif lit.rel is Rel.EQ:
+                    eqs.append(lit.term)
+                else:
+                    nes.append(lit.term)
+            elif isinstance(lit, Dvd):
+                quotient = supply.fresh("$q")
+                aux.add(quotient)
+                if not lit.negated_flag:
+                    # d | t  <=>  exists q. t - d*q = 0
+                    eqs.append(lit.term - LinTerm.var(quotient, lit.divisor))
+                else:
+                    # d !| t  <=>  exists q, r. t = d*q + r  and  1<=r<=d-1
+                    remainder = supply.fresh("$r")
+                    aux.add(remainder)
+                    eqs.append(
+                        lit.term
+                        - LinTerm.var(quotient, lit.divisor)
+                        - LinTerm.var(remainder)
+                    )
+                    les.append(LinTerm.var(remainder, -1) + 1)   # r >= 1
+                    les.append(
+                        LinTerm.var(remainder) - (lit.divisor - 1)
+                    )                                            # r <= d-1
+            else:
+                raise TypeError(f"not an atom literal: {lit!r}")
+
+        model = self._solve_with_nes(les, eqs, nes)
+        if model is None:
+            return None
+        # keep only the caller's variables (internal $q/$r/$s vars drop out)
+        return Model({v: model.get(v, 0) for v in free})
+
+    def is_sat_literals(self, literals: Iterable[Formula]) -> bool:
+        return self.solve_literals(literals) is not None
+
+    def unsat_core(self, literals: Sequence[Formula]) -> list[Formula]:
+        """A minimal unsat subset of ``literals`` (deletion-based).
+
+        Precondition: the conjunction of ``literals`` is unsatisfiable.
+        """
+        core = list(literals)
+        if self.is_sat_literals(core):
+            raise ValueError("unsat_core called on a satisfiable conjunction")
+        index = 0
+        while index < len(core):
+            candidate = core[:index] + core[index + 1:]
+            if not self.is_sat_literals(candidate):
+                core = candidate
+            else:
+                index += 1
+        return core
+
+    # ------------------------------------------------------------------
+    # disequality splitting
+    # ------------------------------------------------------------------
+    def _solve_with_nes(
+        self,
+        les: list[LinTerm],
+        eqs: list[LinTerm],
+        nes: list[LinTerm],
+    ) -> dict[Var, int] | None:
+        """Model-guided lazy disequality splitting.
+
+        Solving without the disequalities first and splitting only the
+        ones the found model violates avoids the eager 2^k case split:
+        in the common case the first model already satisfies every
+        ``t != 0`` and no branching happens at all.
+        """
+        model = self._solve(list(les), list(eqs))
+        if model is None:
+            return None
+        env = _Defaulting(model)
+        violated = None
+        for term in nes:
+            if term.evaluate(env) == 0:
+                violated = term
+                break
+        if violated is None:
+            return model
+        rest = [t for t in nes if t is not violated]
+        # t != 0  <=>  t <= -1  or  -t <= -1
+        for branch in (violated + 1, -violated + 1):
+            result = self._solve_with_nes(les + [branch], eqs, rest)
+            if result is not None:
+                return result
+        return None
+
+    # ------------------------------------------------------------------
+    # core solver: returns a model covering every variable of the system
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._budget:
+            raise BudgetExceeded(f"omega solver exceeded {self._budget} steps")
+
+    def _solve(
+        self, les: list[LinTerm], eqs: list[LinTerm]
+    ) -> dict[Var, int] | None:
+        """Solve ``les <= 0  and  eqs = 0``; model covers all variables."""
+        substitutions: list[tuple[Var, LinTerm]] = []
+        supply = VarSupply(
+            (v for t in les + eqs for v in t.variables), prefix="$s"
+        )
+
+        # ---- phase 1: equality elimination -----------------------------
+        while eqs:
+            self._tick()
+            normalized = _normalize_eq(eqs.pop())
+            if normalized is None:
+                continue
+            if normalized is False:
+                return None
+            eq = normalized
+
+            unit = next(
+                ((v, c) for v, c in eq.coeffs if abs(c) == 1), None
+            )
+            if unit is not None:
+                v, c = unit
+                rest = eq - LinTerm.var(v, c)
+                replacement = rest.scale(-1) if c == 1 else rest
+            else:
+                # Pugh's mod-hat reduction: no unit coefficient available.
+                v, c = min(eq.coeffs, key=lambda item: abs(item[1]))
+                m = abs(c) + 1
+                sigma = supply.fresh("$s")
+                reduced = LinTerm.make(
+                    [(var, _mod_hat(coeff, m)) for var, coeff in eq.coeffs]
+                    + [(sigma, -m)],
+                    _mod_hat(eq.const, m),
+                )
+                cv = reduced.coeff(v)
+                assert abs(cv) == 1, "mod-hat must give v a unit coefficient"
+                rest = reduced - LinTerm.var(v, cv)
+                replacement = rest.scale(-1) if cv == 1 else rest
+                # the original equality, rewritten, shrinks and goes back in
+                eqs.append(eq.substitute({v: replacement}))
+
+            les = [t.substitute({v: replacement}) for t in les]
+            eqs = [t.substitute({v: replacement}) for t in eqs]
+            substitutions.append((v, replacement))
+
+        # ---- phase 2: inequality elimination ----------------------------
+        model = self._solve_inequalities(les)
+        if model is None:
+            return None
+
+        # ---- back-substitute eliminated variables -----------------------
+        for v, replacement in reversed(substitutions):
+            model[v] = replacement.evaluate(_Defaulting(model))
+        return model
+
+    def _solve_inequalities(
+        self, raw: list[LinTerm]
+    ) -> dict[Var, int] | None:
+        """Solve a pure inequality system; model covers all its variables."""
+        # normalize, then drop dominated constraints: for identical
+        # coefficient vectors keep only the tightest bound.  Without this
+        # the Fourier-Motzkin shadows accumulate quadratically many
+        # redundant copies and elimination blows up.
+        tightest: dict[tuple, int] = {}
+        for term in raw:
+            tightened = _normalize_le(term)
+            if tightened is False:
+                return None
+            if tightened is None:
+                continue
+            key = tightened.coeffs
+            prior = tightest.get(key)
+            if prior is None or tightened.const > prior:
+                tightest[key] = tightened.const
+        les = [LinTerm(coeffs, const)
+               for coeffs, const in tightest.items()]
+
+        variables: set[Var] = set()
+        for term in les:
+            variables |= term.variables
+        if not variables:
+            return {}
+
+        v = self._pick_variable(les, variables)
+        lowers: list[tuple[LinTerm, int]] = []  # (b, beta): b <= beta*v
+        uppers: list[tuple[LinTerm, int]] = []  # (a, alpha): alpha*v <= a
+        others: list[LinTerm] = []
+        for term in les:
+            c = term.coeff(v)
+            if c == 0:
+                others.append(term)
+            elif c > 0:
+                # c*v + rest <= 0  =>  c*v <= -rest
+                uppers.append((-(term - LinTerm.var(v, c)), c))
+            else:
+                # c*v + rest <= 0  =>  (-c)*v >= rest
+                lowers.append((term - LinTerm.var(v, c), -c))
+
+        if not lowers or not uppers:
+            # one-sided: v can always be chosen once the rest is solved
+            model = self._solve_inequalities(others)
+            if model is None:
+                return None
+            self._assign_within_bounds(model, v, lowers, uppers)
+            return model
+
+        exact = all(
+            beta == 1 or alpha == 1
+            for _, beta in lowers
+            for _, alpha in uppers
+        )
+
+        shadow: list[LinTerm] = []
+        for b, beta in lowers:
+            for a, alpha in uppers:
+                self._tick()
+                # real shadow: alpha*b - beta*a <= 0; dark shadow adds slack
+                slack = 0 if exact else (alpha - 1) * (beta - 1)
+                shadow.append(b.scale(alpha) - a.scale(beta) + slack)
+
+        model = self._solve_inequalities(others + shadow)
+        if model is not None:
+            self._assign_within_bounds(model, v, lowers, uppers)
+            return model
+        if exact:
+            return None
+
+        # dark shadow infeasible: splinter on beta*v = b + i for completeness
+        alpha_max = max(alpha for _, alpha in uppers)
+        for b, beta in lowers:
+            if beta == 1:
+                continue
+            limit = _floor_div(beta * alpha_max - alpha_max - beta, alpha_max)
+            for i in range(limit + 1):
+                self._tick()
+                model = self._solve(
+                    list(les), [LinTerm.var(v, beta) - b - i]
+                )
+                if model is not None:
+                    return model
+        return None
+
+    @staticmethod
+    def _pick_variable(les: list[LinTerm], variables: set[Var]) -> Var:
+        """Prefer variables whose elimination is exact and cheap.
+
+        The dominant cost driver is the number of shadow constraints a
+        step creates (#lower-bounds x #upper-bounds), so that count is
+        minimized first among exact candidates.
+        """
+        best_key: tuple[int, int, int, str] | None = None
+        best_var: Var | None = None
+        for v in variables:
+            lowers = uppers = non_unit = 0
+            max_coeff = 1
+            for t in les:
+                c = t.coeff(v)
+                if c == 0:
+                    continue
+                if c > 0:
+                    uppers += 1
+                else:
+                    lowers += 1
+                if abs(c) != 1:
+                    non_unit += 1
+                    max_coeff = max(max_coeff, abs(c))
+            growth = lowers * uppers - (lowers + uppers)
+            key = (non_unit, growth, max_coeff, v.name)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_var = v
+        assert best_var is not None
+        return best_var
+
+    @staticmethod
+    def _assign_within_bounds(
+        model: dict[Var, int],
+        v: Var,
+        lowers: list[tuple[LinTerm, int]],
+        uppers: list[tuple[LinTerm, int]],
+    ) -> None:
+        """Pick a value for ``v`` between its bounds under ``model``."""
+        env = _Defaulting(model)
+        lo = (
+            max(_ceil_div(b.evaluate(env), beta) for b, beta in lowers)
+            if lowers else None
+        )
+        hi = (
+            min(_floor_div(a.evaluate(env), alpha) for a, alpha in uppers)
+            if uppers else None
+        )
+        if lo is not None and hi is not None:
+            assert lo <= hi, "shadow guaranteed an integer solution"
+            model[v] = lo
+        elif lo is not None:
+            model[v] = lo
+        elif hi is not None:
+            model[v] = hi
+        else:
+            model[v] = 0
+
+
+class _Defaulting(dict):
+    """Environment wrapper that treats unassigned variables as 0.
+
+    A variable can be genuinely unconstrained in a subsystem (it only
+    occurred in constraints dropped by one-sided elimination); defaulting
+    keeps back-substitution total and pins the variable to the value used.
+    """
+
+    def __init__(self, backing: dict[Var, int]):
+        super().__init__()
+        self._backing = backing
+
+    def __missing__(self, key: Var) -> int:
+        value = self._backing.setdefault(key, 0)
+        self[key] = value
+        return value
+
+    def __getitem__(self, key: Var) -> int:
+        if key in self._backing:
+            return self._backing[key]
+        return self.__missing__(key)
+
+
+# A module-level default instance for convenience.
+_DEFAULT = OmegaSolver()
+
+
+def solve_literals(literals: Iterable[Formula]) -> Model | None:
+    """Solve a conjunction of literals with a shared default solver."""
+    return _DEFAULT.solve_literals(literals)
+
+
+def is_sat_literals(literals: Iterable[Formula]) -> bool:
+    return _DEFAULT.is_sat_literals(literals)
+
+
+def unsat_core(literals: Sequence[Formula]) -> list[Formula]:
+    return _DEFAULT.unsat_core(literals)

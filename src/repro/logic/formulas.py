@@ -1,0 +1,664 @@
+"""Formulas of linear integer arithmetic (Presburger arithmetic).
+
+The formula language is the paper's constraint language — boolean
+combinations of linear comparisons over integers — extended with the
+divisibility atoms that Cooper's quantifier-elimination procedure
+introduces, and with quantifiers (needed transiently by Lemmas 3 and 5).
+
+Atoms are aggressively normalized at construction time:
+
+* every comparison becomes ``t <= 0``, ``t = 0`` or ``t != 0`` for a linear
+  term ``t`` (strict comparisons are integer-tightened: ``t < 0`` becomes
+  ``t + 1 <= 0``);
+* coefficients are divided by their gcd, with sound rounding of the
+  constant (``2x - 3 <= 0`` becomes ``x - 1 <= 0`` over the integers);
+* ground atoms fold to ``TRUE`` / ``FALSE``.
+
+Connectives are n-ary and flattened; duplicate and trivial operands are
+removed.  The AST is immutable and hashable so formulas can live in sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterator, Mapping, Sequence
+
+from .terms import LinTerm, Var, gcd_all
+
+
+class Rel(Enum):
+    """Normalized atom relations."""
+
+    LE = "<="   # t <= 0
+    EQ = "="    # t = 0
+    NE = "!="   # t != 0
+
+
+def _floor_div(a: int, b: int) -> int:
+    """Floor division that matches mathematical floor for any signs."""
+    return a // b  # Python's // floors
+
+
+class Formula:
+    """Base class for all formula nodes."""
+
+
+    # -- structural queries -------------------------------------------------
+    def free_vars(self) -> frozenset[Var]:
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Formula"]:
+        """Yield every atomic subformula (Atom / Dvd), including under Not."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> "Formula":
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        """Evaluate a quantifier-free formula under a total assignment."""
+        raise NotImplementedError
+
+    # -- operators ----------------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return disj(neg(self), other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        return conj(self.implies(other), other.implies(self))
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return isinstance(self, _TrueFormula)
+
+    @property
+    def is_false(self) -> bool:
+        return isinstance(self, _FalseFormula)
+
+    def size(self) -> int:
+        """Number of AST nodes (a crude complexity measure for reporting)."""
+        return 1
+
+
+@dataclass(frozen=True, slots=True)
+class _TrueFormula(Formula):
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset()
+
+    def atoms(self) -> Iterator[Formula]:
+        return iter(())
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return self
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class _FalseFormula(Formula):
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset()
+
+    def atoms(self) -> Iterator[Formula]:
+        return iter(())
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return self
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+    __repr__ = __str__
+
+
+TRUE: Formula = _TrueFormula()
+FALSE: Formula = _FalseFormula()
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """A normalized linear atom ``term REL 0``.
+
+    Use the :func:`le`, :func:`lt`, :func:`eq_atom` ... helpers (or
+    :func:`atom`) rather than the raw constructor: they perform the
+    normalization the rest of the system relies on.
+    """
+
+    rel: Rel
+    term: LinTerm
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.term.variables
+
+    def atoms(self) -> Iterator[Formula]:
+        yield self
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return atom(self.rel, self.term.substitute(mapping))
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        value = self.term.evaluate(env)
+        if self.rel is Rel.LE:
+            return value <= 0
+        if self.rel is Rel.EQ:
+            return value == 0
+        return value != 0
+
+    def negated(self) -> Formula:
+        """The negation of this atom, itself in atom form."""
+        if self.rel is Rel.LE:           # not(t <= 0)  <=>  -t + 1 <= 0
+            return atom(Rel.LE, -self.term + 1)
+        if self.rel is Rel.EQ:
+            return atom(Rel.NE, self.term)
+        return atom(Rel.EQ, self.term)
+
+    def __str__(self) -> str:
+        return f"{self.term} {self.rel.value} 0"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class Dvd(Formula):
+    """Divisibility atom ``divisor | term`` (or its negation).
+
+    These appear in Cooper quantifier-elimination results.  ``divisor`` is
+    always >= 2 after normalization.
+    """
+
+    divisor: int
+    term: LinTerm
+    negated_flag: bool = False
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.term.variables
+
+    def atoms(self) -> Iterator[Formula]:
+        yield self
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return dvd(self.divisor, self.term.substitute(mapping),
+                   self.negated_flag)
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        divides = self.term.evaluate(env) % self.divisor == 0
+        return divides != self.negated_flag
+
+    def negated(self) -> Formula:
+        return dvd(self.divisor, self.term, not self.negated_flag)
+
+    def __str__(self) -> str:
+        op = "!|" if self.negated_flag else "|"
+        return f"{self.divisor} {op} ({self.term})"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Negation.  Smart constructors push ``Not`` onto atoms eagerly, so a
+    ``Not`` node in a normalized formula always wraps a quantifier."""
+
+    arg: Formula
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.arg.free_vars()
+
+    def atoms(self) -> Iterator[Formula]:
+        return self.arg.atoms()
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return neg(self.arg.substitute(mapping))
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        return not self.arg.evaluate(env)
+
+    def size(self) -> int:
+        return 1 + self.arg.size()
+
+    def __str__(self) -> str:
+        return f"!({self.arg})"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    args: tuple[Formula, ...]
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+    _fv: frozenset | None = field(default=None, init=False, repr=False,
+                                  compare=False)
+
+    def free_vars(self) -> frozenset[Var]:
+        cached = self._fv
+        if cached is None:
+            result: frozenset[Var] = frozenset()
+            for arg in self.args:
+                result |= arg.free_vars()
+            object.__setattr__(self, "_fv", result)
+            return result
+        return cached
+
+    def atoms(self) -> Iterator[Formula]:
+        for arg in self.args:
+            yield from arg.atoms()
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return conj(*(arg.substitute(mapping) for arg in self.args))
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        return all(arg.evaluate(env) for arg in self.args)
+
+    def size(self) -> int:
+        return 1 + sum(arg.size() for arg in self.args)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(a) for a in self.args) + ")"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    args: tuple[Formula, ...]
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+    _fv: frozenset | None = field(default=None, init=False, repr=False,
+                                  compare=False)
+
+    def free_vars(self) -> frozenset[Var]:
+        cached = self._fv
+        if cached is None:
+            result: frozenset[Var] = frozenset()
+            for arg in self.args:
+                result |= arg.free_vars()
+            object.__setattr__(self, "_fv", result)
+            return result
+        return cached
+
+    def atoms(self) -> Iterator[Formula]:
+        for arg in self.args:
+            yield from arg.atoms()
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        return disj(*(arg.substitute(mapping) for arg in self.args))
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        return any(arg.evaluate(env) for arg in self.args)
+
+    def size(self) -> int:
+        return 1 + sum(arg.size() for arg in self.args)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(a) for a in self.args) + ")"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    variables: tuple[Var, ...]
+    body: Formula
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.body.free_vars() - frozenset(self.variables)
+
+    def atoms(self) -> Iterator[Formula]:
+        return self.body.atoms()
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        clean = {v: t for v, t in mapping.items() if v not in self.variables}
+        for v in self.variables:
+            for target in clean.values():
+                if v in target.variables:
+                    raise ValueError(
+                        f"substitution would capture bound variable {v}"
+                    )
+        return exists(self.variables, self.body.substitute(clean))
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        raise ValueError("cannot evaluate a quantified formula directly")
+
+    def size(self) -> int:
+        return 1 + self.body.size()
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.variables)
+        return f"(exists {names}. {self.body})"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(Formula):
+    variables: tuple[Var, ...]
+    body: Formula
+    _hc: int | None = field(default=None, init=False, repr=False,
+                            compare=False)
+
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.body.free_vars() - frozenset(self.variables)
+
+    def atoms(self) -> Iterator[Formula]:
+        return self.body.atoms()
+
+    def substitute(self, mapping: Mapping[Var, LinTerm]) -> Formula:
+        clean = {v: t for v, t in mapping.items() if v not in self.variables}
+        for v in self.variables:
+            for target in clean.values():
+                if v in target.variables:
+                    raise ValueError(
+                        f"substitution would capture bound variable {v}"
+                    )
+        return forall(self.variables, self.body.substitute(clean))
+
+    def evaluate(self, env: Mapping[Var, int]) -> bool:
+        raise ValueError("cannot evaluate a quantified formula directly")
+
+    def size(self) -> int:
+        return 1 + self.body.size()
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.variables)
+        return f"(forall {names}. {self.body})"
+
+    __repr__ = __str__
+
+
+# ---------------------------------------------------------------------------
+# smart constructors
+# ---------------------------------------------------------------------------
+
+def atom(rel: Rel, term: LinTerm) -> Formula:
+    """Build a normalized atom ``term rel 0``.
+
+    Folds ground atoms, divides by the coefficient gcd (with sound
+    integer rounding for LE), and canonicalizes the sign of EQ/NE atoms.
+    """
+    if term.is_constant:
+        value = term.const
+        if rel is Rel.LE:
+            return TRUE if value <= 0 else FALSE
+        if rel is Rel.EQ:
+            return TRUE if value == 0 else FALSE
+        return TRUE if value != 0 else FALSE
+
+    g = term.content()
+    if g > 1:
+        coeffs = [(v, c // g) for v, c in term.coeffs]
+        if rel is Rel.LE:
+            # g*t' + c <= 0  <=>  t' <= floor(-c/g)  <=>  t' - floor(-c/g) <= 0
+            bound = _floor_div(-term.const, g)
+            term = LinTerm.make(coeffs, -bound)
+        else:
+            if term.const % g != 0:
+                return FALSE if rel is Rel.EQ else TRUE
+            term = LinTerm.make(coeffs, term.const // g)
+
+    if rel in (Rel.EQ, Rel.NE):
+        # canonical sign: first (lexicographically least) coefficient > 0
+        first_coeff = term.coeffs[0][1]
+        if first_coeff < 0:
+            term = -term
+    return Atom(rel, term)
+
+
+def dvd(divisor: int, term: LinTerm, negated: bool = False) -> Formula:
+    """Build a normalized divisibility atom ``divisor | term``."""
+    if divisor == 0:
+        raise ValueError("zero divisor in divisibility atom")
+    divisor = abs(divisor)
+    if divisor == 1:
+        return FALSE if negated else TRUE
+    # reduce coefficients modulo the divisor
+    coeffs = [(v, c % divisor) for v, c in term.coeffs]
+    term = LinTerm.make(coeffs, term.const % divisor)
+    if term.is_constant:
+        holds = term.const % divisor == 0
+        return TRUE if holds != negated else FALSE
+    g = gcd_all([c for _, c in term.coeffs] + [divisor])
+    if g > 1:
+        if term.const % g != 0:
+            # d | g*t' + c with g | d and g !| c: never divisible
+            return TRUE if negated else FALSE
+        divisor //= g
+        term = term.exact_div(g)
+        if divisor == 1:
+            return FALSE if negated else TRUE
+    return Dvd(divisor, term, negated)
+
+
+def conj(*parts: Formula) -> Formula:
+    """N-ary conjunction with flattening, deduplication and folding."""
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    stack = list(reversed(parts))
+    while stack:
+        part = stack.pop()
+        if part.is_true:
+            continue
+        if part.is_false:
+            return FALSE
+        if isinstance(part, And):
+            stack.extend(reversed(part.args))
+            continue
+        if part in seen:
+            continue
+        if neg(part) in seen and isinstance(part, (Atom, Dvd, Not)):
+            return FALSE
+        seen.add(part)
+        flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*parts: Formula) -> Formula:
+    """N-ary disjunction with flattening, deduplication and folding."""
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    stack = list(reversed(parts))
+    while stack:
+        part = stack.pop()
+        if part.is_false:
+            continue
+        if part.is_true:
+            return TRUE
+        if isinstance(part, Or):
+            stack.extend(reversed(part.args))
+            continue
+        if part in seen:
+            continue
+        if neg(part) in seen and isinstance(part, (Atom, Dvd, Not)):
+            return TRUE
+        seen.add(part)
+        flat.append(part)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def neg(phi: Formula) -> Formula:
+    """Negation, pushed through constants, atoms and double negations."""
+    if phi.is_true:
+        return FALSE
+    if phi.is_false:
+        return TRUE
+    if isinstance(phi, Atom):
+        return phi.negated()
+    if isinstance(phi, Dvd):
+        return phi.negated()
+    if isinstance(phi, Not):
+        return phi.arg
+    return Not(phi)
+
+
+def exists(variables: Sequence[Var], body: Formula) -> Formula:
+    vs = tuple(v for v in variables if v in body.free_vars())
+    if not vs:
+        return body
+    if isinstance(body, Exists):
+        return Exists(tuple(dict.fromkeys(vs + body.variables)), body.body)
+    return Exists(vs, body)
+
+
+def forall(variables: Sequence[Var], body: Formula) -> Formula:
+    vs = tuple(v for v in variables if v in body.free_vars())
+    if not vs:
+        return body
+    if isinstance(body, Forall):
+        return Forall(tuple(dict.fromkeys(vs + body.variables)), body.body)
+    return Forall(vs, body)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    return disj(neg(antecedent), consequent)
+
+
+# ---------------------------------------------------------------------------
+# comparison helpers (the surface API used across the codebase)
+# ---------------------------------------------------------------------------
+
+def _as_term(value: LinTerm | Var | int) -> LinTerm:
+    if isinstance(value, LinTerm):
+        return value
+    if isinstance(value, Var):
+        return LinTerm.var(value)
+    if isinstance(value, int):
+        return LinTerm.constant(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+def le(lhs: LinTerm | Var | int, rhs: LinTerm | Var | int) -> Formula:
+    """lhs <= rhs"""
+    return atom(Rel.LE, _as_term(lhs) - _as_term(rhs))
+
+
+def lt(lhs: LinTerm | Var | int, rhs: LinTerm | Var | int) -> Formula:
+    """lhs < rhs  (integer-tightened to lhs + 1 <= rhs)"""
+    return atom(Rel.LE, _as_term(lhs) - _as_term(rhs) + 1)
+
+
+def ge(lhs: LinTerm | Var | int, rhs: LinTerm | Var | int) -> Formula:
+    return le(rhs, lhs)
+
+
+def gt(lhs: LinTerm | Var | int, rhs: LinTerm | Var | int) -> Formula:
+    return lt(rhs, lhs)
+
+
+def eq(lhs: LinTerm | Var | int, rhs: LinTerm | Var | int) -> Formula:
+    return atom(Rel.EQ, _as_term(lhs) - _as_term(rhs))
+
+
+def ne(lhs: LinTerm | Var | int, rhs: LinTerm | Var | int) -> Formula:
+    return atom(Rel.NE, _as_term(lhs) - _as_term(rhs))
+
+
+# ---------------------------------------------------------------------------
+# traversal utilities
+# ---------------------------------------------------------------------------
+
+def is_quantifier_free(phi: Formula) -> bool:
+    return _is_qf(phi, {})
+
+
+def _is_qf(phi: Formula, memo: dict[int, bool]) -> bool:
+    # memoized by identity over the shared-subformula DAG
+    key = id(phi)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(phi, (Exists, Forall)):
+        result = False
+    elif isinstance(phi, Not):
+        result = _is_qf(phi.arg, memo)
+    elif isinstance(phi, (And, Or)):
+        result = all(_is_qf(a, memo) for a in phi.args)
+    else:
+        result = True
+    memo[key] = result
+    return result
+
+
+def map_atoms(phi: Formula, fn: Callable[[Formula], Formula]) -> Formula:
+    """Rebuild ``phi`` applying ``fn`` to every atom (quantifier-free)."""
+    if isinstance(phi, (Atom, Dvd)):
+        return fn(phi)
+    if isinstance(phi, Not):
+        return neg(map_atoms(phi.arg, fn))
+    if isinstance(phi, And):
+        return conj(*(map_atoms(a, fn) for a in phi.args))
+    if isinstance(phi, Or):
+        return disj(*(map_atoms(a, fn) for a in phi.args))
+    if isinstance(phi, Exists):
+        return exists(phi.variables, map_atoms(phi.body, fn))
+    if isinstance(phi, Forall):
+        return forall(phi.variables, map_atoms(phi.body, fn))
+    return phi
+
+
+def rename_vars(phi: Formula, mapping: Mapping[Var, Var]) -> Formula:
+    """Rename free variables throughout a formula."""
+    subst = {v: LinTerm.var(w) for v, w in mapping.items()}
+    return phi.substitute(subst)
+
+
+def unique_atoms(phi: Formula) -> list[Formula]:
+    """Distinct atoms of ``phi`` in first-occurrence order."""
+    seen: dict[Formula, None] = {}
+    for a in phi.atoms():
+        seen.setdefault(a, None)
+    return list(seen)
+
+
+# install cached hashing on every formula node type (see terms.py for the
+# rationale: these trees live in sets and dict keys everywhere, and a
+# recomputed deep hash would dominate solver time)
+from .terms import _install_hash_cache  # noqa: E402
+
+_install_hash_cache(Atom, ("rel", "term"))
+_install_hash_cache(Dvd, ("divisor", "term", "negated_flag"))
+_install_hash_cache(Not, ("arg",))
+_install_hash_cache(And, ("args",))
+_install_hash_cache(Or, ("args",))
+_install_hash_cache(Exists, ("variables", "body"))
+_install_hash_cache(Forall, ("variables", "body"))

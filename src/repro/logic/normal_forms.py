@@ -1,0 +1,174 @@
+"""Negation, conjunctive and disjunctive normal forms.
+
+NNF is required by both the Omega-test frontend and Cooper quantifier
+elimination.  CNF/DNF (by distribution — formula sizes in this system are
+small) drive the query decomposition of Section 4.4: invariant queries
+distribute over CNF clauses, witness queries over DNF clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Dvd,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+)
+
+
+def nnf(phi: Formula) -> Formula:
+    """Negation normal form: negations pushed onto atoms and eliminated.
+
+    Works on quantified formulas too (negation flips quantifiers).  Atoms
+    absorb their negations (the atom language is closed under negation),
+    so the result contains no ``Not`` nodes at all.  Memoized over the
+    shared-subformula DAG: formulas built by the symbolic analysis share
+    guard subtrees heavily, and a structural recursion would revisit them
+    exponentially often.
+    """
+    return _nnf(phi, {})
+
+
+def _nnf(phi: Formula, memo: dict[Formula, Formula]) -> Formula:
+    cached = memo.get(phi)
+    if cached is not None:
+        return cached
+    result = _nnf_raw(phi, memo)
+    memo[phi] = result
+    return result
+
+
+def _nnf_raw(phi: Formula, memo: dict[Formula, Formula]) -> Formula:
+    if isinstance(phi, (Atom, Dvd)) or phi.is_true or phi.is_false:
+        return phi
+    if isinstance(phi, And):
+        return conj(*(_nnf(a, memo) for a in phi.args))
+    if isinstance(phi, Or):
+        return disj(*(_nnf(a, memo) for a in phi.args))
+    if isinstance(phi, Exists):
+        return exists(phi.variables, _nnf(phi.body, memo))
+    if isinstance(phi, Forall):
+        return forall(phi.variables, _nnf(phi.body, memo))
+    if isinstance(phi, Not):
+        inner = phi.arg
+        if isinstance(inner, (Atom, Dvd)):
+            return inner.negated()
+        if inner.is_true:
+            return FALSE
+        if inner.is_false:
+            return TRUE
+        if isinstance(inner, Not):
+            return _nnf(inner.arg, memo)
+        if isinstance(inner, And):
+            return disj(*(_nnf(neg(a), memo) for a in inner.args))
+        if isinstance(inner, Or):
+            return conj(*(_nnf(neg(a), memo) for a in inner.args))
+        if isinstance(inner, Exists):
+            return forall(inner.variables, _nnf(neg(inner.body), memo))
+        if isinstance(inner, Forall):
+            return exists(inner.variables, _nnf(neg(inner.body), memo))
+    raise TypeError(f"unexpected formula node {phi!r}")
+
+
+Clause = tuple[Formula, ...]
+
+
+def _literals(phi: Formula) -> bool:
+    return isinstance(phi, (Atom, Dvd))
+
+
+def dnf_clauses(phi: Formula, *, limit: int = 200_000) -> list[list[Formula]]:
+    """Disjunctive normal form as a list of conjunctive clauses of literals.
+
+    ``phi`` must be quantifier-free; it is first converted to NNF.  Trivial
+    clauses are dropped, and clauses containing complementary literals are
+    removed.  ``limit`` guards against exponential blowup.
+    """
+    phi = nnf(phi)
+    budget = [limit]
+    clauses = _dnf(phi, budget)
+    return [list(clause) for clause in clauses]
+
+
+def _dnf(phi: Formula, budget: list[int]) -> list[frozenset[Formula]]:
+    if phi.is_true:
+        return [frozenset()]
+    if phi.is_false:
+        return []
+    if _literals(phi):
+        return [frozenset([phi])]
+    if isinstance(phi, Or):
+        result: list[frozenset[Formula]] = []
+        seen: set[frozenset[Formula]] = set()
+        for arg in phi.args:
+            for clause in _dnf(arg, budget):
+                if clause not in seen:
+                    seen.add(clause)
+                    result.append(clause)
+        return result
+    if isinstance(phi, And):
+        acc: list[frozenset[Formula]] = [frozenset()]
+        for arg in phi.args:
+            sub = _dnf(arg, budget)
+            merged: list[frozenset[Formula]] = []
+            seen: set[frozenset[Formula]] = set()
+            for left in acc:
+                for right in sub:
+                    budget[0] -= 1
+                    if budget[0] < 0:
+                        raise MemoryError("DNF conversion exceeded size limit")
+                    clause = left | right
+                    if _clause_contradictory(clause):
+                        continue
+                    if clause not in seen:
+                        seen.add(clause)
+                        merged.append(clause)
+            acc = merged
+            if not acc:
+                return []
+        return acc
+    raise TypeError(f"dnf: unexpected node {phi!r} (quantifier-free input?)")
+
+
+def cnf_clauses(phi: Formula, *, limit: int = 200_000) -> list[list[Formula]]:
+    """Conjunctive normal form as a list of disjunctive clauses of literals.
+
+    Implemented by duality: CNF(phi) = negate clauses of DNF(not phi).
+    """
+    negated = dnf_clauses(neg(phi), limit=limit)
+    clauses: list[list[Formula]] = []
+    for clause in negated:
+        lits = []
+        for lit in clause:
+            assert isinstance(lit, (Atom, Dvd))
+            lits.append(lit.negated())
+        clauses.append(lits)
+    return clauses
+
+
+def _clause_contradictory(clause: frozenset[Formula]) -> bool:
+    for lit in clause:
+        if isinstance(lit, (Atom, Dvd)) and lit.negated() in clause:
+            return True
+    return False
+
+
+def from_dnf(clauses: Iterable[Iterable[Formula]]) -> Formula:
+    return disj(*(conj(*clause) for clause in clauses))
+
+
+def from_cnf(clauses: Iterable[Iterable[Formula]]) -> Formula:
+    return conj(*(disj(*clause) for clause in clauses))

@@ -1,0 +1,105 @@
+"""SMT-LIB 2 export.
+
+Lets users cross-check any formula this system produces (invariants,
+success conditions, proof obligations, failure witnesses) with an
+external SMT solver:
+
+    (set-logic LIA)
+    (declare-const x Int) ...
+    (assert ...)
+    (check-sat)
+
+Divisibility atoms are expressed with integer division semantics via
+``mod``; quantifiers map to ``forall``/``exists``.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    And,
+    Atom,
+    Dvd,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Rel,
+)
+from .terms import LinTerm, Var
+
+_SANITIZE = str.maketrans({"@": "_at_", "$": "_d_", "#": "_h_", "*": "_s_"})
+
+
+def _symbol(v: Var) -> str:
+    """SMT-LIB simple symbols: translate the characters our internal
+    names use that SMT-LIB forbids."""
+    return v.name.translate(_SANITIZE)
+
+
+def term_to_sexpr(term: LinTerm) -> str:
+    parts: list[str] = []
+    for v, c in term.coeffs:
+        name = _symbol(v)
+        if c == 1:
+            parts.append(name)
+        elif c == -1:
+            parts.append(f"(- {name})")
+        else:
+            coeff = str(c) if c > 0 else f"(- {-c})"
+            parts.append(f"(* {coeff} {name})")
+    if term.const or not parts:
+        const = (str(term.const) if term.const >= 0
+                 else f"(- {-term.const})")
+        parts.append(const)
+    if len(parts) == 1:
+        return parts[0]
+    return "(+ " + " ".join(parts) + ")"
+
+
+def formula_to_sexpr(phi: Formula) -> str:
+    if phi.is_true:
+        return "true"
+    if phi.is_false:
+        return "false"
+    if isinstance(phi, Atom):
+        lhs = term_to_sexpr(phi.term)
+        if phi.rel is Rel.LE:
+            return f"(<= {lhs} 0)"
+        if phi.rel is Rel.EQ:
+            return f"(= {lhs} 0)"
+        return f"(not (= {lhs} 0))"
+    if isinstance(phi, Dvd):
+        inner = f"(= (mod {term_to_sexpr(phi.term)} {phi.divisor}) 0)"
+        return f"(not {inner})" if phi.negated_flag else inner
+    if isinstance(phi, Not):
+        return f"(not {formula_to_sexpr(phi.arg)})"
+    if isinstance(phi, And):
+        return "(and " + " ".join(
+            formula_to_sexpr(a) for a in phi.args
+        ) + ")"
+    if isinstance(phi, Or):
+        return "(or " + " ".join(
+            formula_to_sexpr(a) for a in phi.args
+        ) + ")"
+    if isinstance(phi, (Exists, Forall)):
+        binder = "exists" if isinstance(phi, Exists) else "forall"
+        binding = " ".join(
+            f"({_symbol(v)} Int)" for v in phi.variables
+        )
+        return f"({binder} ({binding}) {formula_to_sexpr(phi.body)})"
+    raise TypeError(f"unexpected formula node {phi!r}")
+
+
+def to_smtlib(phi: Formula, *, logic: str = "LIA",
+              check_sat: bool = True, get_model: bool = False) -> str:
+    """A complete SMT-LIB 2 script asserting ``phi``."""
+    lines = [f"(set-logic {logic})"]
+    for v in sorted(phi.free_vars(), key=lambda u: u.name):
+        lines.append(f"(declare-const {_symbol(v)} Int)")
+    lines.append(f"(assert {formula_to_sexpr(phi)})")
+    if check_sat:
+        lines.append("(check-sat)")
+    if get_model:
+        lines.append("(get-model)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,5 @@
+"""Minimum satisfying assignments (the CAV 2012 companion algorithm)."""
+
+from .engine import CostMap, MsaResult, MsaSolver, find_msa
+
+__all__ = ["CostMap", "MsaResult", "MsaSolver", "find_msa"]

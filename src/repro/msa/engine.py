@@ -1,0 +1,258 @@
+"""Minimum satisfying assignments (MSA) for Presburger formulas.
+
+The paper (Definitions 4–6) relies on the companion CAV 2012 algorithm
+"Minimum Satisfying Assignments for SMT" to find, for a formula ``phi``
+and a per-variable cost map ``Pi``, a *partial* assignment ``sigma`` of
+minimum cost such that ``sigma(phi)`` is valid (true for every value of
+the unassigned variables), and such that ``sigma`` is *consistent* with a
+set of side formulas (each ``psi``: ``SAT(F_sigma and psi)``).
+
+The theory here admits quantifier elimination, which gives an exact
+characterization: a variable set ``V`` supports an MSA iff
+
+    feasible(V)  :=  QE(forall V'. phi)  and  the conjunction of
+    project(psi, V) over the side formulas psi
+
+is satisfiable (``V'`` the complement, ``project`` existential
+projection) — any model of ``feasible(V)`` is a valid, consistent partial
+assignment over ``V``.
+
+Two complete strategies are provided:
+
+* ``subsets``  — enumerate variable sets in increasing cost via a priority
+  queue and return the first feasible one (simple, obviously correct);
+* ``branch_bound`` — the include/exclude search tree of the CAV'12
+  algorithm with cost-based pruning and an infeasibility prune
+  (``forall E. phi`` unsatisfiable over the remaining variables kills the
+  whole subtree).
+
+Both are cross-checked against each other in the test suite and exposed
+for the ablation benchmark (experiment A4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..logic.formulas import Formula, conj, eq
+from ..logic.terms import LinTerm, Var
+from ..qe import eliminate_forall, project
+from ..smt import SmtSolver
+
+CostMap = Mapping[Var, int]
+
+
+@dataclass(frozen=True)
+class MsaResult:
+    """A minimum satisfying assignment."""
+
+    assignment: tuple[tuple[Var, int], ...]
+    cost: int
+
+    @property
+    def variables(self) -> frozenset[Var]:
+        return frozenset(v for v, _ in self.assignment)
+
+    def as_dict(self) -> dict[Var, int]:
+        return dict(self.assignment)
+
+    def as_formula(self) -> Formula:
+        """F_sigma: the conjunction of equalities the assignment denotes."""
+        return conj(*(eq(LinTerm.var(v), c) for v, c in self.assignment))
+
+
+class MsaSolver:
+    """Finds minimum satisfying assignments by QE-backed subset search."""
+
+    def __init__(self, solver: SmtSolver | None = None):
+        self._solver = solver or SmtSolver()
+        self._feasible_cache: dict[frozenset[Var], dict | None] = {}
+        self._viable_cache: dict[frozenset[Var], bool] = {}
+
+    # ------------------------------------------------------------------
+    def find(
+        self,
+        phi: Formula,
+        costs: CostMap | Callable[[Var], int],
+        consistency: Sequence[Formula] = (),
+        *,
+        strategy: str = "branch_bound",
+        restrict: Sequence[Var] | None = None,
+    ) -> MsaResult | None:
+        """Return an MSA of ``phi``, or ``None`` if none exists.
+
+        ``costs`` maps each free variable of ``phi`` to a non-negative
+        integer cost (Definition 4).  ``consistency`` lists side formulas
+        each of which the assignment must be individually consistent with
+        (Definition 6; the paper passes the invariants ``I`` and learned
+        witnesses ``W``).  ``restrict`` limits the search to a subset of
+        the free variables — callers use it when they can prove the
+        remaining variables cannot occur in any optimal assignment.
+        """
+        self._feasible_cache: dict[frozenset[Var], dict | None] = {}
+        self._viable_cache: dict[frozenset[Var], bool] = {}
+        if restrict is not None:
+            allowed = set(restrict) & phi.free_vars()
+            variables = sorted(allowed, key=lambda v: v.name)
+        else:
+            variables = sorted(phi.free_vars(), key=lambda v: v.name)
+        cost_of = costs if callable(costs) else (
+            lambda v, _m=dict(costs): _m[v]
+        )
+        cost_map = {v: cost_of(v) for v in variables}
+        for v, c in cost_map.items():
+            if c < 0:
+                raise ValueError(f"negative cost for {v}")
+
+        if strategy == "subsets":
+            found = self._search_subsets(phi, variables, cost_map,
+                                         list(consistency))
+        elif strategy == "branch_bound":
+            found = self._search_branch_bound(phi, variables, cost_map,
+                                              list(consistency))
+        else:
+            raise ValueError(f"unknown MSA strategy {strategy!r}")
+        return found
+
+    # ------------------------------------------------------------------
+    def _feasible(
+        self,
+        phi: Formula,
+        include: Sequence[Var],
+        exclude: Sequence[Var],
+        consistency: Sequence[Formula],
+    ) -> dict[Var, int] | None:
+        """A consistent assignment over ``include`` making phi valid.
+
+        ``exclude`` must be the complement of ``include`` in the search
+        variables; any free variables of ``phi`` outside the search set
+        are always universally quantified as well.
+        """
+        key = frozenset(include)
+        if key in self._feasible_cache:
+            return self._feasible_cache[key]
+        quantified = [v for v in phi.free_vars() if v not in key]
+        residual = eliminate_forall(quantified, phi)
+        constraints = [residual]
+        keep = set(include)
+        for psi in consistency:
+            constraints.append(project(psi, keep))
+        result = self._solver.check(conj(*constraints))
+        answer = (
+            None if not result.sat
+            else {v: result.model.value(v) for v in include}
+        )
+        self._feasible_cache[key] = answer
+        return answer
+
+    def _subtree_viable(
+        self, phi: Formula, exclude: Sequence[Var]
+    ) -> bool:
+        """Can *any* assignment of the remaining vars work once ``exclude``
+        is universally quantified?  (Sound prune: excluding more variables
+        only strengthens the requirement.)"""
+        key = frozenset(exclude)
+        cached = self._viable_cache.get(key)
+        if cached is not None:
+            return cached
+        residual = eliminate_forall(list(exclude), phi)
+        answer = self._solver.is_sat(residual)
+        self._viable_cache[key] = answer
+        return answer
+
+    # ------------------------------------------------------------------
+    def _search_subsets(
+        self,
+        phi: Formula,
+        variables: list[Var],
+        cost_map: dict[Var, int],
+        consistency: list[Formula],
+    ) -> MsaResult | None:
+        """Enumerate variable subsets in increasing total cost."""
+        order = sorted(variables, key=lambda v: (cost_map[v], v.name))
+        n = len(order)
+        # heap of (cost, subset-bitmask); push successors lazily
+        heap: list[tuple[int, int]] = [(0, 0)]
+        seen: set[int] = {0}
+        while heap:
+            cost, mask = heapq.heappop(heap)
+            include = [order[i] for i in range(n) if mask >> i & 1]
+            exclude = [order[i] for i in range(n) if not mask >> i & 1]
+            assignment = self._feasible(phi, include, exclude, consistency)
+            if assignment is not None:
+                return MsaResult(
+                    tuple(sorted(assignment.items(),
+                                 key=lambda item: item[0].name)),
+                    cost,
+                )
+            for i in range(n):
+                if mask >> i & 1:
+                    continue
+                successor = mask | 1 << i
+                if successor not in seen:
+                    seen.add(successor)
+                    heapq.heappush(
+                        heap, (cost + cost_map[order[i]], successor)
+                    )
+        return None
+
+    # ------------------------------------------------------------------
+    def _search_branch_bound(
+        self,
+        phi: Formula,
+        variables: list[Var],
+        cost_map: dict[Var, int],
+        consistency: list[Formula],
+    ) -> MsaResult | None:
+        """Include/exclude decision tree with cost pruning."""
+        # decide expensive variables first: their exclusion prunes most
+        order = sorted(
+            variables, key=lambda v: (-cost_map[v], v.name)
+        )
+        best: list[MsaResult | None] = [None]
+
+        def record(include: list[Var]) -> None:
+            exclude = [v for v in variables if v not in include]
+            assignment = self._feasible(phi, include, exclude, consistency)
+            if assignment is None:
+                return
+            cost = sum(cost_map[v] for v in include)
+            if best[0] is None or cost < best[0].cost:
+                best[0] = MsaResult(
+                    tuple(sorted(assignment.items(),
+                                 key=lambda item: item[0].name)),
+                    cost,
+                )
+
+        def descend(index: int, include: list[Var],
+                    exclude: list[Var], cost: int) -> None:
+            if best[0] is not None and cost >= best[0].cost:
+                return
+            if index == len(order):
+                record(include)
+                return
+            if exclude and not self._subtree_viable(phi, exclude):
+                return
+            v = order[index]
+            # try excluding first (cheaper result if it works)
+            descend(index + 1, include, exclude + [v], cost)
+            descend(index + 1, include + [v], exclude, cost + cost_map[v])
+
+        descend(0, [], [], 0)
+        return best[0]
+
+
+_DEFAULT = MsaSolver()
+
+
+def find_msa(
+    phi: Formula,
+    costs: CostMap | Callable[[Var], int],
+    consistency: Sequence[Formula] = (),
+    *,
+    strategy: str = "branch_bound",
+) -> MsaResult | None:
+    """Find an MSA with the shared default solver."""
+    return _DEFAULT.find(phi, costs, consistency, strategy=strategy)

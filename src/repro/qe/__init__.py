@@ -1,0 +1,19 @@
+"""Cooper quantifier elimination for Presburger arithmetic."""
+
+from .cooper import (
+    QeBudgetExceeded,
+    decide_closed,
+    eliminate_exists,
+    eliminate_forall,
+    eliminate_quantifiers,
+    project,
+)
+
+__all__ = [
+    "QeBudgetExceeded",
+    "decide_closed",
+    "eliminate_exists",
+    "eliminate_forall",
+    "eliminate_quantifiers",
+    "project",
+]

@@ -1,0 +1,336 @@
+"""Cooper's quantifier elimination for Presburger arithmetic.
+
+Lemmas 3 and 5 of the paper compute weakest minimum proof obligations and
+failure witnesses by eliminating universal quantifiers from
+``forall V'. (I => phi)`` — this module provides that elimination.  It is
+also the fallback that lets the SMT layer decide quantified formulas.
+
+The procedure eliminates one existential variable at a time:
+
+1. equality/disequality atoms over the variable are rewritten into
+   (tightened) inequalities, so only ``<=`` and divisibility atoms mention
+   the variable;
+2. coefficients on the variable are normalized to +-1 by conceptually
+   substituting ``x' = delta * x`` (adding the divisibility constraint
+   ``delta | x'``);
+3. the classic Cooper disjunction is produced over either the lower-bound
+   or the upper-bound test points — whichever set is smaller — together
+   with the "infinite" disjunct whose only occurrences of the variable are
+   in divisibility atoms.
+
+Universal quantifiers are handled by duality.  All formula construction
+goes through the normalizing smart constructors, which keeps the output
+reasonably small before any contextual simplification.
+"""
+
+from __future__ import annotations
+
+from ..logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Dvd,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Rel,
+    atom,
+    conj,
+    disj,
+    dvd,
+    exists,
+    forall,
+    map_atoms,
+    neg,
+)
+from ..logic.normal_forms import dnf_clauses, nnf
+from ..logic.terms import LinTerm, Var, lcm, lcm_all
+
+
+class QeBudgetExceeded(RuntimeError):
+    """Raised when elimination would produce an unreasonably large formula."""
+
+
+def eliminate_quantifiers(phi: Formula, *, size_budget: int = 2_000_000) -> Formula:
+    """Eliminate every quantifier in ``phi`` (innermost first)."""
+    counter = _Budget(size_budget)
+    return _eliminate(phi, counter)
+
+
+def eliminate_exists(variables: list[Var], body: Formula,
+                     *, size_budget: int = 2_000_000) -> Formula:
+    """Quantifier-free equivalent of ``exists variables. body`` (body QF)."""
+    counter = _Budget(size_budget)
+    return _eliminate_block(list(variables), nnf(body), counter)
+
+
+def eliminate_forall(variables: list[Var], body: Formula,
+                     *, size_budget: int = 2_000_000) -> Formula:
+    """Quantifier-free equivalent of ``forall variables. body`` (body QF)."""
+    return neg(eliminate_exists(variables, neg(body),
+                                size_budget=size_budget))
+
+
+def project(phi: Formula, keep: set[Var],
+            *, size_budget: int = 2_000_000) -> Formula:
+    """Existentially project ``phi`` onto ``keep``."""
+    drop = [v for v in phi.free_vars() if v not in keep]
+    return eliminate_exists(drop, phi, size_budget=size_budget)
+
+
+def decide_closed(phi: Formula) -> bool:
+    """Decide a closed Presburger formula."""
+    result = eliminate_quantifiers(phi)
+    if result.is_true:
+        return True
+    if result.is_false:
+        return False
+    if result.free_vars():
+        raise ValueError(f"formula is not closed: {phi}")
+    return result.evaluate({})
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def charge(self, amount: int) -> None:
+        self.used += amount
+        if self.used > self.limit:
+            raise QeBudgetExceeded(
+                f"quantifier elimination exceeded {self.limit} nodes"
+            )
+
+
+def _eliminate(phi: Formula, budget: _Budget) -> Formula:
+    if isinstance(phi, (Atom, Dvd)) or phi.is_true or phi.is_false:
+        return phi
+    if isinstance(phi, And):
+        return conj(*(_eliminate(a, budget) for a in phi.args))
+    if isinstance(phi, Or):
+        return disj(*(_eliminate(a, budget) for a in phi.args))
+    if isinstance(phi, Not):
+        return neg(_eliminate(phi.arg, budget))
+    if isinstance(phi, Exists):
+        body = _eliminate(phi.body, budget)
+        return _eliminate_block(list(phi.variables), nnf(body), budget)
+    if isinstance(phi, Forall):
+        body = _eliminate(phi.body, budget)
+        inner = _eliminate_block(
+            list(phi.variables), nnf(neg(body)), budget
+        )
+        return neg(inner)
+    raise TypeError(f"unexpected formula node: {phi!r}")
+
+
+def _eliminate_block(variables: list[Var], body: Formula,
+                     budget: _Budget) -> Formula:
+    """Eliminate a block of existential variables from a QF NNF body.
+
+    Works clause-wise: the body is put in DNF (``exists`` distributes over
+    disjunction), each variable is eliminated from each clause separately,
+    and clauses that the Omega test refutes are pruned between rounds.
+    This keeps intermediate formulas small — eliminating from a whole
+    formula multiplies its size per variable, while eliminating from a
+    conjunction of literals yields a new small DNF.
+    """
+    remaining = [v for v in variables if v in body.free_vars()]
+    if not remaining:
+        return body
+    try:
+        clauses = dnf_clauses(body, limit=500_000)
+    except MemoryError as exc:
+        raise QeBudgetExceeded("DNF conversion overflow in QE") from exc
+    clauses = _prune_clauses(clauses, budget)
+
+    while remaining:
+        def occurrences(v: Var) -> int:
+            return sum(
+                1
+                for clause in clauses
+                for a in clause
+                if v in a.free_vars()
+            )
+
+        v = min(remaining, key=lambda u: (occurrences(u), u.name))
+        remaining.remove(v)
+        new_clauses: list[list[Formula]] = []
+        for clause in clauses:
+            if not any(v in a.free_vars() for a in clause):
+                new_clauses.append(clause)
+                continue
+            eliminated = _eliminate_one(v, conj(*clause), budget)
+            try:
+                new_clauses.extend(dnf_clauses(eliminated, limit=500_000))
+            except MemoryError as exc:
+                raise QeBudgetExceeded("DNF overflow in QE") from exc
+        clauses = _prune_clauses(new_clauses, budget)
+        remaining = [
+            u for u in remaining
+            if any(u in a.free_vars() for clause in clauses for a in clause)
+        ]
+    return disj(*(conj(*clause) for clause in clauses))
+
+
+def _prune_clauses(clauses: list[list[Formula]],
+                   budget: _Budget) -> list[list[Formula]]:
+    """Drop theory-unsatisfiable and duplicate clauses."""
+    from ..lia import OmegaSolver  # lia is below qe in the layering
+
+    solver = OmegaSolver()
+    kept: list[list[Formula]] = []
+    seen: set[frozenset[Formula]] = set()
+    for clause in clauses:
+        key = frozenset(clause)
+        if key in seen:
+            continue
+        seen.add(key)
+        budget.charge(len(clause) + 1)
+        if solver.is_sat_literals(clause):
+            kept.append(clause)
+    return kept
+
+
+def _eliminate_one(x: Var, phi: Formula, budget: _Budget) -> Formula:
+    """Cooper elimination of ``exists x`` from QF NNF ``phi``."""
+    phi = _strip_eq_ne(x, phi)
+    if x not in phi.free_vars():
+        return phi
+
+    # delta: lcm of |coefficient of x| across atoms
+    coeffs = [
+        abs(a.term.coeff(x))
+        for a in phi.atoms()
+        if a.term.coeff(x) != 0
+    ]
+    delta = lcm_all(coeffs)
+
+    # D: lcm of the scaled divisors (and delta itself, for delta | x')
+    big_d = delta
+    lowers: list[LinTerm] = []
+    uppers: list[LinTerm] = []
+    seen_lower: set[LinTerm] = set()
+    seen_upper: set[LinTerm] = set()
+    for a in _unique_atoms(phi):
+        c = a.term.coeff(x)
+        if c == 0:
+            continue
+        m = delta // abs(c)
+        if isinstance(a, Dvd):
+            big_d = lcm(big_d, a.divisor * m)
+        else:
+            rest = (a.term - LinTerm.var(x, c)).scale(m)
+            if c > 0:
+                bound = -rest          # x' <= -m*rest
+                if bound not in seen_upper:
+                    seen_upper.add(bound)
+                    uppers.append(bound)
+            else:
+                bound = rest           # x' >= m*rest
+                if bound not in seen_lower:
+                    seen_lower.add(bound)
+                    lowers.append(bound)
+
+    use_lower = len(lowers) <= len(uppers)
+    bounds = lowers if use_lower else uppers
+
+    disjuncts: list[Formula] = []
+    for j in range(big_d):
+        inf = _substitute_infinite(
+            x, phi, delta, from_below=use_lower, j=j
+        )
+        inf = conj(inf, dvd(delta, LinTerm.constant(j)))
+        budget.charge(inf.size())
+        disjuncts.append(inf)
+    for b in bounds:
+        for j in range(big_d):
+            tau = b + j if use_lower else b - j
+            candidate = conj(
+                _substitute_scaled(x, phi, delta, tau),
+                dvd(delta, tau),
+            )
+            budget.charge(candidate.size())
+            disjuncts.append(candidate)
+    return disj(*disjuncts)
+
+
+def _unique_atoms(phi: Formula) -> list[Formula]:
+    seen: dict[Formula, None] = {}
+    for a in phi.atoms():
+        seen.setdefault(a, None)
+    return list(seen)
+
+
+def _strip_eq_ne(x: Var, phi: Formula) -> Formula:
+    """Rewrite EQ/NE atoms mentioning ``x`` into LE atoms."""
+
+    def rewrite(a: Formula) -> Formula:
+        if not isinstance(a, Atom) or a.term.coeff(x) == 0:
+            return a
+        if a.rel is Rel.EQ:
+            return conj(
+                atom(Rel.LE, a.term), atom(Rel.LE, -a.term)
+            )
+        if a.rel is Rel.NE:
+            return disj(
+                atom(Rel.LE, a.term + 1), atom(Rel.LE, -a.term + 1)
+            )
+        return a
+
+    return map_atoms(phi, rewrite)
+
+
+def _substitute_scaled(x: Var, phi: Formula, delta: int,
+                       tau: LinTerm) -> Formula:
+    """phi with the (scaled) variable ``x' = delta*x`` replaced by ``tau``.
+
+    Each atom is individually rescaled so x's coefficient becomes +-delta,
+    then ``+-x'`` is replaced by ``+-tau``.
+    """
+
+    def rewrite(a: Formula) -> Formula:
+        c = a.term.coeff(x)
+        if c == 0:
+            return a
+        m = delta // abs(c)
+        sign = 1 if c > 0 else -1
+        rest = (a.term - LinTerm.var(x, c)).scale(m)
+        new_term = tau.scale(sign) + rest
+        if isinstance(a, Dvd):
+            return dvd(a.divisor * m, new_term, a.negated_flag)
+        assert isinstance(a, Atom) and a.rel is Rel.LE
+        return atom(Rel.LE, new_term)
+
+    return map_atoms(phi, rewrite)
+
+
+def _substitute_infinite(x: Var, phi: Formula, delta: int,
+                         *, from_below: bool, j: int) -> Formula:
+    """The ``phi_{-inf}`` (or ``phi_{+inf}``) formula evaluated at residue j.
+
+    Inequalities on x collapse to TRUE/FALSE according to the direction of
+    the limit; divisibility atoms keep x and are evaluated at x' = j.
+    """
+
+    def rewrite(a: Formula) -> Formula:
+        c = a.term.coeff(x)
+        if c == 0:
+            return a
+        m = delta // abs(c)
+        sign = 1 if c > 0 else -1
+        rest = (a.term - LinTerm.var(x, c)).scale(m)
+        if isinstance(a, Dvd):
+            new_term = LinTerm.constant(sign * j) + rest
+            return dvd(a.divisor * m, new_term, a.negated_flag)
+        assert isinstance(a, Atom) and a.rel is Rel.LE
+        # scaled atom: sign*x' + rest <= 0
+        if from_below:
+            # x' -> -infinity: sign>0 (upper bound) satisfied, else violated
+            return TRUE if sign > 0 else FALSE
+        return FALSE if sign > 0 else TRUE
+
+    return map_atoms(phi, rewrite)

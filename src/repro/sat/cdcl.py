@@ -1,0 +1,381 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+The propositional engine behind the lazy SMT solver of :mod:`repro.smt`.
+Features the standard modern architecture:
+
+* two-watched-literal clause indexing,
+* first-UIP conflict analysis with learned-clause minimization,
+* VSIDS-style exponential variable activities with phase saving,
+* Luby-sequence restarts,
+* incremental use: clauses may be added between ``solve()`` calls (the
+  SMT layer adds theory-blocking clauses this way).
+
+Literal encoding: variables are positive integers ``1..n``; a literal is
+``+v`` or ``-v``.  Internally literals map to indices ``2v`` / ``2v+1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _lit_index(lit: int) -> int:
+    """Map a signed literal to a dense array index."""
+    return 2 * lit if lit > 0 else -2 * lit + 1
+
+
+def _index_lit(index: int) -> int:
+    return index // 2 if index % 2 == 0 else -(index // 2)
+
+
+def luby(x: int) -> int:
+    """The Luby restart sequence (0-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """An incremental CDCL SAT solver."""
+
+    _UNASSIGNED = 0
+    _TRUE = 1
+    _FALSE = -1
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: list[list[int]] = [[], []]  # indexed by literal index
+        self._assign: list[int] = [0]              # per variable, 1-based
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]             # clause index or -1
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+        self._ok = True
+        self._conflicts = 0
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        self._assign.append(self._UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        self._watches.append([])
+        self._watches.append([])
+        return self._num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self._num_vars < n:
+            self.new_var()
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat.
+
+        May be called between ``solve()`` invocations; the solver first
+        backtracks to the root level.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise ValueError(f"literal {lit} out of range")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == self._TRUE and self._level[abs(lit)] == 0:
+                return True  # already satisfied at root
+            if value == self._FALSE and self._level[abs(lit)] == 0:
+                continue     # falsified at root: drop the literal
+            seen.add(lit)
+            clause.append(lit)
+
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], -1):
+                self._ok = False
+                return False
+            self._ok = self._propagate() == -1
+            return self._ok
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: list[int]) -> int:
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches[_lit_index(-clause[0])].append(index)
+        self._watches[_lit_index(-clause[1])].append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under optional assumptions."""
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() != -1:
+            self._ok = False
+            return False
+
+        restarts = 0
+        budget = 64 * luby(restarts)
+        conflicts_here = 0
+
+        # assumption handling: decide assumption literals first
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self._conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return False
+                if self._decision_level() <= len(assumptions):
+                    # conflict depends only on assumptions
+                    return False
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(max(backjump, len(assumptions)))
+                self._learn(learned)
+                self._decay_activities()
+                if conflicts_here >= budget:
+                    restarts += 1
+                    budget = 64 * luby(restarts)
+                    conflicts_here = 0
+                    self._backtrack(len(assumptions))
+                continue
+
+            # pick the next assumption that is not yet satisfied
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == self._TRUE:
+                    # already implied: introduce a dummy level to keep the
+                    # level <-> assumption correspondence simple
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == self._FALSE:
+                    return False
+                self._decide(lit)
+                continue
+
+            lit = self._pick_branch()
+            if lit == 0:
+                return True  # full assignment found
+            self._decide(lit)
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment found by the last ``solve()``."""
+        return {
+            v: self._assign[v] == self._TRUE
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] != self._UNASSIGNED
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _decide(self, lit: int) -> None:
+        self._trail_lim.append(len(self._trail))
+        enqueued = self._enqueue(lit, -1)
+        assert enqueued
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        value = self._value(lit)
+        if value == self._FALSE:
+            return False
+        if value == self._TRUE:
+            return True
+        var = abs(lit)
+        self._assign[var] = self._TRUE if lit > 0 else self._FALSE
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause index or -1."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            watch_list = self._watches[_lit_index(lit)]
+            new_list: list[int] = []
+            conflict = -1
+            for position, clause_index in enumerate(watch_list):
+                clause = self._clauses[clause_index]
+                # ensure the falsified literal is in slot 1
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == self._TRUE:
+                    new_list.append(clause_index)
+                    continue
+                # search for a replacement watch
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != self._FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[_lit_index(-clause[1])].append(
+                            clause_index
+                        )
+                        break
+                else:
+                    new_list.append(clause_index)
+                    if not self._enqueue(first, clause_index):
+                        conflict = clause_index
+                        new_list.extend(watch_list[position + 1:])
+                        break
+            self._watches[_lit_index(lit)] = new_list
+            if conflict != -1:
+                self._queue_head = len(self._trail)
+                return conflict
+        return -1
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, backjump)."""
+        learned: list[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self._trail) - 1
+        clause = self._clauses[conflict]
+        current_level = self._decision_level()
+
+        while True:
+            for q in clause:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # find the next seen literal on the trail
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            var = abs(p)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = -p
+                break
+            clause = self._clauses[self._reason[var]]
+            lit = p
+
+        # clause minimization: drop literals implied by the rest
+        learned = self._minimize(learned, seen)
+
+        if len(learned) == 1:
+            return learned, 0
+        # backjump to the second-highest level in the clause
+        levels = sorted(
+            (self._level[abs(q)] for q in learned[1:]), reverse=True
+        )
+        backjump = levels[0]
+        # move a literal of that level into slot 1 for watching
+        for k in range(1, len(learned)):
+            if self._level[abs(learned[k])] == backjump:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, backjump
+
+    def _minimize(self, learned: list[int], seen: list[bool]) -> list[int]:
+        """Cheap recursive minimization of the learned clause."""
+        marked = set(abs(q) for q in learned)
+        result = [learned[0]]
+        for q in learned[1:]:
+            reason = self._reason[abs(q)]
+            if reason == -1:
+                result.append(q)
+                continue
+            if all(
+                abs(r) in marked or self._level[abs(r)] == 0
+                for r in self._clauses[reason]
+                if r != -q
+            ):
+                continue  # q is implied by other clause literals
+            result.append(q)
+        return result
+
+    def _learn(self, learned: list[int]) -> None:
+        if len(learned) == 1:
+            enqueued = self._enqueue(learned[0], -1)
+            assert enqueued
+            return
+        index = self._attach(learned)
+        enqueued = self._enqueue(learned[0], index)
+        assert enqueued
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._assign[var] = self._UNASSIGNED
+            self._reason[var] = -1
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_activity = -1.0
+        for v in range(1, self._num_vars + 1):
+            if self._assign[v] == self._UNASSIGNED:
+                if self._activity[v] > best_activity:
+                    best_activity = self._activity[v]
+                    best_var = v
+        if best_var == 0:
+            return 0
+        return best_var if self._phase[best_var] else -best_var
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay

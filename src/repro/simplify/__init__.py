@@ -1,0 +1,5 @@
+"""Contextual simplification with respect to a critical constraint."""
+
+from .contextual import Simplifier, simplify
+
+__all__ = ["Simplifier", "simplify"]

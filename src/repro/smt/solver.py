@@ -1,0 +1,271 @@
+"""A lazy SMT solver for quantifier-free linear integer arithmetic.
+
+Architecture (classic lazy / DPLL(T) with offline theory checks):
+
+1. the input formula is put in NNF and its atoms are mapped to boolean
+   variables — atom *pairs* related by negation (``t = 0`` / ``t != 0``,
+   ``d | t`` / ``d !| t``, and the two integer-tightened sides of an
+   inequality) share one variable with opposite polarities;
+2. the boolean skeleton is Tseitin/Plaisted–Greenbaum encoded into CNF and
+   handed to the CDCL solver of :mod:`repro.sat`;
+3. each propositional model induces a conjunction of theory literals that
+   the Omega test (:mod:`repro.lia`) checks; theory conflicts come back as
+   minimal unsat cores and are blocked with new clauses.
+
+Quantified formulas are handled by first running Cooper quantifier
+elimination (imported lazily to keep package layering acyclic).
+"""
+
+from __future__ import annotations
+
+from ..lia import Model, OmegaSolver
+from ..logic.formulas import (
+    And,
+    Atom,
+    Dvd,
+    Formula,
+    Or,
+    Rel,
+    atom as make_atom,
+    is_quantifier_free,
+    neg,
+)
+from ..logic.normal_forms import nnf
+from ..sat import SatSolver
+
+
+def atom_polarity(literal: Formula) -> tuple[Formula, bool]:
+    """Canonicalize a literal into (base atom, polarity).
+
+    The base atom is chosen so that a literal and its negation map to the
+    same base with opposite polarities, letting the SAT solver see them as
+    one variable.
+    """
+    if isinstance(literal, Atom):
+        if literal.rel is Rel.NE:
+            return make_atom(Rel.EQ, literal.term), False
+        if literal.rel is Rel.EQ:
+            return literal, True
+        # LE: the negation of (t <= 0) is (-t + 1 <= 0); pick the side
+        # whose first coefficient is positive as the base.
+        first_coeff = literal.term.coeffs[0][1]
+        if first_coeff > 0:
+            return literal, True
+        return make_atom(Rel.LE, -literal.term + 1), False
+    if isinstance(literal, Dvd):
+        if literal.negated_flag:
+            return Dvd(literal.divisor, literal.term, False), False
+        return literal, True
+    raise TypeError(f"not a literal: {literal!r}")
+
+
+class SmtResult:
+    """Outcome of a satisfiability check."""
+
+    __slots__ = ("sat", "model")
+
+    def __init__(self, sat: bool, model: Model | None):
+        self.sat = sat
+        self.model = model
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SmtResult(sat={self.sat}, model={self.model})"
+
+
+class SmtSolver:
+    """Satisfiability, validity and entailment for QFLIA (and, via Cooper
+    quantifier elimination, full Presburger arithmetic)."""
+
+    def __init__(self, *, max_theory_rounds: int = 200_000,
+                 cache_size: int = 50_000):
+        self._theory = OmegaSolver()
+        self._max_rounds = max_theory_rounds
+        self._cache: dict[Formula, bool] = {}
+        self._cache_size = cache_size
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def check(self, phi: Formula) -> SmtResult:
+        """Check satisfiability; returns a result carrying a model if SAT."""
+        phi = self._prepare(phi)
+        if phi.is_true:
+            return SmtResult(True, Model())
+        if phi.is_false:
+            return SmtResult(False, None)
+        if isinstance(phi, (Atom, Dvd)):
+            model = self._theory.solve_literals([phi])
+            return SmtResult(model is not None, model)
+        return self._check_lazy(phi)
+
+    def is_sat(self, phi: Formula) -> bool:
+        cached = self._cache.get(phi)
+        if cached is not None:
+            return cached
+        result = self.check(phi).sat
+        if len(self._cache) < self._cache_size:
+            self._cache[phi] = result
+        return result
+
+    def get_model(self, phi: Formula) -> Model | None:
+        return self.check(phi).model
+
+    def is_valid(self, phi: Formula) -> bool:
+        return not self.is_sat(neg(phi))
+
+    def entails(self, premise: Formula, conclusion: Formula) -> bool:
+        """premise |= conclusion."""
+        return not self.is_sat(premise & neg(conclusion))
+
+    def equivalent(self, left: Formula, right: Formula) -> bool:
+        return self.entails(left, right) and self.entails(right, left)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prepare(phi: Formula) -> Formula:
+        if not is_quantifier_free(phi):
+            from ..qe import eliminate_quantifiers  # lazy: layering
+
+            phi = eliminate_quantifiers(phi)
+        return nnf(phi)
+
+    def _check_lazy(self, phi: Formula) -> SmtResult:
+        sat = SatSolver()
+        atom_vars: dict[Formula, int] = {}   # base atom -> boolean var
+        var_atoms: dict[int, Formula] = {}
+
+        def literal_var(literal: Formula) -> int:
+            base, polarity = atom_polarity(literal)
+            if base not in atom_vars:
+                var = sat.new_var()
+                atom_vars[base] = var
+                var_atoms[var] = base
+            var = atom_vars[base]
+            return var if polarity else -var
+
+        encoded: dict[Formula, int] = {}
+
+        def encode(node: Formula) -> int:
+            """Plaisted-Greenbaum (one-sided) encoding; returns a literal
+            equisatisfiable with the node being true.  Memoized so shared
+            subformulas (ubiquitous in guard DAGs) encode once."""
+            cached = encoded.get(node)
+            if cached is not None:
+                return cached
+            if isinstance(node, (Atom, Dvd)):
+                gate = literal_var(node)
+            elif isinstance(node, And):
+                gate = sat.new_var()
+                for child in node.args:
+                    sat.add_clause([-gate, encode(child)])
+            elif isinstance(node, Or):
+                gate = sat.new_var()
+                sat.add_clause(
+                    [-gate] + [encode(child) for child in node.args]
+                )
+            else:
+                raise TypeError(f"unexpected node in NNF formula: {node!r}")
+            encoded[node] = gate
+            return gate
+
+        root = encode(phi)
+        sat.add_clause([root])
+
+        def implicant(node: Formula, acc: dict[Formula, None],
+                      holds_memo: dict[Formula, bool]) -> None:
+            """Collect a small literal set that makes ``node`` true under
+            the current propositional assignment (the assignment satisfies
+            the formula, so one always exists).  Passing only these
+            literals to the theory keeps the conjunctions small and the
+            blocking clauses general."""
+            if isinstance(node, (Atom, Dvd)):
+                base, polarity = atom_polarity(node)
+                value = assignment[atom_vars[base]]
+                assert value == polarity, "assignment must satisfy formula"
+                acc.setdefault(node, None)
+                return
+            if isinstance(node, And):
+                for child in node.args:
+                    implicant(child, acc, holds_memo)
+                return
+            assert isinstance(node, Or)
+            for child in node.args:
+                if self._holds(child, assignment, atom_vars, holds_memo):
+                    implicant(child, acc, holds_memo)
+                    return
+            raise AssertionError("assignment must satisfy some disjunct")
+
+        for _ in range(self._max_rounds):
+            if not sat.solve():
+                return SmtResult(False, None)
+            assignment = sat.model()
+            seen: dict[Formula, None] = {}
+            implicant(phi, seen, {})
+            literals = list(seen)
+            model = self._theory.solve_literals(literals)
+            if model is not None:
+                return SmtResult(True, model)
+            core = self._theory.unsat_core(literals)
+            blocking = []
+            for lit in core:
+                base, polarity = atom_polarity(lit)
+                var = atom_vars[base]
+                blocking.append(-var if polarity else var)
+            sat.add_clause(blocking)
+        raise RuntimeError("SMT solver exceeded theory-round budget")
+
+    @staticmethod
+    def _holds(node: Formula, assignment: dict[int, bool],
+               atom_vars: dict[Formula, int],
+               memo: dict[Formula, bool]) -> bool:
+        """Evaluate an NNF node under a propositional atom assignment
+        (memoized over the shared-subformula DAG)."""
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, (Atom, Dvd)):
+            base, polarity = atom_polarity(node)
+            result = assignment[atom_vars[base]] == polarity
+        elif isinstance(node, And):
+            result = all(
+                SmtSolver._holds(child, assignment, atom_vars, memo)
+                for child in node.args
+            )
+        else:
+            assert isinstance(node, Or)
+            result = any(
+                SmtSolver._holds(child, assignment, atom_vars, memo)
+                for child in node.args
+            )
+        memo[node] = result
+        return result
+
+
+# A module-level default solver: callers that do not need isolation share
+# its formula cache.
+_DEFAULT = SmtSolver()
+
+
+def is_sat(phi: Formula) -> bool:
+    return _DEFAULT.is_sat(phi)
+
+
+def get_model(phi: Formula) -> Model | None:
+    return _DEFAULT.get_model(phi)
+
+
+def is_valid(phi: Formula) -> bool:
+    return _DEFAULT.is_valid(phi)
+
+
+def entails(premise: Formula, conclusion: Formula) -> bool:
+    return _DEFAULT.entails(premise, conclusion)
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    return _DEFAULT.equivalent(left, right)

@@ -1,0 +1,33 @@
+"""Simulated user study regenerating Figure 7 (see DESIGN.md for the
+human-participant substitution rationale)."""
+
+from .participants import (
+    Participant,
+    answer_query,
+    classify_manually,
+    query_difficulty,
+)
+from .stats import (
+    TTestResult,
+    accuracy_ttest,
+    format_figure7,
+    summarize,
+    time_ttest,
+    welch_ttest,
+)
+from .study import (
+    DiagnosisTree,
+    ProblemCell,
+    SessionOutcome,
+    StudyResult,
+    UserStudy,
+    run_user_study,
+)
+
+__all__ = [
+    "Participant", "answer_query", "classify_manually", "query_difficulty",
+    "TTestResult", "accuracy_ttest", "format_figure7", "summarize",
+    "time_ttest", "welch_ttest",
+    "DiagnosisTree", "ProblemCell", "SessionOutcome", "StudyResult",
+    "UserStudy", "run_user_study",
+]

@@ -1,0 +1,164 @@
+"""Behavioral model of user-study participants.
+
+The paper recruited 56 professional programmers (49 after screening) and
+had each classify error reports either manually or with the query-guided
+technique.  Humans cannot be recruited offline, so the reproduction
+replaces them with a stochastic participant model (documented as a
+substitution in DESIGN.md) and drives the *real* diagnosis engine with
+the simulated answers:
+
+* Each participant has a ``skill`` drawn from a Beta distribution.
+* **Manual classification** is modeled directly on the paper's findings:
+  accuracy near (even below) chance, driven down by program length and
+  the subtlety of the imprecision cause, with a substantial
+  "I don't know" rate and ~5-minute decision times.
+* **Query answering** is modeled per atomic query: local, single-fact
+  questions are answered correctly with high probability; error rates
+  grow with the number of facts a query mentions and shrink with skill.
+  Answer times are tens of seconds per query.
+
+The constants were calibrated once against Figure 7's aggregate shape
+(manual: ~33%/51%/16% at ~293 s; technique: ~90%/7%/2% at ~55 s) and are
+kept in one place so the sensitivity is easy to inspect.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..diagnosis import Answer, Query
+from ..suite import Benchmark
+
+# ---------------------------------------------------------------------------
+# calibration constants
+# ---------------------------------------------------------------------------
+
+#: manual classification: base probability of a correct call at skill 0.5
+MANUAL_BASE_CORRECT = 0.44
+#: how much skill sways manual accuracy
+MANUAL_SKILL_GAIN = 0.22
+#: accuracy penalty per 100 LOC of program length
+MANUAL_LOC_PENALTY = 0.045
+#: probability of giving up ("I don't know") on manual classification
+MANUAL_GIVEUP = 0.16
+#: mean and spread of manual classification time (seconds)
+MANUAL_TIME_MEAN = 240.0
+MANUAL_TIME_SPREAD = 0.40
+MANUAL_TIME_PER_LOC = 0.28
+
+#: per-query: probability of a correct answer at skill 0.5 for a
+#: single-fact query
+QUERY_BASE_CORRECT = 0.93
+#: accuracy penalty per additional variable mentioned by the query
+QUERY_VAR_PENALTY = 0.035
+#: probability of "I don't know" per query
+QUERY_GIVEUP = 0.02
+#: per-query time model (seconds)
+QUERY_TIME_BASE = 16.0
+QUERY_TIME_PER_VAR = 10.0
+QUERY_TIME_SPREAD = 0.50
+#: fixed overhead of reading the report and the tool output
+SESSION_OVERHEAD = 20.0
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One simulated professional programmer."""
+
+    ident: int
+    skill: float      # in [0, 1]
+
+    @staticmethod
+    def sample(ident: int, rng: random.Random) -> "Participant":
+        # Beta(5, 3): competent on average, with spread
+        return Participant(ident, rng.betavariate(5, 3))
+
+
+def _lognormal(rng: random.Random, mean: float, spread: float) -> float:
+    """A lognormal sample with the given (approximate) mean."""
+    mu = math.log(mean) - spread * spread / 2
+    return math.exp(rng.gauss(mu, spread))
+
+
+# ---------------------------------------------------------------------------
+# manual condition
+# ---------------------------------------------------------------------------
+
+def classify_manually(
+    participant: Participant,
+    bench: Benchmark,
+    rng: random.Random,
+) -> tuple[str, float]:
+    """Classify a report by reading the program (no tool assistance).
+
+    Returns ``(answer, seconds)`` with answer one of ``'false alarm'``,
+    ``'real bug'``, ``'unknown'``.
+    """
+    loc = bench.paper_loc
+    p_correct = (
+        MANUAL_BASE_CORRECT
+        + MANUAL_SKILL_GAIN * (participant.skill - 0.5)
+        - MANUAL_LOC_PENALTY * (loc / 100.0)
+    )
+    p_correct = min(max(p_correct, 0.05), 0.9)
+    p_giveup = MANUAL_GIVEUP
+
+    seconds = _lognormal(
+        rng,
+        MANUAL_TIME_MEAN + MANUAL_TIME_PER_LOC * loc,
+        MANUAL_TIME_SPREAD,
+    )
+
+    roll = rng.random()
+    if roll < p_giveup:
+        return "unknown", seconds
+    if rng.random() < p_correct:
+        return bench.classification, seconds
+    wrong = ("real bug" if bench.classification == "false alarm"
+             else "false alarm")
+    return wrong, seconds
+
+
+# ---------------------------------------------------------------------------
+# guided condition
+# ---------------------------------------------------------------------------
+
+def query_difficulty(query: Query) -> int:
+    """Number of distinct facts (variables) the query asks about."""
+    return max(1, len(query.formula.free_vars()))
+
+
+def answer_query(
+    participant: Participant,
+    query: Query,
+    truth: Answer,
+    rng: random.Random,
+) -> tuple[Answer, float]:
+    """Answer one atomic query; returns ``(answer, seconds)``.
+
+    ``truth`` is the ground-truth answer (what a perfectly careful
+    programmer would say).
+    """
+    nvars = query_difficulty(query)
+    p_correct = (
+        QUERY_BASE_CORRECT
+        + 0.04 * (participant.skill - 0.5)
+        - QUERY_VAR_PENALTY * (nvars - 1)
+    )
+    p_correct = min(max(p_correct, 0.5), 0.995)
+
+    seconds = _lognormal(
+        rng,
+        QUERY_TIME_BASE + QUERY_TIME_PER_VAR * (nvars - 1),
+        QUERY_TIME_SPREAD,
+    )
+
+    roll = rng.random()
+    if roll < QUERY_GIVEUP:
+        return Answer.UNKNOWN, seconds
+    if rng.random() < p_correct:
+        return truth, seconds
+    flipped = Answer.NO if truth is Answer.YES else Answer.YES
+    return flipped, seconds

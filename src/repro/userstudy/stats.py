@@ -1,0 +1,119 @@
+"""Statistics and rendering for the user study (Figure 7 + t-tests)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+from .study import StudyResult
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    statistic: float
+    p_value: float
+    n_left: int
+    n_right: int
+
+
+def welch_ttest(left: Sequence[float],
+                right: Sequence[float]) -> TTestResult:
+    """Two-tailed Welch t-test (unequal variances), as in the paper."""
+    result = scipy_stats.ttest_ind(left, right, equal_var=False)
+    return TTestResult(
+        statistic=float(result.statistic),
+        p_value=float(result.pvalue),
+        n_left=len(left),
+        n_right=len(right),
+    )
+
+
+def accuracy_ttest(study: StudyResult) -> TTestResult:
+    """Manual vs technique per-participant accuracy."""
+    return welch_ttest(
+        study.per_participant_accuracy("manual"),
+        study.per_participant_accuracy("technique"),
+    )
+
+
+def time_ttest(study: StudyResult) -> TTestResult:
+    """Manual vs technique classification times."""
+    return welch_ttest(study.times("manual"), study.times("technique"))
+
+
+def format_figure7(study: StudyResult) -> str:
+    """Render the study as the paper's Figure 7 table."""
+    header = (
+        f"{'':12s} {'LOC':>4s} {'Kind':>10s} {'Class.':>12s} | "
+        f"{'%corr':>6s} {'%wrong':>7s} {'%?':>6s} {'time':>7s} | "
+        f"{'%corr':>6s} {'%wrong':>7s} {'%?':>6s} {'time':>7s}"
+    )
+    bar = "-" * len(header)
+    lines = [
+        f"{'':34s}{'':12s}  Manual classification      |"
+        f"        New technique",
+        header,
+        bar,
+    ]
+    for bench in study.benchmarks:
+        manual = study.cell(bench.problem_id, "manual")
+        guided = study.cell(bench.problem_id, "technique")
+        lines.append(
+            f"Problem {bench.problem_id:<4d} {bench.paper_loc:>4d} "
+            f"{bench.kind:>10s} {bench.classification:>12s} | "
+            f"{manual.pct_correct:5.1f}% {manual.pct_wrong:6.1f}% "
+            f"{manual.pct_unknown:5.1f}% {manual.avg_seconds:5.0f} s | "
+            f"{guided.pct_correct:5.1f}% {guided.pct_wrong:6.1f}% "
+            f"{guided.pct_unknown:5.1f}% {guided.avg_seconds:5.0f} s"
+        )
+    manual_avg = study.average_cell("manual")
+    guided_avg = study.average_cell("technique")
+    lines.append(bar)
+    lines.append(
+        f"{'Average':12s} {'':4s} {'':10s} {'':12s} | "
+        f"{manual_avg.pct_correct:5.1f}% {manual_avg.pct_wrong:6.1f}% "
+        f"{manual_avg.pct_unknown:5.1f}% {manual_avg.avg_seconds:5.0f} s | "
+        f"{guided_avg.pct_correct:5.1f}% {guided_avg.pct_wrong:6.1f}% "
+        f"{guided_avg.pct_unknown:5.1f}% {guided_avg.avg_seconds:5.0f} s"
+    )
+
+    acc = accuracy_ttest(study)
+    tim = time_ttest(study)
+    lines.append("")
+    lines.append(
+        f"participants: {len(study.participants)} valid "
+        f"({study.excluded} excluded by the diagnostic problems)"
+    )
+    lines.append(
+        f"accuracy t-test (Welch, two-tailed): p = {acc.p_value:.3g}"
+    )
+    lines.append(
+        f"time t-test     (Welch, two-tailed): p = {tim.p_value:.3g}"
+    )
+    return "\n".join(lines)
+
+
+def summarize(study: StudyResult) -> dict:
+    """Aggregate numbers for programmatic comparison with the paper."""
+    manual = study.average_cell("manual")
+    guided = study.average_cell("technique")
+    return {
+        "participants": len(study.participants),
+        "excluded": study.excluded,
+        "manual": {
+            "pct_correct": manual.pct_correct,
+            "pct_wrong": manual.pct_wrong,
+            "pct_unknown": manual.pct_unknown,
+            "avg_seconds": manual.avg_seconds,
+        },
+        "technique": {
+            "pct_correct": guided.pct_correct,
+            "pct_wrong": guided.pct_wrong,
+            "pct_unknown": guided.pct_unknown,
+            "avg_seconds": guided.avg_seconds,
+        },
+        "accuracy_p_value": accuracy_ttest(study).p_value,
+        "time_p_value": time_ttest(study).p_value,
+    }

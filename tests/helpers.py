@@ -1,0 +1,46 @@
+"""Shared test utilities: brute-force reference procedures.
+
+The decision procedures (Omega test, SMT, Cooper QE, MSA) are all
+cross-checked against exhaustive enumeration over small boxes.  On a
+bounded box enumeration is exact, so any divergence inside the box is a
+real bug in the procedure under test.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.logic import Formula, Var
+
+
+def enumerate_box(
+    variables: Sequence[Var], radius: int
+) -> Iterable[dict[Var, int]]:
+    """All assignments with every value in [-radius, radius]."""
+    values = range(-radius, radius + 1)
+    for combo in itertools.product(values, repeat=len(variables)):
+        yield dict(zip(variables, combo))
+
+
+def brute_force_sat(
+    phi: Formula, variables: Sequence[Var], radius: int
+) -> dict[Var, int] | None:
+    """First model of ``phi`` inside the box, or None."""
+    for env in enumerate_box(variables, radius):
+        if phi.evaluate(env):
+            return env
+    return None
+
+
+def brute_force_valid_in_box(
+    phi: Formula, variables: Sequence[Var], radius: int
+) -> bool:
+    """Whether ``phi`` holds everywhere inside the box."""
+    return all(phi.evaluate(env) for env in enumerate_box(variables, radius))
+
+
+def assert_model(phi: Formula, model: Mapping[Var, int]) -> None:
+    """Assert that ``model`` (0-defaulted) satisfies quantifier-free phi."""
+    env = {v: model.get(v, 0) for v in phi.free_vars()}
+    assert phi.evaluate(env), f"claimed model {env} does not satisfy {phi}"

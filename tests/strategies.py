@@ -1,0 +1,73 @@
+"""Hypothesis strategies for random terms, atoms and formulas.
+
+Small coefficient/constant magnitudes keep brute-force boxes meaningful:
+a radius-3 box decides most facts about terms with coefficients in
+[-3, 3] and constants in [-4, 4].
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.logic import (
+    LinTerm,
+    Rel,
+    Var,
+    atom,
+    conj,
+    disj,
+    dvd,
+    neg,
+)
+
+VARS = [Var("x"), Var("y"), Var("z")]
+
+
+@st.composite
+def lin_terms(draw, variables=None, max_coeff: int = 3, max_const: int = 4):
+    variables = variables or VARS
+    coeffs = [
+        (v, draw(st.integers(-max_coeff, max_coeff))) for v in variables
+    ]
+    const = draw(st.integers(-max_const, max_const))
+    return LinTerm.make(coeffs, const)
+
+
+@st.composite
+def atoms(draw, variables=None, with_dvd: bool = True):
+    term = draw(lin_terms(variables))
+    if with_dvd and draw(st.booleans()) and draw(st.booleans()):
+        divisor = draw(st.integers(2, 5))
+        negated = draw(st.booleans())
+        return dvd(divisor, term, negated)
+    rel = draw(st.sampled_from([Rel.LE, Rel.EQ, Rel.NE]))
+    return atom(rel, term)
+
+
+@st.composite
+def formulas(draw, variables=None, max_depth: int = 3, with_dvd: bool = True):
+    depth = draw(st.integers(0, max_depth))
+    return _formula(draw, depth, variables, with_dvd)
+
+
+def _formula(draw, depth, variables, with_dvd):
+    if depth == 0:
+        return draw(atoms(variables, with_dvd=with_dvd))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(atoms(variables, with_dvd=with_dvd))
+    if choice == 1:
+        return neg(_formula(draw, depth - 1, variables, with_dvd))
+    parts = [
+        _formula(draw, depth - 1, variables, with_dvd)
+        for _ in range(draw(st.integers(2, 3)))
+    ]
+    return conj(*parts) if choice == 2 else disj(*parts)
+
+
+@st.composite
+def literal_lists(draw, variables=None, min_size: int = 1, max_size: int = 6,
+                  with_dvd: bool = True):
+    """Random conjunctions of literals for the Omega-test tests."""
+    size = draw(st.integers(min_size, max_size))
+    return [draw(atoms(variables, with_dvd=with_dvd)) for _ in range(size)]

@@ -1,0 +1,267 @@
+"""Tests for the Section 3 symbolic analysis.
+
+The marquee property (and the paper's central claim about the analysis):
+on loop-free programs the analysis is *exact* — the success condition
+``phi``, evaluated on the input variables, must coincide with the
+concrete interpreter's outcome on every input.  This is differentially
+tested on a corpus of hand-written programs and on randomly generated
+loop-free programs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_program, ValueSet
+from repro.lang import parse_program, run_program
+from repro.logic import TRUE, LinTerm, Var, conj, ge, le, neg
+from repro.smt import SmtSolver
+
+
+def outcome_formula(analysis, inputs: dict[str, int]):
+    """phi with input variables substituted by concrete inputs."""
+    sub = {
+        nu: LinTerm.constant(inputs[name])
+        for name, nu in analysis.input_vars.items()
+    }
+    return analysis.success.substitute(sub)
+
+
+class TestValueSets:
+    def test_constant(self):
+        vs = ValueSet.constant(5)
+        assert len(vs) == 1
+
+    def test_add_cross_product(self):
+        x, y = Var("x"), Var("y")
+        a = ValueSet.of([(LinTerm.constant(1), ge(x, 0)),
+                         (LinTerm.constant(2), neg(ge(x, 0)))])
+        b = ValueSet.of([(LinTerm.constant(10), ge(y, 0)),
+                         (LinTerm.constant(20), neg(ge(y, 0)))])
+        result = a.add(b)
+        assert len(result) == 4
+
+    def test_join_merges_equal_terms(self):
+        x = Var("x")
+        a = ValueSet.of([(LinTerm.constant(1), ge(x, 0))])
+        b = ValueSet.of([(LinTerm.constant(1), neg(ge(x, 0)))])
+        joined = a.join(b)
+        assert len(joined) == 1
+        assert joined.entries[0][1] is TRUE or joined.entries[0][1].is_true
+
+    def test_guard_false_empties(self):
+        from repro.logic import FALSE
+
+        vs = ValueSet.constant(3).guard(FALSE)
+        assert len(vs) == 0
+
+
+class TestLoopFreeExactness:
+    """phi must exactly predict the interpreter on loop-free programs."""
+
+    PROGRAMS = [
+        ("program p(x) { var y = x + 1; assert(y > x); }", True),
+        ("program p(x) { var y = x - 1; assert(y > x); }", False),
+        ('''
+        program p(a, b) {
+          var m;
+          if (a > b) { m = a; } else { m = b; }
+          assert(m >= a && m >= b);
+        }
+        ''', True),
+        ('''
+        program p(a, b) {
+          var m;
+          if (a > b) { m = a; } else { m = b; }
+          assert(m > a);
+        }
+        ''', False),
+        ('''
+        program p(x) {
+          var s;
+          if (x > 0) { s = 1; } else { if (x < 0) { s = -1; } }
+          assert(s * x >= 0);
+        }
+        ''', True),
+    ]
+
+    @pytest.mark.parametrize("src,always", PROGRAMS)
+    def test_phi_matches_interpreter(self, src, always):
+        program = parse_program(src)
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        mismatch = []
+        for trial in range(60):
+            rng = random.Random(trial)
+            inputs = {p.name: rng.randint(-8, 8)
+                      for p in program.params}
+            concrete = run_program(program, inputs).ok
+            grounded = outcome_formula(analysis, inputs)
+            # the grounded phi may mention abstraction vars (nonlinear);
+            # on these loop-free linear programs it must be ground
+            symbolic = solver.is_valid(grounded)
+            if concrete != symbolic:
+                mismatch.append(inputs)
+        assert not mismatch, f"exactness violated on {mismatch}"
+
+    def test_valid_assertion_discharged_outright(self):
+        program = parse_program(self.PROGRAMS[0][0])
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        assert solver.entails(analysis.invariants, analysis.success)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_random_loop_free_programs_exact(data):
+    """Generate random loop-free programs; phi must match the interpreter."""
+    rng_seed = data.draw(st.integers(0, 10_000))
+    rng = random.Random(rng_seed)
+    source = _random_program(rng)
+    program = parse_program(source)
+    analysis = analyze_program(program)
+    solver = SmtSolver()
+    for _ in range(10):
+        inputs = {p.name: rng.randint(-5, 5) for p in program.params}
+        concrete = run_program(program, inputs).ok
+        grounded = analysis.success.substitute({
+            nu: LinTerm.constant(inputs[name])
+            for name, nu in analysis.input_vars.items()
+        })
+        assert solver.is_valid(grounded) == concrete, (
+            source, inputs
+        )
+
+
+def _random_program(rng: random.Random) -> str:
+    """A random loop-free, linear program over inputs a, b."""
+    names = ["a", "b", "u", "v", "w"]
+
+    def expr(depth=2) -> str:
+        if depth == 0 or rng.random() < 0.4:
+            if rng.random() < 0.5:
+                return rng.choice(names)
+            return str(rng.randint(-4, 4))
+        op = rng.choice(["+", "-", "+"])
+        return f"({expr(depth - 1)} {op} {expr(depth - 1)})"
+
+    def cond() -> str:
+        op = rng.choice(["<", ">", "<=", ">=", "==", "!="])
+        return f"{expr(1)} {op} {expr(1)}"
+
+    def stmt(depth) -> list[str]:
+        choice = rng.random()
+        target = rng.choice(names[2:])
+        if choice < 0.5 or depth == 0:
+            return [f"{target} = {expr()};"]
+        then_body = "\n".join(stmt(depth - 1))
+        else_body = "\n".join(stmt(depth - 1))
+        return [
+            f"if ({cond()}) {{ {then_body} }} else {{ {else_body} }}"
+        ]
+
+    body = "\n".join(
+        line for _ in range(rng.randint(1, 4)) for line in stmt(2)
+    )
+    return f'''
+    program rnd(a, b) {{
+      var u, v, w;
+      {body}
+      assert({cond()});
+    }}
+    '''
+
+
+class TestAbstractions:
+    def test_loop_creates_abstractions(self):
+        program = parse_program('''
+        program p(n) {
+          var i, j;
+          while (i < n) { i = i + 1; j = j + 2; } @post(i >= 0)
+          assert(j >= 0);
+        }
+        ''')
+        analysis = analyze_program(program)
+        alphas = [v for v in analysis.all_vars if v.is_abstraction]
+        names = {v.name for v in alphas}
+        assert "i@loop1" in names or "j@loop1" in names
+
+    def test_nonlinear_square_fact(self):
+        program = parse_program('''
+        program p(x) {
+          var y = x * x;
+          assert(y >= 0);
+        }
+        ''')
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        # x*x >= 0 is exactly what I records: error discharged outright
+        assert solver.entails(analysis.invariants, analysis.success)
+
+    def test_nonlinear_product_not_square(self):
+        program = parse_program('''
+        program p(x, y) {
+          var z = x * y;
+          assert(z >= 0);
+        }
+        ''')
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        assert not solver.entails(analysis.invariants, analysis.success)
+        assert not solver.entails(analysis.invariants,
+                                  neg(analysis.success))
+
+    def test_havoc_assumption_in_invariants(self):
+        program = parse_program('''
+        program p(x) {
+          var y;
+          havoc y @assume(y >= 3);
+          assert(y >= 0);
+        }
+        ''')
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        assert solver.entails(analysis.invariants, analysis.success)
+
+    def test_unsigned_input_fact(self):
+        program = parse_program(
+            "program p(unsigned n) { assert(n >= 0); }"
+        )
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        assert solver.entails(analysis.invariants, analysis.success)
+
+    def test_branch_facts_are_guarded(self):
+        # the nonlinear fact from the then-branch must be guarded by the
+        # branch condition, not asserted globally
+        program = parse_program('''
+        program p(flag, x) {
+          var k;
+          if (flag != 0) { k = x * x; } else { k = -1; }
+          assert(k >= 0);
+        }
+        ''')
+        analysis = analyze_program(program)
+        solver = SmtSolver()
+        # flag == 0 gives k = -1, so the assertion is refutable: neither
+        # entailment may hold, but I must stay satisfiable
+        assert solver.is_sat(analysis.invariants)
+        assert not solver.entails(analysis.invariants, analysis.success)
+
+    def test_provenance_recorded(self):
+        program = parse_program('''
+        program p(n) {
+          var i;
+          while (i < n) { i = i + 1; } @post(i >= 0)
+          assert(i >= 0);
+        }
+        ''')
+        analysis = analyze_program(program)
+        loop_vars = [v for v, info in analysis.info.items()
+                     if info.kind == "loop"]
+        assert loop_vars
+        info = analysis.info[loop_vars[0]]
+        assert info.program_var == "i"
+        assert info.label == 1
+        assert "after the loop" in info.description

@@ -1,0 +1,194 @@
+"""Tests for bounded unrolling and the static-underapproximation oracle."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.api import analyze_source
+from repro.bmc import UnrollingOracle, unroll_program
+from repro.diagnosis import (
+    Answer,
+    ChainOracle,
+    EngineConfig,
+    ScriptedOracle,
+    Verdict,
+    diagnose_error,
+)
+from repro.lang import While, parse_program, run_program
+
+
+SUM = """
+program summer(unsigned n) {
+  var i = 0, acc = 0;
+  while (i < n) {
+    i = i + 1;
+    acc = acc + 2;
+  }
+  assert(acc >= n);
+}
+"""
+
+
+class TestUnrolling:
+    def test_result_is_loop_free(self):
+        program = parse_program(SUM)
+        unrolled, info = unroll_program(program, 4)
+        assert not any(
+            isinstance(s, While) for s in unrolled.body.walk()
+        )
+        assert info.bound == 4
+        assert 1 in info.overflow_vars
+        assert (1, "i") in info.snapshot_vars
+        assert (1, "acc") in info.snapshot_vars
+
+    def test_semantics_preserved_within_bound(self):
+        program = parse_program(SUM)
+        unrolled, info = unroll_program(program, 6)
+        for n in range(0, 7):
+            original = run_program(program, [n])
+            bounded = run_program(unrolled, [n])
+            assert original.ok == bounded.ok
+            # overflow marker stays 0 within the bound
+            assert bounded.env[info.overflow_vars[1]] == 0
+            # snapshots capture the exit values
+            assert bounded.env[info.snapshot_vars[(1, "i")]] == n
+            assert bounded.env[info.snapshot_vars[(1, "acc")]] == 2 * n
+
+    def test_overflow_detected_beyond_bound(self):
+        program = parse_program(SUM)
+        unrolled, info = unroll_program(program, 3)
+        result = run_program(unrolled, [5])
+        assert result.env[info.overflow_vars[1]] == 1
+
+    def test_zero_bound(self):
+        program = parse_program(SUM)
+        unrolled, info = unroll_program(program, 0)
+        result = run_program(unrolled, [0])
+        assert result.env[info.overflow_vars[1]] == 0
+        result = run_program(unrolled, [1])
+        assert result.env[info.overflow_vars[1]] == 1
+
+    def test_negative_bound_rejected(self):
+        program = parse_program(SUM)
+        with pytest.raises(ValueError):
+            unroll_program(program, -1)
+
+    def test_nested_loops_unroll(self):
+        source = """
+        program nest(unsigned n) {
+          var i, j, t;
+          while (i < n) {
+            j = 0;
+            while (j < i) { j = j + 1; t = t + 1; }
+            i = i + 1;
+          }
+          assert(t >= 0);
+        }
+        """
+        program = parse_program(source)
+        unrolled, info = unroll_program(program, 3)
+        assert not any(isinstance(s, While) for s in unrolled.body.walk())
+        for n in range(0, 4):
+            original = run_program(program, [n])
+            bounded = run_program(unrolled, [n])
+            assert original.ok == bounded.ok
+
+
+class TestUnrollingOracle:
+    def _oracle(self, source, bound=6):
+        outcome = analyze_source(source, auto_annotate=False)
+        return outcome, UnrollingOracle(
+            outcome.program, outcome.analysis, bound=bound
+        )
+
+    def test_validates_real_bug_statically(self):
+        source = """
+        program offbyone(unsigned n) {
+          var i = 0, written = 0;
+          while (i <= n) { i = i + 1; written = written + 1; }
+          @post(written >= 0)
+          assert(written <= n);
+        }
+        """
+        outcome, oracle = self._oracle(source)
+        result = diagnose_error(outcome.analysis, oracle,
+                                EngineConfig(max_rounds=8))
+        assert result.verdict is Verdict.VALIDATED
+
+    def test_invariant_violation_found(self):
+        outcome, oracle = self._oracle(SUM)
+        from repro.diagnosis.queries import Query
+        from repro.logic import LinTerm, ge, le
+
+        alpha_acc = next(v for v in outcome.analysis.all_vars
+                         if v.name == "acc@loop1")
+        # "acc <= 3 after the loop" is violated by bounded runs (n=2)
+        query = Query("invariant", le(LinTerm.var(alpha_acc), 3), "q")
+        assert oracle.answer(query) is Answer.NO
+        # "acc >= 0 after the loop" holds on bounded runs but the loop
+        # can exceed the bound, so the oracle must stay humble
+        query2 = Query("invariant", ge(LinTerm.var(alpha_acc), 0), "q2")
+        assert oracle.answer(query2) is Answer.UNKNOWN
+
+    def test_witness_confirmed(self):
+        outcome, oracle = self._oracle(SUM)
+        from repro.diagnosis.queries import Query
+        from repro.logic import LinTerm, eq
+
+        alpha_acc = next(v for v in outcome.analysis.all_vars
+                         if v.name == "acc@loop1")
+        query = Query("witness", eq(LinTerm.var(alpha_acc), 4), "q")
+        assert oracle.answer(query) is Answer.YES
+
+    def test_exact_when_loops_statically_bounded(self):
+        source = """
+        program fixed(x) {
+          var i = 0, acc = 0;
+          while (i < 3) { i = i + 1; acc = acc + x; }
+          assert(acc == 3 * x);
+        }
+        """
+        outcome, oracle = self._oracle(source, bound=5)
+        from repro.diagnosis.queries import Query
+        from repro.logic import LinTerm, ge, Var
+
+        alpha_i = next(v for v in outcome.analysis.info
+                       if v.name == "i@loop1")
+        # with the loop bounded by the constant 3, bound 5 is complete:
+        # "i >= 3 at exit" is a provable invariant
+        query = Query("invariant", ge(LinTerm.var(alpha_i), 3), "q")
+        assert oracle.answer(query) is Answer.YES
+        # and an unrealizable witness is definitively refuted
+        query2 = Query("witness", ge(LinTerm.var(alpha_i), 4), "q2")
+        assert oracle.answer(query2) is Answer.NO
+
+    def test_unknown_on_unsupported_variables(self):
+        source = """
+        program havocky(x) {
+          var y;
+          havoc y @assume(y >= 0);
+          assert(y >= 0);
+        }
+        """
+        outcome = analyze_source(source, auto_annotate=False)
+        oracle = UnrollingOracle(outcome.program, outcome.analysis)
+        from repro.diagnosis.queries import Query
+        from repro.logic import LinTerm, ge
+
+        alpha = next(v for v in outcome.analysis.all_vars
+                     if v.is_abstraction)
+        query = Query("witness", ge(LinTerm.var(alpha), 5), "q")
+        assert oracle.answer(query) is Answer.UNKNOWN
+
+    def test_chains_with_exhaustive_fallback(self):
+        from repro.diagnosis import ExhaustiveOracle
+
+        outcome, oracle = self._oracle(SUM)
+        fallback = ExhaustiveOracle(outcome.program, outcome.analysis,
+                                    radius=6)
+        chained = ChainOracle([oracle, fallback])
+        result = diagnose_error(outcome.analysis, chained,
+                                EngineConfig(max_rounds=10))
+        # SUM's assertion acc >= n is true (acc = 2n): the bounded
+        # oracle answers what it can decide and the exhaustive oracle
+        # covers the universal questions; the chain must discharge
+        assert result.verdict is Verdict.DISCHARGED

@@ -1,0 +1,150 @@
+"""Unit tests for the cost models (Definitions 2/9) and query rendering
+details not covered by the engine-level tests."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.diagnosis import (
+    QueryRenderer,
+    decompose_invariant,
+    decompose_witness,
+    formula_cost,
+    pi_p,
+    pi_w,
+    uniform,
+)
+from repro.diagnosis.cost import total_vars
+from repro.lang import parse_program
+from repro.logic import (
+    LinTerm,
+    Var,
+    VarKind,
+    conj,
+    disj,
+    dvd,
+    ge,
+    le,
+    parse_formula,
+)
+
+ALPHA = Var("a", VarKind.ABSTRACTION)
+NU = Var("v", VarKind.INPUT)
+INV = parse_formula("x >= 0 && y >= 0")
+PHI = parse_formula("x >= 0 || z <= 1")
+
+
+class TestCostModels:
+    def test_total_vars_union(self):
+        assert total_vars(INV, PHI) == 3
+
+    def test_pi_p_charges_inputs(self):
+        cost = pi_p(INV, PHI)
+        assert cost(ALPHA) == 1
+        assert cost(NU) == 3
+
+    def test_pi_w_charges_abstractions(self):
+        cost = pi_w(INV, PHI)
+        assert cost(NU) == 1
+        assert cost(ALPHA) == 3
+
+    def test_uniform(self):
+        cost = uniform(INV, PHI)
+        assert cost(ALPHA) == cost(NU) == 1
+
+    def test_formula_cost_sums_distinct_vars(self):
+        cost = pi_p(INV, PHI)
+        gamma = conj(ge(ALPHA, 0), le(LinTerm.var(ALPHA), LinTerm.var(NU)))
+        # alpha counted once (1) + nu once (3)
+        assert formula_cost(gamma, cost) == 4
+
+    def test_expensive_tier_never_below_one(self):
+        from repro.logic import TRUE
+
+        cost = pi_p(TRUE, TRUE)
+        assert cost(NU) >= 1
+
+
+class TestDecomposition:
+    def test_invariant_cnf_with_shared_literal(self):
+        gamma = parse_formula("(x >= 0 || y >= 0) && (x >= 0 || z >= 0)")
+        clauses = decompose_invariant(gamma)
+        assert len(clauses) == 2
+
+    def test_witness_dnf_cube(self):
+        upsilon = parse_formula("(x < 0 && y < 0) || z < 0")
+        clauses = decompose_witness(upsilon)
+        assert len(clauses) == 2
+
+    def test_true_invariant_has_no_clauses(self):
+        from repro.logic import TRUE
+
+        assert decompose_invariant(TRUE) == []
+
+    def test_false_witness_has_no_clauses(self):
+        from repro.logic import FALSE
+
+        assert decompose_witness(FALSE) == []
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    program = parse_program("""
+    program demo(unsigned n, m) {
+      var i, j, p;
+      while (i < n) { i = i + 1; j = j + m; } @post(i >= 0)
+      p = m * m;
+      havoc j @assume(j >= -1);
+      assert(p + i + j >= 0);
+    }
+    """)
+    analysis = analyze_program(program)
+    return analysis, QueryRenderer(analysis)
+
+
+class TestRenderer:
+    def test_display_names_collapse_to_program_names(self, renderer):
+        analysis, r = renderer
+        for v, info in analysis.info.items():
+            if info.kind in ("loop", "havoc"):
+                # internal names like j@loop1 must not leak to the user
+                assert "@" not in r.display_name(v)
+
+    def test_name_collision_disambiguated(self, renderer):
+        analysis, r = renderer
+        # j appears both as a loop abstraction and a havoc abstraction:
+        # the two must not render to the same string
+        j_vars = [v for v, info in analysis.info.items()
+                  if info.program_var == "j"]
+        names = {r.display_name(v) for v in j_vars}
+        assert len(names) == len(j_vars)
+
+    def test_dvd_atom_renders(self, renderer):
+        _, r = renderer
+        x = Var("x")
+        text = r.format_atom(dvd(3, LinTerm.var(x) + 1))
+        assert "divides" in text
+
+    def test_negated_dvd_renders(self, renderer):
+        _, r = renderer
+        x = Var("x")
+        text = r.format_atom(dvd(3, LinTerm.var(x), negated=True))
+        assert "does not divide" in text
+
+    def test_notes_mention_locations(self, renderer):
+        analysis, r = renderer
+        loop_var = next(v for v, info in analysis.info.items()
+                        if info.kind == "loop")
+        query = r.invariant_query(ge(LinTerm.var(loop_var), 0))
+        assert any("after the loop" in note for note in query.notes)
+
+    def test_input_vars_get_no_notes(self, renderer):
+        analysis, r = renderer
+        nu = analysis.input_vars["n"]
+        query = r.invariant_query(ge(LinTerm.var(nu), 0))
+        assert query.notes == ()
+
+    def test_formula_with_mixed_connectives(self, renderer):
+        _, r = renderer
+        phi = parse_formula("(x >= 0 && y >= 0) || z == 1")
+        text = r.format_formula(phi)
+        assert " or " in text and " and " in text

@@ -1,0 +1,102 @@
+"""Focused unit tests for the interval domain internals."""
+
+from repro.abstract.intervals import (
+    Interval,
+    IntervalEnv,
+    _negate,
+    assume,
+    eval_interval,
+)
+from repro.lang.ast import BinOp, BoolConst, BoolOp, Cmp, Const, Name, \
+    NotPred
+
+
+def env(**bounds):
+    e = IntervalEnv()
+    for name, (lo, hi) in bounds.items():
+        e[name] = Interval(lo, hi)
+    return e
+
+
+class TestNegatePredicate:
+    def test_cmp_flips(self):
+        assert _negate(Cmp("<", Name("x"), Const(3))).op == ">="
+        assert _negate(Cmp("==", Name("x"), Const(3))).op == "!="
+
+    def test_de_morgan(self):
+        pred = BoolOp("&&", (Cmp("<", Name("x"), Const(1)),
+                             Cmp(">", Name("x"), Const(5))))
+        negated = _negate(pred)
+        assert isinstance(negated, BoolOp) and negated.op == "||"
+
+    def test_double_negation(self):
+        pred = NotPred(Cmp("<", Name("x"), Const(1)))
+        assert _negate(pred) == pred.arg
+
+    def test_bool_const(self):
+        assert _negate(BoolConst(True)).value is False
+
+
+class TestAssume:
+    def test_upper_refinement(self):
+        e = assume(Cmp("<", Name("x"), Const(5)), env(x=(None, None)))
+        assert e["x"].hi == 4
+
+    def test_lower_refinement_via_mirror(self):
+        # 3 <= x puts a lower bound on the variable on the right side
+        e = assume(Cmp("<=", Const(3), Name("x")), env(x=(None, None)))
+        assert e["x"].lo == 3
+
+    def test_equality_refinement(self):
+        e = assume(Cmp("==", Name("x"), Const(7)), env(x=(0, 100)))
+        assert e["x"] == Interval(7, 7)
+
+    def test_conjunction_refines_both_sides(self):
+        pred = BoolOp("&&", (Cmp(">=", Name("x"), Const(1)),
+                             Cmp("<=", Name("x"), Const(4))))
+        e = assume(pred, env(x=(None, None)))
+        assert e["x"] == Interval(1, 4)
+
+    def test_disjunction_joins(self):
+        pred = BoolOp("||", (Cmp("==", Name("x"), Const(1)),
+                             Cmp("==", Name("x"), Const(9))))
+        e = assume(pred, env(x=(None, None)))
+        assert e["x"] == Interval(1, 9)
+
+    def test_contradiction_bottoms(self):
+        pred = BoolOp("&&", (Cmp(">=", Name("x"), Const(5)),
+                             Cmp("<=", Name("x"), Const(4))))
+        e = assume(pred, env(x=(None, None)))
+        assert e.is_bottom
+
+    def test_false_constant_bottoms(self):
+        e = assume(BoolConst(False), env(x=(0, 1)))
+        assert e.is_bottom
+
+    def test_disequality_is_noop(self):
+        e = assume(Cmp("!=", Name("x"), Const(3)), env(x=(0, 5)))
+        assert e["x"] == Interval(0, 5)
+
+
+class TestEval:
+    def test_linear_expression(self):
+        e = env(x=(1, 2), y=(10, 20))
+        expr = BinOp("+", BinOp("*", Const(3), Name("x")), Name("y"))
+        assert eval_interval(expr, e) == Interval(13, 26)
+
+    def test_subtraction_swaps_bounds(self):
+        e = env(x=(1, 2))
+        expr = BinOp("-", Const(0), Name("x"))
+        assert eval_interval(expr, e) == Interval(-2, -1)
+
+    def test_mixed_sign_multiplication(self):
+        e = env(x=(-2, 3), y=(-5, 1))
+        expr = BinOp("*", Name("x"), Name("y"))
+        result = eval_interval(expr, e)
+        products = [a * b for a in (-2, 3) for b in (-5, 1)]
+        assert result == Interval(min(products), max(products))
+
+    def test_unbounded_times_zero_crossing(self):
+        e = env(x=(None, None), y=(0, 1))
+        expr = BinOp("*", Name("x"), Name("y"))
+        assert eval_interval(expr, e) == Interval.TOP

@@ -1,0 +1,167 @@
+"""Tests for the concrete interpreter (Figure 1 semantics)."""
+
+import pytest
+
+from repro.lang import (
+    FixedHavocPolicy,
+    Interpreter,
+    OutOfFuel,
+    parse_program,
+    run_program,
+)
+
+
+def make(src):
+    return parse_program(src)
+
+
+class TestBasics:
+    def test_locals_start_at_zero(self):
+        p = make("program p(x) { var y; assert(y == 0); }")
+        assert run_program(p, [99]).ok
+
+    def test_inputs_bound(self):
+        p = make("program p(x, y) { assert(x + y == 7); }")
+        assert run_program(p, [3, 4]).ok
+        assert not run_program(p, [3, 5]).ok
+        assert run_program(p, {"x": 2, "y": 5}).ok
+
+    def test_unsigned_rejects_negative(self):
+        p = make("program p(unsigned n) { assert(n >= 0); }")
+        with pytest.raises(ValueError):
+            run_program(p, [-1])
+
+    def test_missing_input(self):
+        p = make("program p(x) { assert(x == 0); }")
+        with pytest.raises(ValueError):
+            run_program(p, {})
+        with pytest.raises(ValueError):
+            run_program(p, [1, 2])
+
+    def test_if_else(self):
+        p = make('''
+        program p(x) {
+          var y;
+          if (x > 0) { y = 1; } else { y = -1; }
+          assert(y * x >= 0);
+        }
+        ''')
+        assert run_program(p, [5]).ok
+        assert run_program(p, [-5]).ok
+        assert run_program(p, [0]).ok  # else branch: y=-1, y*x = 0
+
+    def test_if_else_zero_case(self):
+        p = make('''
+        program p(x) {
+          var y;
+          if (x > 0) { y = 1; } else { y = -1; }
+          assert(y * x > 0);
+        }
+        ''')
+        assert not run_program(p, [0]).ok
+
+    def test_loop_sum(self):
+        p = make('''
+        program p(unsigned n) {
+          var i, s;
+          while (i < n) { i = i + 1; s = s + i; }
+          assert(2 * s == n * n + n);
+        }
+        ''')
+        for n in range(8):
+            assert run_program(p, [n]).ok
+
+    def test_loop_exit_env_recorded(self):
+        p = make('''
+        program p(unsigned n) {
+          var i;
+          while (i < n) { i = i + 1; }
+          assert(i == n);
+        }
+        ''')
+        result = run_program(p, [4])
+        assert result.ok
+        assert result.loop_exit_envs[1][-1]["i"] == 4
+
+    def test_nonlinear_site_recorded(self):
+        p = make('''
+        program p(x) {
+          var y;
+          y = x * x;
+          assert(y >= 0);
+        }
+        ''')
+        result = run_program(p, [7])
+        assert result.ok
+        assert 49 in result.site_values.values()
+
+    def test_fuel_exhaustion(self):
+        p = make('''
+        program p(x) {
+          var i;
+          while (i >= 0) { i = i + 1; }
+          assert(i < 0);
+        }
+        ''')
+        with pytest.raises(OutOfFuel):
+            Interpreter(fuel=1000).run(p, [0])
+
+
+class TestHavoc:
+    def test_fixed_policy(self):
+        p = make('''
+        program p(x) {
+          var y;
+          havoc y;
+          assert(y == 42);
+        }
+        ''')
+        result = Interpreter(
+            havoc_policy=FixedHavocPolicy([42])
+        ).run(p, [0])
+        assert result.ok
+        assert result.havoc_values == [42]
+
+    def test_assume_respected(self):
+        p = make('''
+        program p(x) {
+          var y;
+          havoc y @assume(y >= 10 && y <= 20);
+          assert(y >= 10);
+        }
+        ''')
+        for seed in range(5):
+            import random
+
+            from repro.lang import HavocPolicy
+
+            result = Interpreter(
+                havoc_policy=HavocPolicy(random.Random(seed))
+            ).run(p, [0])
+            assert result.ok
+            assert 10 <= result.env["y"] <= 20
+
+    def test_fixed_policy_rejects_violating_value(self):
+        p = make('''
+        program p(x) {
+          var y;
+          havoc y @assume(y > 100);
+          assert(y > 100);
+        }
+        ''')
+        # 5 violates the assumption; the policy must repair it
+        result = Interpreter(
+            havoc_policy=FixedHavocPolicy([5])
+        ).run(p, [0])
+        assert result.ok
+
+    def test_narrow_assumption_via_solver(self):
+        # random probing in [-64, 64] cannot hit y == 1000000
+        p = make('''
+        program p(x) {
+          var y;
+          havoc y @assume(y == 1000000);
+          assert(y == 1000000);
+        }
+        ''')
+        assert run_program(p, [0]).ok

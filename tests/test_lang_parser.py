@@ -1,0 +1,158 @@
+"""Tests for the lexer and parser."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    BinOp,
+    BoolOp,
+    Cmp,
+    Havoc,
+    If,
+    ParseError,
+    Skip,
+    While,
+    parse_program,
+)
+
+GOOD = '''
+program demo(a, unsigned b) {
+  var x = 1, y;
+  // line comment
+  if (a > 0) { x = x + a; } else { skip; }
+  /* block
+     comment */
+  while (y < b) {
+    y = y + 1;
+  } @post(y >= 0)
+  havoc x @assume(x >= -1 && x <= 3);
+  assert(x + y >= -1);
+}
+'''
+
+
+class TestParseGood:
+    def test_structure(self):
+        p = parse_program(GOOD)
+        assert p.name == "demo"
+        assert p.param_names() == ("a", "b")
+        assert p.params[1].unsigned and not p.params[0].unsigned
+        assert p.locals == ("x", "y")
+
+    def test_statement_kinds(self):
+        p = parse_program(GOOD)
+        kinds = [type(s).__name__ for s in p.body.body]
+        assert kinds == ["Assign", "If", "While", "Havoc"]
+
+    def test_loop_annotation(self):
+        p = parse_program(GOOD)
+        loop = p.loops()[0]
+        assert loop.label == 1
+        assert loop.post is not None
+        assert "y >= 0" in str(loop.post)
+
+    def test_havoc_assume(self):
+        p = parse_program(GOOD)
+        havoc = [s for s in p.body.walk() if isinstance(s, Havoc)][0]
+        assert havoc.target == "x"
+        assert havoc.assume is not None
+
+    def test_loop_labels_sequential(self):
+        src = '''
+        program two(n) {
+          var i, j;
+          while (i < n) { i = i + 1; }
+          while (j < n) { j = j + 1; }
+          assert(i >= j);
+        }
+        '''
+        p = parse_program(src)
+        assert [l.label for l in p.loops()] == [1, 2]
+
+    def test_nested_loops(self):
+        src = '''
+        program nest(n) {
+          var i, j, t;
+          while (i < n) {
+            j = 0;
+            while (j < i) { j = j + 1; t = t + 1; }
+            i = i + 1;
+          }
+          assert(t >= 0);
+        }
+        '''
+        p = parse_program(src)
+        loops = p.loops()
+        assert len(loops) == 2  # walk() visits nested loops too
+        outer = loops[0]
+        inner = [s for s in outer.body.walk() if isinstance(s, While)]
+        assert len(inner) == 1
+        assert outer.modified_vars() == {"i", "j", "t"}
+
+    def test_unary_minus_and_precedence(self):
+        src = '''
+        program m(x) {
+          var y;
+          y = -x + 2 * x - (x - 1);
+          assert(y >= 0);
+        }
+        '''
+        p = parse_program(src)
+        assign = p.body.body[0]
+        assert isinstance(assign, Assign)
+
+    def test_spans_recorded(self):
+        p = parse_program(GOOD)
+        loop = p.loops()[0]
+        assert loop.span.line == 8
+
+
+class TestParseErrors:
+    def test_missing_final_assert(self):
+        with pytest.raises(ParseError, match="must end with"):
+            parse_program("program p(x) { var y; y = x; }")
+
+    def test_assert_not_last(self):
+        src = '''
+        program p(x) {
+          var y;
+          if (x > 0) { assert(x > 0); }
+          assert(y == 0);
+        }
+        '''
+        with pytest.raises(ParseError, match="final statement"):
+            parse_program(src)
+
+    def test_undeclared_variable(self):
+        with pytest.raises(ParseError, match="not declared"):
+            parse_program("program p(x) { y = 1; assert(x > 0); }")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(ParseError, match="already declared"):
+            parse_program(
+                "program p(x) { var x; assert(x > 0); }"
+            )
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(ParseError, match="duplicate parameter"):
+            parse_program("program p(x, x) { assert(x > 0); }")
+
+    def test_unknown_annotation(self):
+        with pytest.raises(ParseError, match="unknown annotation"):
+            parse_program(
+                "program p(x) { var i; while (i < x) @foo { i = i + 1; } "
+                "assert(i >= 0); }"
+            )
+
+    def test_unterminated_comment(self):
+        with pytest.raises(ParseError, match="unterminated comment"):
+            parse_program("program p(x) { /* oops assert(x > 0); }")
+
+    def test_error_carets_render(self):
+        try:
+            parse_program("program p(x) { zz = 1; assert(x > 0); }")
+        except ParseError as exc:
+            rendered = str(exc)
+            assert "zz" in rendered and "^" in rendered
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,213 @@
+"""Tests for the Omega-test integer feasibility solver.
+
+The key property test cross-checks the solver against brute-force
+enumeration: with coefficients in [-3,3] and constants in [-4,4] most
+satisfiable systems have witnesses in a small box, and everything the
+solver claims is checked by evaluating the literals under the model.
+"""
+
+from hypothesis import given, settings
+
+from repro.lia import OmegaSolver, solve_literals, unsat_core
+from repro.logic import (
+    FALSE,
+    TRUE,
+    LinTerm,
+    Var,
+    conj,
+    dvd,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    parse_formula,
+)
+from .helpers import assert_model, brute_force_sat
+from .strategies import VARS, literal_lists
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def check(literals, expect_sat=None):
+    model = solve_literals(literals)
+    if model is not None:
+        assert_model(conj(*literals), model)
+    if expect_sat is not None:
+        assert (model is not None) == expect_sat, (literals, model)
+    return model
+
+
+class TestBasics:
+    def test_empty_is_sat(self):
+        assert check([], expect_sat=True) == {}
+
+    def test_true_false(self):
+        check([TRUE], expect_sat=True)
+        check([FALSE], expect_sat=False)
+
+    def test_simple_bounds(self):
+        check([ge(x, 1), le(x, 3)], expect_sat=True)
+        check([ge(x, 4), le(x, 3)], expect_sat=False)
+
+    def test_equality_chain(self):
+        model = check([eq(x, y), eq(y, z), ge(x, 5)], expect_sat=True)
+        assert model[x] == model[y] == model[z] >= 5
+
+    def test_disequality(self):
+        check([eq(x, 3), ne(x, 3)], expect_sat=False)
+        model = check([ge(x, 0), le(x, 1), ne(x, 0)], expect_sat=True)
+        assert model[x] == 1
+
+    def test_many_disequalities_pigeonhole(self):
+        # x in [0,2] but x != 0,1,2: unsat
+        lits = [ge(x, 0), le(x, 2), ne(x, 0), ne(x, 1), ne(x, 2)]
+        check(lits, expect_sat=False)
+
+
+class TestIntegrality:
+    def test_tight_gap_has_no_integer(self):
+        # 1 <= 3x - 3y <= 2: feasible over rationals, infeasible over Z
+        t = LinTerm.make([(x, 3), (y, -3)])
+        check([ge(t, 1), le(t, 2)], expect_sat=False)
+
+    def test_parity_conflict(self):
+        # 2x = 2y + 1 is unsat
+        check([eq(LinTerm.var(x, 2), LinTerm.var(y, 2) + 1)],
+              expect_sat=False)
+
+    def test_dark_shadow_needs_splinters(self):
+        # classic omega example: 0 <= 3x - 2y, 2y - 3x >= -1 and y bounds
+        # force reasoning beyond the dark shadow
+        lits = [
+            le(LinTerm.var(y, 2) - LinTerm.var(x, 3), 0),
+            le(LinTerm.var(x, 3) - LinTerm.var(y, 2), 1),
+            ge(y, 1),
+            le(y, 10),
+        ]
+        model = check(lits, expect_sat=True)
+        assert 1 <= model[y] <= 10
+
+    def test_non_unit_equality(self):
+        # 7x + 12y = 17 has integer solutions
+        model = check(
+            [eq(LinTerm.make([(x, 7), (y, 12)]), 17)], expect_sat=True
+        )
+        assert 7 * model[x] + 12 * model[y] == 17
+
+    def test_non_unit_equality_unsat(self):
+        # 6x + 9y = 5: gcd 3 does not divide 5
+        check([eq(LinTerm.make([(x, 6), (y, 9)]), 5)], expect_sat=False)
+
+
+class TestDivisibility:
+    def test_dvd_sat(self):
+        model = check(
+            [dvd(4, LinTerm.var(x) + 1), ge(x, 10), le(x, 14)],
+            expect_sat=True,
+        )
+        assert (model[x] + 1) % 4 == 0
+
+    def test_dvd_unsat(self):
+        check(
+            [dvd(4, LinTerm.var(x)), dvd(4, LinTerm.var(x) + 2),
+             ge(x, 0), le(x, 100)],
+            expect_sat=False,
+        )
+
+    def test_negated_dvd(self):
+        model = check(
+            [dvd(2, LinTerm.var(x), negated=True), ge(x, 0), le(x, 1)],
+            expect_sat=True,
+        )
+        assert model[x] == 1
+
+    def test_dvd_combination(self):
+        # x = 1 mod 2 and x = 2 mod 3 -> x = 5 mod 6
+        model = check(
+            [dvd(2, LinTerm.var(x) - 1), dvd(3, LinTerm.var(x) - 2),
+             ge(x, 0), le(x, 20)],
+            expect_sat=True,
+        )
+        assert model[x] % 6 == 5
+
+
+class TestLargerSystems:
+    def test_triangular(self):
+        lits = [
+            ge(x, 0), ge(y, 0), ge(z, 0),
+            le(LinTerm.var(x) + LinTerm.var(y) + LinTerm.var(z), 10),
+            ge(LinTerm.var(x) + LinTerm.var(y), 7),
+            ge(LinTerm.var(y) + LinTerm.var(z), 7),
+        ]
+        check(lits, expect_sat=True)
+
+    def test_infeasible_triangle(self):
+        lits = [
+            gt(x, y), gt(y, z), gt(z, x),
+        ]
+        check(lits, expect_sat=False)
+
+    def test_scaled_system(self):
+        lits = [
+            ge(LinTerm.make([(x, 5), (y, -3)]), 2),
+            le(LinTerm.make([(x, 5), (y, -3)]), 4),
+            ge(LinTerm.make([(x, 2), (y, 7)]), 10),
+            le(x, 50), ge(x, -50), le(y, 50), ge(y, -50),
+        ]
+        model = solve_literals(lits)
+        if model is not None:
+            assert_model(conj(*lits), model)
+
+
+class TestUnsatCore:
+    def test_core_is_minimal_and_unsat(self):
+        lits = [ge(x, 5), le(y, 100), le(x, 3), ge(z, 0)]
+        core = unsat_core(lits)
+        assert set(core) == {ge(x, 5), le(x, 3)}
+
+    def test_core_on_sat_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            unsat_core([ge(x, 0)])
+
+
+class TestPaperFormulas:
+    def test_running_example_invariant_consistent(self):
+        kinds = {}
+        inv = parse_formula(
+            "a_nn >= 0 && a_i >= 0 && a_i > n && n >= 0", kinds
+        )
+        lits = [lit for lit in inv.args]
+        check(lits, expect_sat=True)
+
+
+@settings(max_examples=300, deadline=None)
+@given(literal_lists())
+def test_omega_agrees_with_brute_force(literals):
+    """Inside a radius-4 box the brute force is exact; the solver must find
+    a model whenever brute force does, and any model must check out."""
+    phi = conj(*literals)
+    solver = OmegaSolver()
+    model = solver.solve_literals(literals)
+    if model is not None:
+        assert_model(phi, model)
+    else:
+        witness = brute_force_sat(phi, VARS, 4)
+        assert witness is None, (
+            f"solver said UNSAT but {witness} satisfies {phi}"
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(literal_lists(min_size=2, max_size=5, with_dvd=False))
+def test_omega_model_minimal_per_bounds(literals):
+    """Whatever the solver returns must satisfy every individual literal."""
+    model = solve_literals(literals)
+    if model is None:
+        return
+    for lit in literals:
+        env = {v: model.get(v, 0) for v in lit.free_vars()}
+        assert lit.evaluate(env)

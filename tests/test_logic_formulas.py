@@ -1,0 +1,193 @@
+"""Unit tests for formula construction, normalization and evaluation."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Dvd,
+    LinTerm,
+    Or,
+    Rel,
+    Var,
+    atom,
+    conj,
+    disj,
+    dvd,
+    eq,
+    exists,
+    forall,
+    ge,
+    gt,
+    implies,
+    le,
+    lt,
+    ne,
+    neg,
+    parse_formula,
+)
+
+x = Var("x")
+y = Var("y")
+
+
+class TestAtomNormalization:
+    def test_ground_atoms_fold(self):
+        assert le(1, 2) is TRUE
+        assert le(3, 2) is FALSE
+        assert eq(2, 2) is TRUE
+        assert ne(2, 2) is FALSE
+
+    def test_strict_tightening(self):
+        # x < 3 over integers is x <= 2, i.e. x - 2 <= 0
+        f = lt(LinTerm.var(x), 3)
+        assert isinstance(f, Atom)
+        assert f.rel is Rel.LE
+        assert f.term == LinTerm.make([(x, 1)], -2)
+
+    def test_gcd_tightening_le(self):
+        # 2x - 3 <= 0  <=>  x <= 1
+        f = atom(Rel.LE, LinTerm.make([(x, 2)], -3))
+        assert f == atom(Rel.LE, LinTerm.make([(x, 1)], -1))
+
+    def test_gcd_infeasible_equality(self):
+        # 2x = 3 has no integer solution
+        assert atom(Rel.EQ, LinTerm.make([(x, 2)], -3)) is FALSE
+
+    def test_gcd_trivial_disequality(self):
+        assert atom(Rel.NE, LinTerm.make([(x, 2)], -3)) is TRUE
+
+    def test_eq_canonical_sign(self):
+        f1 = eq(LinTerm.var(x), LinTerm.var(y))
+        f2 = eq(LinTerm.var(y), LinTerm.var(x))
+        assert f1 == f2
+
+    def test_negation_roundtrip(self):
+        f = le(LinTerm.var(x), 3)
+        assert neg(neg(f)) == f
+
+    def test_atom_negation_semantics(self):
+        f = le(LinTerm.var(x), 3)
+        g = neg(f)
+        for value in range(-5, 6):
+            assert f.evaluate({x: value}) != g.evaluate({x: value})
+
+
+class TestDvdNormalization:
+    def test_unit_divisor_folds(self):
+        assert dvd(1, LinTerm.var(x)) is TRUE
+        assert dvd(1, LinTerm.var(x), negated=True) is FALSE
+
+    def test_coefficients_reduced_mod_divisor(self):
+        f = dvd(4, LinTerm.make([(x, 6)], 10))
+        assert isinstance(f, Dvd)
+        # 4 | 6x + 10  <=>  4 | 2x + 2  <=>  2 | x + 1
+        assert f.divisor == 2
+        assert f.term == LinTerm.make([(x, 1)], 1)
+
+    def test_ground_folds(self):
+        assert dvd(3, LinTerm.constant(6)) is TRUE
+        assert dvd(3, LinTerm.constant(7)) is FALSE
+
+    def test_semantics_preserved_by_normalization(self):
+        f = dvd(4, LinTerm.make([(x, 6)], 10))
+        for value in range(-8, 9):
+            assert f.evaluate({x: value}) == ((6 * value + 10) % 4 == 0)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            dvd(0, LinTerm.var(x))
+
+
+class TestConnectives:
+    def test_conj_flattens(self):
+        f = conj(le(x, 1), conj(le(y, 2), le(x, 0)))
+        assert isinstance(f, And)
+        assert len(f.args) == 3
+
+    def test_conj_unit_and_absorbing(self):
+        assert conj() is TRUE
+        assert conj(TRUE, le(x, 1)) == le(x, 1)
+        assert conj(le(x, 1), FALSE) is FALSE
+
+    def test_disj_unit_and_absorbing(self):
+        assert disj() is FALSE
+        assert disj(FALSE, le(x, 1)) == le(x, 1)
+        assert disj(le(x, 1), TRUE) is TRUE
+
+    def test_dedup(self):
+        f = conj(le(x, 1), le(x, 1))
+        assert f == le(x, 1)
+
+    def test_complementary_literals_fold(self):
+        f = conj(le(x, 1), neg(le(x, 1)))
+        assert f is FALSE
+        g = disj(le(x, 1), neg(le(x, 1)))
+        assert g is TRUE
+
+    def test_operators(self):
+        f = le(x, 1) & le(y, 2)
+        assert isinstance(f, And)
+        g = le(x, 1) | le(y, 2)
+        assert isinstance(g, Or)
+        assert ~TRUE is FALSE
+
+    def test_implies(self):
+        f = implies(le(x, 1), le(x, 5))
+        assert f.evaluate({x: 0}) and f.evaluate({x: 10})
+        assert not implies(le(x, 5), le(x, 1)).evaluate({x: 3})
+
+
+class TestQuantifiers:
+    def test_binder_drops_unused_vars(self):
+        assert exists([y], le(x, 1)) == le(x, 1)
+
+    def test_nested_binders_merge(self):
+        f = exists([x], exists([y], lt(x, y)))
+        assert f == exists([x, y], lt(x, y))
+
+    def test_free_vars(self):
+        f = forall([x], lt(x, y))
+        assert f.free_vars() == frozenset([y])
+
+    def test_capture_is_rejected(self):
+        f = exists([x], lt(x, y))
+        with pytest.raises(ValueError):
+            f.substitute({y: LinTerm.var(x)})
+
+    def test_evaluate_quantified_raises(self):
+        with pytest.raises(ValueError):
+            forall([x], le(x, 1)).evaluate({})
+
+
+class TestComparisonHelpers:
+    @pytest.mark.parametrize(
+        "builder,op",
+        [
+            (le, lambda a, b: a <= b),
+            (lt, lambda a, b: a < b),
+            (ge, lambda a, b: a >= b),
+            (gt, lambda a, b: a > b),
+            (eq, lambda a, b: a == b),
+            (ne, lambda a, b: a != b),
+        ],
+    )
+    def test_semantics(self, builder, op):
+        f = builder(LinTerm.var(x), LinTerm.var(y, 2) + 1)
+        for vx in range(-4, 5):
+            for vy in range(-4, 5):
+                assert f.evaluate({x: vx, y: vy}) == op(vx, 2 * vy + 1), (
+                    f, vx, vy
+                )
+
+
+class TestSizeAndAtoms:
+    def test_size_counts_nodes(self):
+        f = parse_formula("x < 1 && (y > 2 || x == y)")
+        assert f.size() >= 5
+
+    def test_atoms_iteration(self):
+        f = parse_formula("x < 1 && (y > 2 || x == y)")
+        assert len(list(f.atoms())) == 3

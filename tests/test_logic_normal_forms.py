@@ -1,0 +1,105 @@
+"""Tests for NNF/CNF/DNF, including hypothesis equivalence properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    Not,
+    Var,
+    cnf_clauses,
+    dnf_clauses,
+    from_cnf,
+    from_dnf,
+    neg,
+    nnf,
+    parse_formula,
+)
+from .helpers import enumerate_box
+from .strategies import formulas, VARS
+
+
+class TestNNF:
+    def test_removes_not_nodes(self):
+        f = parse_formula("!(x < 1 && !(y > 2 || x == y))")
+        result = nnf(f)
+        assert not any(isinstance(n, Not) for n in _walk(result))
+
+    def test_flips_quantifiers(self):
+        f = neg(parse_formula("forall x. x < y"))
+        result = nnf(f)
+        assert "exists" in str(result)
+
+    def test_idempotent(self):
+        f = parse_formula("!(x < 1) || !(y == 2 && x > y)")
+        assert nnf(nnf(f)) == nnf(f)
+
+
+class TestCNFDNF:
+    def test_dnf_of_conjunction(self):
+        f = parse_formula("x < 1 && y < 2")
+        clauses = dnf_clauses(f)
+        assert len(clauses) == 1
+        assert len(clauses[0]) == 2
+
+    def test_dnf_distributes(self):
+        f = parse_formula("(x < 1 || x > 5) && (y < 1 || y > 5)")
+        assert len(dnf_clauses(f)) == 4
+
+    def test_contradictory_clauses_dropped(self):
+        f = parse_formula("(x < 1 || y < 1) && x >= 1 && y >= 1")
+        assert dnf_clauses(f) == []
+
+    def test_cnf_of_disjunction(self):
+        f = parse_formula("x < 1 || y < 2")
+        clauses = cnf_clauses(f)
+        assert len(clauses) == 1
+        assert len(clauses[0]) == 2
+
+    def test_true_false(self):
+        from repro.logic import TRUE, FALSE
+
+        assert dnf_clauses(TRUE) == [[]]
+        assert dnf_clauses(FALSE) == []
+        assert cnf_clauses(TRUE) == []
+        assert cnf_clauses(FALSE) == [[]]
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas())
+def test_nnf_preserves_semantics(phi):
+    result = nnf(phi)
+    for env in enumerate_box(VARS, 2):
+        assert phi.evaluate(env) == result.evaluate(env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas())
+def test_dnf_preserves_semantics(phi):
+    try:
+        rebuilt = from_dnf(dnf_clauses(phi, limit=20_000))
+    except MemoryError:
+        pytest.skip("formula too large for DNF")
+    for env in enumerate_box(VARS, 2):
+        assert phi.evaluate(env) == rebuilt.evaluate(env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas())
+def test_cnf_preserves_semantics(phi):
+    try:
+        rebuilt = from_cnf(cnf_clauses(phi, limit=20_000))
+    except MemoryError:
+        pytest.skip("formula too large for CNF")
+    for env in enumerate_box(VARS, 2):
+        assert phi.evaluate(env) == rebuilt.evaluate(env)
+
+
+def _walk(phi):
+    yield phi
+    for attr in ("args",):
+        for child in getattr(phi, attr, ()):
+            yield from _walk(child)
+    if hasattr(phi, "arg"):
+        yield from _walk(phi.arg)
+    if hasattr(phi, "body"):
+        yield from _walk(phi.body)

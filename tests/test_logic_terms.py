@@ -1,0 +1,123 @@
+"""Unit tests for linear terms."""
+
+import pytest
+
+from repro.logic import LinTerm, Var, VarKind, VarSupply
+
+x = Var("x")
+y = Var("y")
+z = Var("z")
+
+
+class TestConstruction:
+    def test_make_merges_duplicates(self):
+        t = LinTerm.make([(x, 2), (x, 3), (y, 1)], 4)
+        assert t.coeff(x) == 5
+        assert t.coeff(y) == 1
+        assert t.const == 4
+
+    def test_make_drops_zeros(self):
+        t = LinTerm.make([(x, 2), (x, -2), (y, 1)])
+        assert t.variables == frozenset([y])
+
+    def test_constant(self):
+        assert LinTerm.constant(7).const == 7
+        assert LinTerm.constant(7).is_constant
+
+    def test_var_with_zero_coeff_is_zero(self):
+        assert LinTerm.var(x, 0) == LinTerm.ZERO
+
+    def test_rejects_non_integer_coeff(self):
+        with pytest.raises(TypeError):
+            LinTerm.make([(x, 1.5)])
+
+    def test_equal_terms_compare_equal(self):
+        t1 = LinTerm.make([(x, 1), (y, 2)], 3)
+        t2 = LinTerm.make([(y, 2), (x, 1)], 3)
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        t = LinTerm.var(x) + LinTerm.var(y, 2) + 3
+        assert t.coeff(x) == 1 and t.coeff(y) == 2 and t.const == 3
+
+    def test_subtraction_cancels(self):
+        t = LinTerm.var(x) - LinTerm.var(x)
+        assert t == LinTerm.ZERO
+
+    def test_negation(self):
+        t = -(LinTerm.var(x, 2) + 1)
+        assert t.coeff(x) == -2 and t.const == -1
+
+    def test_scale(self):
+        t = (LinTerm.var(x) + 2).scale(3)
+        assert t.coeff(x) == 3 and t.const == 6
+
+    def test_scale_by_int_operator(self):
+        assert 3 * LinTerm.var(x) == LinTerm.var(x, 3)
+
+    def test_exact_div(self):
+        t = LinTerm.make([(x, 4)], 8).exact_div(4)
+        assert t.coeff(x) == 1 and t.const == 2
+
+    def test_exact_div_raises_when_inexact(self):
+        with pytest.raises(ValueError):
+            LinTerm.make([(x, 3)], 1).exact_div(2)
+
+    def test_content(self):
+        assert LinTerm.make([(x, 4), (y, 6)], 1).content() == 2
+        assert LinTerm.constant(5).content() == 0
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        t = LinTerm.make([(x, 2), (y, -1)], 5)
+        assert t.evaluate({x: 3, y: 4}) == 2 * 3 - 4 + 5
+
+    def test_substitute(self):
+        t = LinTerm.make([(x, 2), (y, 1)])
+        result = t.substitute({x: LinTerm.var(z) + 1})
+        assert result == LinTerm.make([(z, 2), (y, 1)], 2)
+
+    def test_substitute_simultaneous(self):
+        # x := y, y := x must swap, not chain
+        t = LinTerm.make([(x, 1), (y, 1)], 0)
+        result = t.substitute({x: LinTerm.var(y), y: LinTerm.var(x)})
+        assert result == t
+
+    def test_rename(self):
+        t = LinTerm.make([(x, 2)], 1).rename({x: z})
+        assert t == LinTerm.make([(z, 2)], 1)
+
+
+class TestVarSupply:
+    def test_fresh_avoids_reserved(self):
+        supply = VarSupply([Var("$t0"), Var("$t1")])
+        v = supply.fresh()
+        assert v.name not in ("$t0", "$t1")
+
+    def test_fresh_vars_distinct(self):
+        supply = VarSupply()
+        names = {supply.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_kind(self):
+        supply = VarSupply()
+        assert supply.fresh(kind=VarKind.ABSTRACTION).is_abstraction
+
+
+class TestDisplay:
+    def test_str_simple(self):
+        assert str(LinTerm.var(x) + 1) == "x + 1"
+
+    def test_str_negative_leading(self):
+        assert str(-LinTerm.var(x) - 1) == "-x - 1"
+
+    def test_str_coefficients(self):
+        t = LinTerm.make([(x, 2), (y, -3)], 0)
+        assert str(t) == "2*x - 3*y"
+
+    def test_str_constant(self):
+        assert str(LinTerm.constant(-4)) == "-4"

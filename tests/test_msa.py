@@ -1,0 +1,186 @@
+"""Tests for minimum satisfying assignments."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    LinTerm,
+    Var,
+    VarKind,
+    conj,
+    disj,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    parse_formula,
+)
+from repro.msa import MsaSolver, find_msa
+from repro.qe import eliminate_forall
+from repro.smt import SmtSolver
+from .strategies import formulas
+
+x, y, z = Var("x"), Var("y"), Var("z")
+UNIT = {x: 1, y: 1, z: 1}
+
+
+def unit_costs(v):
+    return 1
+
+
+class TestBasics:
+    def test_valid_formula_needs_nothing(self):
+        result = find_msa(ge(LinTerm.var(x) + 1, LinTerm.var(x)), unit_costs)
+        assert result is not None
+        assert result.cost == 0
+        assert result.assignment == ()
+
+    def test_unsat_formula_has_no_msa(self):
+        phi = conj(ge(x, 1), le(x, 0))
+        assert find_msa(phi, unit_costs) is None
+
+    def test_single_variable(self):
+        # x >= 5 requires assigning x
+        result = find_msa(ge(x, 5), unit_costs)
+        assert result is not None
+        assert result.variables == {x}
+        assert result.as_dict()[x] >= 5
+
+    def test_one_of_two_suffices(self):
+        # x >= 0 || y >= 0: either variable alone suffices
+        result = find_msa(disj(ge(x, 0), ge(y, 0)), unit_costs)
+        assert result is not None
+        assert result.cost == 1
+
+    def test_both_needed(self):
+        phi = conj(ge(x, 0), ge(y, 0))
+        result = find_msa(phi, unit_costs)
+        assert result is not None
+        assert result.cost == 2
+        assert result.variables == {x, y}
+
+    def test_costs_steer_choice(self):
+        phi = disj(ge(x, 0), ge(y, 0))
+        result = find_msa(phi, {x: 10, y: 1, z: 1})
+        assert result is not None
+        assert result.variables == {y}
+
+    def test_implication_prefers_antecedent_falsification(self):
+        # (x >= 0) -> (y >= 0): assigning x = -1 makes it valid at cost 1
+        phi = ge(x, 0).implies(ge(y, 0))
+        result = find_msa(phi, unit_costs)
+        assert result is not None
+        assert result.cost == 1
+
+
+class TestConsistency:
+    def test_consistency_blocks_cheap_assignment(self):
+        # (x >= 0) -> (y >= 0) again, but assignments must stay consistent
+        # with x >= 5, ruling out the "falsify the antecedent" trick.
+        phi = ge(x, 0).implies(ge(y, 0))
+        result = find_msa(phi, unit_costs, consistency=[ge(x, 5)])
+        assert result is not None
+        sigma = result.as_formula()
+        solver = SmtSolver()
+        assert solver.is_sat(conj(sigma, ge(x, 5)))
+        assert solver.is_valid(phi.substitute(
+            {v: LinTerm.constant(c) for v, c in result.assignment}
+        ))
+
+    def test_each_consistency_formula_checked_separately(self):
+        phi = disj(eq(x, 0), eq(x, 1))
+        # witnesses x=0 and x=1 are mutually exclusive but individually fine
+        result = find_msa(
+            phi, unit_costs, consistency=[eq(x, 0), eq(x, 1)]
+        )
+        # no single assignment of x is consistent with both
+        assert result is None
+
+    def test_inconsistent_side_formula(self):
+        result = find_msa(
+            ge(x, 0), unit_costs,
+            consistency=[conj(ge(x, 1), le(x, 0))],
+        )
+        assert result is None
+
+
+class TestDefinition:
+    """Every MSA must satisfy Definition 5 exactly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(formulas(max_depth=2, with_dvd=False))
+    def test_msa_satisfies_definition(self, phi):
+        solver = SmtSolver()
+        result = find_msa(phi, unit_costs)
+        if result is None:
+            assert not solver.is_sat(phi)
+            return
+        sub = {v: LinTerm.constant(c) for v, c in result.assignment}
+        assert solver.is_valid(phi.substitute(sub))
+
+    @settings(max_examples=25, deadline=None)
+    @given(formulas(max_depth=2, with_dvd=False))
+    def test_strategies_agree_on_cost(self, phi):
+        a = find_msa(phi, unit_costs, strategy="subsets")
+        b = find_msa(phi, unit_costs, strategy="branch_bound")
+        if a is None or b is None:
+            assert a is None and b is None
+        else:
+            assert a.cost == b.cost
+
+    @settings(max_examples=20, deadline=None)
+    @given(formulas(max_depth=1, with_dvd=False))
+    def test_minimality_against_exhaustive(self, phi):
+        """No strictly cheaper variable subset may be feasible."""
+        solver = SmtSolver()
+        result = find_msa(phi, unit_costs)
+        if result is None:
+            return
+        variables = sorted(phi.free_vars(), key=lambda v: v.name)
+        for mask in range(1 << len(variables)):
+            include = [variables[i] for i in range(len(variables))
+                       if mask >> i & 1]
+            if len(include) >= result.cost:
+                continue
+            exclude = [v for v in variables if v not in include]
+            residual = eliminate_forall(exclude, phi)
+            assert not solver.is_sat(residual), (
+                f"subset {include} (cost {len(include)}) beats claimed "
+                f"MSA cost {result.cost} for {phi}"
+            )
+
+
+class TestPaperExample:
+    def test_example2_msa_is_alpha_j(self):
+        """Example 2: the MSA of I => phi consistent with I assigns only
+        alpha_j (cost 1 under Pi_p), with value 0 admissible."""
+        kinds = {
+            "ai": VarKind.ABSTRACTION, "aj": VarKind.ABSTRACTION,
+            "n1": VarKind.INPUT, "n2": VarKind.INPUT,
+        }
+        inv = parse_formula("ai >= 0 && ai > n2", kinds)
+        phi = parse_formula(
+            "(n2 + ai + aj > 2*n2 && n2 > 0 && n1 > 0) ||"
+            " (1 + ai + aj > 2*n2 && n2 <= 0 && n1 > 0) ||"
+            " (2*n2 + 1 > 2*n2 && n1 <= 0)",
+            kinds,
+        )
+        imp = inv.implies(phi)
+        # Pi_p: abstraction vars cost 1, inputs cost |vars| = 4
+        costs = {v: (1 if v.is_abstraction else 4)
+                 for v in imp.free_vars()}
+        result = find_msa(imp, costs, consistency=[inv])
+        assert result is not None
+        assert result.variables == {Var("aj", VarKind.ABSTRACTION)}
+        assert result.cost == 1
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            find_msa(ge(x, 0), {x: -1})
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            find_msa(ge(x, 0), unit_costs, strategy="magic")

@@ -1,0 +1,173 @@
+"""Tests for the octagon domain (sum/difference constraints)."""
+
+import random
+
+import pytest
+
+from repro.abstract import annotate_program, infer_loop_posts
+from repro.abstract.octagons import Octagon, _octagon_form
+from repro.lang import eval_pred, parse_program, run_program
+from repro.lang.ast import BinOp, Cmp, Const, Name
+
+
+def cmp(op, left, right):
+    return Cmp(op, left, right)
+
+
+class TestBounds:
+    def test_unary_bounds(self):
+        octagon = Octagon.top(("x",))
+        octagon.set_upper("x", 5)
+        octagon.set_lower("x", -2)
+        assert octagon.upper("x") == 5
+        assert octagon.lower("x") == -2
+
+    def test_assume_constant(self):
+        octagon = Octagon.top(("x",))
+        octagon.assume(cmp("==", Name("x"), Const(3)))
+        assert octagon.upper("x") == octagon.lower("x") == 3
+
+    def test_contradiction_detected(self):
+        octagon = Octagon.top(("x",))
+        octagon.assume(cmp(">=", Name("x"), Const(5)))
+        octagon.assume(cmp("<=", Name("x"), Const(4)))
+        octagon.close()
+        assert octagon.bottom
+
+
+class TestSums:
+    def test_sum_constraint_recorded(self):
+        octagon = Octagon.top(("x", "y"))
+        octagon.assume(
+            cmp("<=", BinOp("+", Name("x"), Name("y")), Const(10))
+        )
+        facts = [str(f) for f in octagon.facts()]
+        assert "(x + y) <= 10" in facts
+
+    def test_sum_propagates_through_unary(self):
+        octagon = Octagon.top(("x", "y"))
+        octagon.assume(
+            cmp(">=", BinOp("+", Name("x"), Name("y")), Const(10))
+        )
+        octagon.assume(cmp("<=", Name("x"), Const(3)))
+        octagon.close()
+        assert octagon.lower("y") == 7
+
+    def test_zone_cannot_do_this(self):
+        """The motivating case: a sum invariant between two variables."""
+        from repro.abstract.zones import Zone
+
+        zone = Zone.top(("x", "y"))
+        zone.assume(cmp("<=", BinOp("+", Name("x"), Name("y")), Const(10)))
+        zone_facts = [str(f) for f in zone.facts()]
+        assert not any("x + y" in f or "(x + y)" in f for f in zone_facts)
+
+
+class TestAssignments:
+    def test_constant_assignment(self):
+        octagon = Octagon.top(("x",))
+        octagon.assign("x", Const(4))
+        assert octagon.upper("x") == octagon.lower("x") == 4
+
+    def test_shift_assignment(self):
+        octagon = Octagon.top(("x",))
+        octagon.assign("x", Const(4))
+        octagon.assign("x", BinOp("+", Name("x"), Const(3)))
+        assert octagon.upper("x") == octagon.lower("x") == 7
+
+    def test_negation_assignment(self):
+        octagon = Octagon.top(("x",))
+        octagon.assign("x", Const(4))
+        octagon.assign("x", BinOp("-", Const(0), Name("x")))
+        assert octagon.upper("x") == octagon.lower("x") == -4
+
+    def test_copy_assignment_links_vars(self):
+        octagon = Octagon.top(("x", "y"))
+        octagon.assume(cmp(">=", Name("y"), Const(2)))
+        octagon.assign("x", Name("y"))
+        octagon.close()
+        assert octagon.lower("x") == 2
+
+    def test_octagon_form_recognizer(self):
+        assert _octagon_form(Const(3)) == (None, 1, 3)
+        assert _octagon_form(Name("y")) == ("y", 1, 0)
+        assert _octagon_form(BinOp("+", Name("y"), Const(2))) == ("y", 1, 2)
+        assert _octagon_form(BinOp("-", Const(5), Name("y"))) == ("y", -1, 5)
+        assert _octagon_form(BinOp("+", Name("x"), Name("y"))) is None
+
+
+class TestLattice:
+    def test_join_keeps_common_sum(self):
+        a = Octagon.top(("x", "y"))
+        a.assume(cmp("==", Name("x"), Const(1)))
+        a.assume(cmp("==", Name("y"), Const(4)))
+        b = Octagon.top(("x", "y"))
+        b.assume(cmp("==", Name("x"), Const(3)))
+        b.assume(cmp("==", Name("y"), Const(2)))
+        joined = a.join(b)
+        facts = [str(f) for f in joined.facts()]
+        assert "(x + y) <= 5" in facts
+        assert "(x + y) >= 5" in facts
+
+    def test_widen_terminates_growth(self):
+        a = Octagon.top(("x",))
+        a.set_upper("x", 2)
+        b = Octagon.top(("x",))
+        b.set_upper("x", 3)
+        widened = a.widen(b)
+        assert widened.upper("x") is None
+
+
+class TestAnnotation:
+    def test_octagon_finds_conserved_sum(self):
+        """A transfer loop conserves x + y == 5 — a two-variable sum fact
+        that intervals and zones cannot express."""
+        program = parse_program("""
+        program drain(unsigned n) {
+          var x, y;
+          x = 5;
+          while (y < n) {
+            if (x > 0) { x = x - 1; y = y + 1; } else { y = n; }
+          }
+          assert(x >= 0);
+        }
+        """)
+        posts = infer_loop_posts(program, ("octagon",))
+        rendered = " && ".join(str(f) for f in posts[1])
+        assert "(x + y)" in rendered, rendered
+        # and the same program under zones has no sum fact
+        zone_posts = infer_loop_posts(program, ("zone",))
+        zone_rendered = " && ".join(str(f) for f in zone_posts[1])
+        assert "(x + y)" not in zone_rendered
+
+    @pytest.mark.parametrize("src", [
+        """
+        program sum(unsigned n) {
+          var i, j;
+          while (i <= n) { i = i + 1; j = j + 1; }
+          assert(j >= 0);
+        }
+        """,
+        """
+        program swapish(unsigned n) {
+          var a, b, t;
+          a = n;
+          while (a > 0) { a = a - 1; b = b + 1; }
+          assert(b >= 0);
+        }
+        """,
+    ])
+    def test_octagon_posts_sound(self, src):
+        program = parse_program(src)
+        annotated = annotate_program(program, ("octagon",))
+        rng = random.Random(5)
+        for _ in range(30):
+            inputs = {p.name: rng.randint(0, 6) for p in program.params}
+            result = run_program(annotated, inputs)
+            for loop in annotated.loops():
+                if loop.post is None:
+                    continue
+                for env in result.loop_exit_envs.get(loop.label, []):
+                    assert eval_pred(loop.post, env), (
+                        loop.post, env, inputs
+                    )

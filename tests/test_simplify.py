@@ -1,0 +1,86 @@
+"""Tests for contextual simplification."""
+
+from hypothesis import given, settings
+
+from repro.logic import (
+    TRUE,
+    Var,
+    conj,
+    disj,
+    ge,
+    le,
+    lt,
+    neg,
+    parse_formula,
+)
+from repro.simplify import Simplifier, simplify
+from repro.smt import SmtSolver
+from .helpers import enumerate_box
+from .strategies import VARS, formulas
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestBasic:
+    def test_implied_conjunct_dropped(self):
+        phi = conj(ge(x, 0), ge(x, -5))
+        assert simplify(phi) == ge(x, 0)
+
+    def test_context_drops_conjunct(self):
+        phi = conj(ge(x, 0), le(x, 10))
+        assert simplify(phi, critical=ge(x, 3)) == le(x, 10)
+
+    def test_contradicted_disjunct_dropped(self):
+        phi = disj(lt(x, 0), ge(x, 10))
+        assert simplify(phi, critical=ge(x, 0)) == ge(x, 10)
+
+    def test_whole_formula_decided(self):
+        phi = ge(x, 0)
+        assert simplify(phi, critical=ge(x, 5)).is_true
+        assert simplify(phi, critical=le(x, -5)).is_false
+
+    def test_unsat_context_gives_true(self):
+        phi = ge(x, 0)
+        assert simplify(phi, critical=conj(ge(x, 1), le(x, 0))).is_true
+
+    def test_idempotent_without_context(self):
+        phi = parse_formula("x >= 0 && y < x")
+        assert simplify(phi) == phi
+
+    def test_paper_example2_redundancy(self):
+        """Lemma 3's remark: QE output may repeat facts implied by I and
+        must be simplified with I as the critical constraint."""
+        inv = parse_formula("ai >= 0 && ai > n2")
+        redundant = parse_formula("aj >= 0 && ai >= 0")
+        assert simplify(redundant, critical=inv) == parse_formula("aj >= 0")
+
+
+class TestNested:
+    def test_nested_or_in_and(self):
+        phi = parse_formula("(x < 0 || y >= 0) && y >= 0")
+        # first conjunct is implied by the second
+        assert simplify(phi) == parse_formula("y >= 0")
+
+    def test_sibling_context_used(self):
+        phi = parse_formula("x >= 5 && (x >= 3 || y == 1)")
+        assert simplify(phi) == parse_formula("x >= 5")
+
+
+@settings(max_examples=60, deadline=None)
+@given(formulas(max_depth=2), formulas(max_depth=1))
+def test_simplify_equivalent_under_context(phi, critical):
+    engine = Simplifier()
+    result = engine.simplify(phi, critical)
+    # critical |= (phi <-> result): check on the box
+    for env in enumerate_box(VARS, 3):
+        if critical.evaluate(env):
+            assert phi.evaluate(env) == result.evaluate(env), (
+                phi, critical, result, env
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(formulas(max_depth=2))
+def test_simplify_never_grows(phi):
+    result = simplify(phi)
+    assert result.size() <= phi.size()

@@ -1,0 +1,151 @@
+"""Tests for the lazy SMT solver, cross-checked against brute force."""
+
+from hypothesis import given, settings
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    LinTerm,
+    Var,
+    conj,
+    disj,
+    eq,
+    exists,
+    forall,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    neg,
+    parse_formula,
+)
+from repro.smt import SmtSolver, entails, equivalent, is_sat, is_valid
+from .helpers import assert_model, brute_force_sat
+from .strategies import VARS, formulas
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestBasicSat:
+    def test_constants(self):
+        assert is_sat(TRUE)
+        assert not is_sat(FALSE)
+
+    def test_single_atom(self):
+        assert is_sat(le(x, 3))
+        assert not is_sat(conj(le(x, 0), ge(x, 1)))
+
+    def test_boolean_structure(self):
+        phi = conj(disj(le(x, 0), ge(x, 10)), ge(x, 5), le(x, 20))
+        solver = SmtSolver()
+        result = solver.check(phi)
+        assert result.sat
+        assert_model(phi, result.model)
+        assert 10 <= result.model[x] <= 20
+
+    def test_unsat_needs_theory(self):
+        # propositionally consistent, theory-inconsistent across atoms
+        phi = conj(lt(x, y), lt(y, z), lt(z, x))
+        assert not is_sat(phi)
+
+    def test_shared_atom_polarity(self):
+        # x <= 0 and its negation must share a boolean variable
+        phi = conj(disj(le(x, 0), ge(x, 5)), neg(le(x, 0)), le(x, 7))
+        solver = SmtSolver()
+        result = solver.check(phi)
+        assert result.sat
+        assert 5 <= result.model[x] <= 7
+
+    def test_equality_disequality_pair(self):
+        phi = conj(disj(eq(x, 3), eq(x, 4)), ne(x, 3))
+        model = SmtSolver().get_model(phi)
+        assert model[x] == 4
+
+
+class TestValidityEntailment:
+    def test_valid_tautology(self):
+        assert is_valid(disj(le(x, 5), ge(x, 5)))
+        assert is_valid(disj(le(x, 4), ge(x, 5)))
+        assert not is_valid(disj(le(x, 3), ge(x, 5)))
+
+    def test_entailment(self):
+        assert entails(le(x, 3), le(x, 10))
+        assert not entails(le(x, 10), le(x, 3))
+        assert entails(conj(le(x, y), le(y, z)), le(x, z))
+
+    def test_equivalent(self):
+        assert equivalent(lt(x, 3), le(x, 2))
+        assert not equivalent(lt(x, 3), le(x, 3))
+
+    def test_paper_running_example_neither_entailment(self):
+        """Section 1.1: I |/= phi and I |/= !phi for the foo example."""
+        inv = parse_formula(
+            "ann >= 0 && ai >= 0 && ai > n && n >= 0"
+        )
+        phi = parse_formula(
+            "(1 + ai + aj > 2*n && flag == 0) ||"
+            " (ann + ai + aj > 2*n && flag != 0)"
+        )
+        assert not entails(inv, phi)
+        assert not entails(inv, neg(phi))
+
+    def test_paper_proof_obligation_discharges(self):
+        """With aj >= n added, I entails phi (the paper's Gamma)."""
+        inv = parse_formula(
+            "ann >= 0 && ai >= 0 && ai > n && n >= 0"
+        )
+        phi = parse_formula(
+            "(1 + ai + aj > 2*n && flag == 0) ||"
+            " (ann + ai + aj > 2*n && flag != 0)"
+        )
+        gamma = parse_formula("aj >= n")
+        assert entails(conj(inv, gamma), phi)
+
+    def test_paper_failure_witness_validates(self):
+        """With !flag and ai + aj < 0, I entails !phi."""
+        inv = parse_formula(
+            "ann >= 0 && ai >= 0 && ai > n && n >= 0"
+        )
+        phi = parse_formula(
+            "(1 + ai + aj > 2*n && flag == 0) ||"
+            " (ann + ai + aj > 2*n && flag != 0)"
+        )
+        upsilon = parse_formula("flag == 0 && ai + aj < 0")
+        assert is_sat(conj(inv, upsilon))
+        assert entails(conj(inv, upsilon), neg(phi))
+
+
+class TestQuantifiedInput:
+    def test_exists_handled_via_qe(self):
+        phi = exists([y], conj(eq(LinTerm.var(y, 2), LinTerm.var(x)),
+                               ge(y, 1)))
+        solver = SmtSolver()
+        result = solver.check(phi)
+        assert result.sat
+        assert result.model[x] % 2 == 0 and result.model[x] >= 2
+
+    def test_forall_valid(self):
+        phi = forall([x], disj(le(x, 10), gt(x, 5)))
+        assert is_valid(phi)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_smt_agrees_with_brute_force(phi):
+    solver = SmtSolver()
+    result = solver.check(phi)
+    if result.sat:
+        assert_model(phi, result.model)
+    else:
+        witness = brute_force_sat(phi, VARS, 4)
+        assert witness is None, (
+            f"SMT said UNSAT but {witness} satisfies {phi}"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(max_depth=2))
+def test_validity_matches_negation_unsat(phi):
+    solver = SmtSolver()
+    assert solver.is_valid(phi) == (not solver.is_sat(neg(phi)))

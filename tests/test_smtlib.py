@@ -1,0 +1,129 @@
+"""Tests for the SMT-LIB 2 exporter.
+
+Without an external solver available, the tests validate the structural
+properties an SMT-LIB consumer relies on: balanced s-expressions, legal
+symbols, one declaration per free variable, and a faithful rendering of
+each node type — plus a tiny s-expression evaluator that cross-checks
+semantics against our own ``evaluate``.
+"""
+
+import re
+
+from hypothesis import given, settings
+
+from repro.logic import LinTerm, Var, dvd, exists, forall, ge, lt, ne
+from repro.logic.smtlib import formula_to_sexpr, term_to_sexpr, to_smtlib
+from .helpers import enumerate_box
+from .strategies import VARS, formulas
+
+x, y = Var("x"), Var("y")
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+class TestStructure:
+    def test_script_layout(self):
+        phi = ge(LinTerm.var(x) + LinTerm.var(y, 2), 3)
+        script = to_smtlib(phi)
+        assert script.startswith("(set-logic LIA)")
+        assert script.count("declare-const") == 2
+        assert "(check-sat)" in script
+        assert _balanced(script)
+
+    def test_internal_names_sanitized(self):
+        weird = Var("j@loop1")
+        script = to_smtlib(ge(weird, 0))
+        assert "@" not in script
+        assert "j_at_loop1" in script
+
+    def test_quantifiers(self):
+        phi = forall([x], exists([y], lt(x, y)))
+        sexpr = formula_to_sexpr(phi)
+        assert sexpr.startswith("(forall ((x Int))")
+        assert "(exists ((y Int))" in sexpr
+
+    def test_dvd_uses_mod(self):
+        sexpr = formula_to_sexpr(dvd(3, LinTerm.var(x) + 1))
+        assert "(mod" in sexpr
+        negated = formula_to_sexpr(dvd(3, LinTerm.var(x), negated=True))
+        assert negated.startswith("(not")
+
+    def test_get_model_flag(self):
+        script = to_smtlib(ge(x, 0), get_model=True)
+        assert "(get-model)" in script
+
+
+def _eval_sexpr(text: str, env):
+    """A minimal evaluator for the integer/boolean fragment we emit."""
+    tokens = re.findall(r"\(|\)|[^\s()]+", text)
+    pos = 0
+
+    def parse():
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        if token != "(":
+            return token
+        items = []
+        while tokens[pos] != ")":
+            items.append(parse())
+        pos += 1
+        return items
+
+    tree = parse()
+
+    def ev(node):
+        if isinstance(node, str):
+            if node == "true":
+                return True
+            if node == "false":
+                return False
+            try:
+                return int(node)
+            except ValueError:
+                return env[node]
+        op, *args = node
+        vals = [ev(a) for a in args]
+        if op == "+":
+            return sum(vals)
+        if op == "-":
+            return -vals[0] if len(vals) == 1 else vals[0] - vals[1]
+        if op == "*":
+            return vals[0] * vals[1]
+        if op == "mod":
+            return vals[0] % vals[1]
+        if op == "<=":
+            return vals[0] <= vals[1]
+        if op == "=":
+            return vals[0] == vals[1]
+        if op == "not":
+            return not vals[0]
+        if op == "and":
+            return all(vals)
+        if op == "or":
+            return any(vals)
+        raise ValueError(f"unknown operator {op}")
+
+    return ev(tree)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas())
+def test_sexpr_semantics_match_evaluate(phi):
+    sexpr = formula_to_sexpr(phi)
+    assert _balanced(sexpr)
+    for env in enumerate_box(VARS, 2):
+        named = {v.name: value for v, value in env.items()}
+        assert _eval_sexpr(sexpr, named) == phi.evaluate(env), (
+            phi, sexpr, env
+        )

@@ -1,0 +1,109 @@
+"""Soundness property tests for the whole analysis pipeline (Lemmas 1–2).
+
+Random programs *with loops* are auto-annotated and analyzed; then:
+
+* if the analysis claims VERIFIED (Lemma 1), no concrete execution in
+  the input box may fail;
+* if it claims REFUTED (Lemma 2), every concrete execution must fail.
+
+This exercises parser + abstract interpretation + symbolic analysis +
+SMT end to end with adversarial inputs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import InitialVerdict, analyze_source
+from repro.lang import run_program
+
+
+def _random_loop_program(rng: random.Random) -> str:
+    """A random terminating program with one or two loops."""
+    bound = rng.choice(["n", "n + 1", "2 * n"])
+    incr1 = rng.randint(1, 3)
+    incr2 = rng.randint(0, 3)
+    init_acc = rng.randint(0, 2)
+    cmp_op = rng.choice(["<", "<="])
+    second_loop = rng.random() < 0.4
+    claim = rng.choice([
+        "acc >= 0",
+        "i >= 0",
+        "acc >= i",
+        f"acc + i >= {rng.randint(-3, 3)}",
+        f"acc > n - {rng.randint(0, 3)}",
+        "acc < 0",
+    ])
+    lines = [
+        "program rnd(unsigned n, m) {",
+        f"  var i = 0, acc = {init_acc}, extra = 0;",
+        f"  while (i {cmp_op} {bound}) {{",
+        f"    i = i + {incr1};",
+        f"    acc = acc + {incr2};",
+        "  }",
+    ]
+    if second_loop:
+        lines += [
+            "  var j = 0;",
+            "  while (j < i) {",
+            "    j = j + 1;",
+            "    extra = extra + 1;",
+            "  }",
+        ]
+    lines += [
+        f"  assert({claim});",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_lemma1_lemma2_sound_on_random_programs(seed):
+    rng = random.Random(seed)
+    source = _random_loop_program(rng)
+    outcome = analyze_source(source)
+    program = outcome.program
+
+    failures, successes = 0, 0
+    for n in range(0, 6):
+        for m in range(-3, 4):
+            result = run_program(program, {"n": n, "m": m})
+            if result.ok:
+                successes += 1
+            else:
+                failures += 1
+
+    if outcome.verdict is InitialVerdict.VERIFIED:
+        assert failures == 0, (
+            f"Lemma 1 violated: analysis verified but {failures} "
+            f"executions fail\n{source}"
+        )
+    elif outcome.verdict is InitialVerdict.REFUTED:
+        assert successes == 0, (
+            f"Lemma 2 violated: analysis refuted but {successes} "
+            f"executions succeed\n{source}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_posts_always_sound_on_random_programs(seed):
+    """Every auto-inferred @post must hold at every loop exit."""
+    from repro.lang import eval_pred
+
+    rng = random.Random(seed)
+    source = _random_loop_program(rng)
+    outcome = analyze_source(source)
+    program = outcome.program
+    for n in range(0, 5):
+        for m in (-2, 0, 2):
+            result = run_program(program, {"n": n, "m": m})
+            for loop in program.loops():
+                if loop.post is None:
+                    continue
+                for env in result.loop_exit_envs.get(loop.label, []):
+                    assert eval_pred(loop.post, env), (
+                        f"unsound post {loop.post} for inputs n={n} m={m}"
+                        f"\n{source}"
+                    )

@@ -1,0 +1,111 @@
+"""Algebraic/semantic properties of symbolic stores and value sets.
+
+A value set denotes a partial map from states to integers: entry
+``(pi, g)`` gives value ``pi`` in states satisfying ``g``.  The tests
+check that the Figure 2 operations respect that denotation on sampled
+states.
+"""
+
+import random
+
+from repro.analysis import Store, ValueSet
+from repro.logic import FALSE, TRUE, LinTerm, Var, conj, ge, le, lt, neg
+
+x, y = Var("x"), Var("y")
+
+
+def denote(value_set, env):
+    """The value a set denotes in a state (None if no guard matches)."""
+    for pi, guard in value_set:
+        if guard.is_true or guard.evaluate(env):
+            return pi.evaluate(env)
+    return None
+
+
+def sample_envs():
+    rng = random.Random(4)
+    for _ in range(60):
+        yield {x: rng.randint(-5, 5), y: rng.randint(-5, 5)}
+
+
+GUARDED = ValueSet.of([
+    (LinTerm.var(x), ge(x, 0)),
+    (-LinTerm.var(x), lt(x, 0)),
+])  # |x|
+PLAIN = ValueSet.term(LinTerm.var(y) + 1)
+
+
+class TestDenotation:
+    def test_abs_denotation(self):
+        for env in sample_envs():
+            assert denote(GUARDED, env) == abs(env[x])
+
+    def test_add_is_pointwise(self):
+        combined = GUARDED.add(PLAIN)
+        for env in sample_envs():
+            assert denote(combined, env) == abs(env[x]) + env[y] + 1
+
+    def test_sub_is_pointwise(self):
+        combined = GUARDED.sub(PLAIN)
+        for env in sample_envs():
+            assert denote(combined, env) == abs(env[x]) - env[y] - 1
+
+    def test_scale(self):
+        scaled = GUARDED.scale(3)
+        for env in sample_envs():
+            assert denote(scaled, env) == 3 * abs(env[x])
+
+    def test_compare_condition(self):
+        cond = GUARDED.compare(PLAIN, lambda a, b: le(a, b))
+        for env in sample_envs():
+            expected = abs(env[x]) <= env[y] + 1
+            assert cond.evaluate(env) == expected
+
+    def test_guard_restricts_domain(self):
+        restricted = GUARDED.guard(ge(y, 0))
+        for env in sample_envs():
+            value = denote(restricted, env)
+            if env[y] >= 0:
+                assert value == abs(env[x])
+            else:
+                assert value is None
+
+    def test_join_covers_both_branches(self):
+        left = ValueSet.constant(1).guard(ge(x, 0))
+        right = ValueSet.constant(2).guard(lt(x, 0))
+        joined = left.join(right)
+        for env in sample_envs():
+            expected = 1 if env[x] >= 0 else 2
+            assert denote(joined, env) == expected
+
+    def test_join_merges_identical_terms(self):
+        left = ValueSet.constant(7).guard(ge(x, 0))
+        right = ValueSet.constant(7).guard(lt(x, 0))
+        joined = left.join(right)
+        assert len(joined) == 1
+        assert joined.entries[0][1].is_true or all(
+            joined.entries[0][1].evaluate(env) for env in sample_envs()
+        )
+
+
+class TestStore:
+    def test_store_guard_applies_to_all(self):
+        store = Store({"a": GUARDED, "b": PLAIN})
+        guarded = store.guard(ge(x, 2))
+        for env in sample_envs():
+            if env[x] >= 2:
+                assert denote(guarded["a"], env) == abs(env[x])
+            else:
+                assert denote(guarded["a"], env) is None
+
+    def test_store_join_unions_domains(self):
+        left = Store({"a": ValueSet.constant(1).guard(ge(x, 0))})
+        right = Store({"a": ValueSet.constant(2).guard(lt(x, 0)),
+                       "b": PLAIN})
+        joined = left.join(right)
+        assert set(joined) == {"a", "b"}
+
+    def test_empty_guard_false(self):
+        store = Store({"a": GUARDED})
+        emptied = store.guard(FALSE)
+        assert len(emptied["a"]) == 0

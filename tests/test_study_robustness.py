@@ -1,0 +1,35 @@
+"""Seed robustness: the user-study headline must not depend on the seed.
+
+Runs a reduced study (3 problems, 14 recruited) under multiple seeds and
+checks the qualitative Figure 7 shape every time.
+"""
+
+import pytest
+
+from repro.diagnosis import EngineConfig
+from repro.suite import BENCHMARKS
+from repro.userstudy import UserStudy
+
+SUBSET = tuple(
+    b for b in BENCHMARKS
+    if b.name in ("p03_square", "p06_chroot", "p10_toggle")
+)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 2012])
+def test_shape_holds_across_seeds(seed):
+    study = UserStudy(
+        num_recruited=14,
+        seed=seed,
+        benchmarks=SUBSET,
+        engine_config=EngineConfig(max_rounds=6),
+    ).run()
+    manual = study.average_cell("manual")
+    technique = study.average_cell("technique")
+    # the orderings the paper's conclusions rest on
+    assert technique.pct_correct > manual.pct_correct
+    assert technique.pct_wrong < manual.pct_wrong
+    assert technique.avg_seconds < manual.avg_seconds / 2
+    # and the coarse bands
+    assert manual.pct_correct < 65.0
+    assert technique.pct_correct > 70.0

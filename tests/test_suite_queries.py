@@ -1,0 +1,83 @@
+"""Snapshot-style tests pinning the *content* of the headline benchmark
+queries (the paper's anecdotes), not just their counts."""
+
+import pytest
+
+from repro.diagnosis import ExhaustiveOracle, diagnose_error
+from repro.suite import benchmark_by_name, load_analysis
+
+_RESULTS: dict[str, object] = {}
+
+
+def session(name):
+    if name not in _RESULTS:
+        bench = benchmark_by_name(name)
+        program, analysis = load_analysis(bench)
+        oracle = ExhaustiveOracle(program, analysis,
+                                  radius=bench.oracle_radius)
+        _RESULTS[name] = diagnose_error(analysis, oracle)
+    return _RESULTS[name]
+
+
+class TestChrootAnecdote:
+    """Section 6: 'the user only needs to answer one simple query asking
+    whether the value of optind is always greater than zero after a
+    while loop'."""
+
+    def test_single_query(self):
+        result = session("p06_chroot")
+        assert result.num_queries == 1
+
+    def test_query_is_about_optind_positivity(self):
+        result = session("p06_chroot")
+        query = result.interactions[0].query
+        assert query.kind == "invariant"
+        assert "optind" in query.text
+        assert "1 <= optind" in query.text or "optind >= 1" in query.text
+
+    def test_note_points_at_the_loop(self):
+        result = session("p06_chroot")
+        query = result.interactions[0].query
+        assert any("after the loop" in note for note in query.notes)
+
+
+class TestEnvironmentWitness:
+    """Problem 4's bug is validated by a witness about the execution
+    environment (argc), which Pi_w makes the cheapest question."""
+
+    def test_witness_query_about_argc(self):
+        result = session("p04_options")
+        assert result.classification == "real bug"
+        query = result.interactions[-1].query
+        assert query.kind == "witness"
+        assert "argc" in query.text
+
+    def test_witness_mentions_no_abstraction_vars(self):
+        result = session("p04_options")
+        query = result.interactions[-1].query
+        assert all(v.is_input for v in query.formula.free_vars())
+
+
+class TestRelationalObligation:
+    """Problem 2's false alarm needs the relational fact chars >= lines."""
+
+    def test_final_query_relates_counters(self):
+        result = session("p02_wordcount")
+        assert result.classification == "false alarm"
+        final = result.interactions[-1]
+        assert final.answer.value == "yes"
+        text = final.query.text
+        assert "lines" in text and "chars" in text
+
+
+class TestQueriesAreLocal:
+    """Across the whole set of asked queries on these three problems, no
+    query may mention more than 3 facts — the locality the cost model is
+    designed to produce."""
+
+    @pytest.mark.parametrize("name", ["p06_chroot", "p04_options",
+                                      "p02_wordcount"])
+    def test_locality(self, name):
+        result = session(name)
+        for interaction in result.interactions:
+            assert len(interaction.query.formula.free_vars()) <= 3
