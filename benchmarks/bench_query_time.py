@@ -37,5 +37,8 @@ def test_query_computation_time(benchmark, suite_artifacts, name):
     # an abduction must actually be produced on every benchmark
     assert gamma is not None or upsilon is not None
     # interactive-scale bound for the pure-Python stack (paper: 0.1 s
-    # with a C++ solver)
-    assert benchmark.stats.stats.mean < 30.0
+    # with a C++ solver).  Hash-consed formulas + persistent QE caches
+    # brought the worst per-problem mean under 0.4 s; 3 s leaves slack
+    # for slow CI machines while still pinning the >=10x improvement
+    # over the original 30 s tolerance.
+    assert benchmark.stats.stats.mean < 3.0

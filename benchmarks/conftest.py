@@ -1,24 +1,34 @@
 """Shared fixtures for the benchmark harness.
 
-Loading + analyzing all 11 problems is expensive; do it once per session.
+Loading + analyzing all 11 problems is expensive; do it once per session,
+fanned out over worker processes via the batch loader (pass ``--serial``
+to force in-process loading, e.g. when debugging a loader crash).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.batch import load_many
 from repro.diagnosis import ExhaustiveOracle
-from repro.suite import BENCHMARKS, load_analysis
+from repro.suite import BENCHMARKS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--serial", action="store_true", default=False,
+        help="load suite artifacts serially instead of in worker processes",
+    )
 
 
 @pytest.fixture(scope="session")
-def suite_artifacts():
+def suite_artifacts(request):
     """{name: (benchmark, program, analysis)} for all 11 problems."""
-    artifacts = {}
-    for bench in BENCHMARKS:
-        program, analysis = load_analysis(bench)
-        artifacts[bench.name] = (bench, program, analysis)
-    return artifacts
+    jobs = 1 if request.config.getoption("--serial") else None
+    return {
+        bench.name: (bench, program, analysis)
+        for bench, program, analysis in load_many(BENCHMARKS, jobs=jobs)
+    }
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,7 @@ Most callers want one of three things:
   and report whether the check is proved, refuted, or uncertain;
 * :func:`diagnose_source` — the full paper pipeline: analysis plus the
   Figure 6 query loop against an oracle;
+* :func:`triage_suite` — batch-triage many reports across cores;
 * :func:`run_user_study` — regenerate Figure 7.
 """
 
@@ -16,6 +17,7 @@ from enum import Enum
 
 from .abstract import annotate_program
 from .analysis import AnalysisResult, analyze_program
+from .batch import BatchResult, triage_many
 from .diagnosis import (
     DiagnosisResult,
     EngineConfig,
@@ -102,6 +104,19 @@ def dynamic_oracle(name: str, *, samples: int = 400) -> tuple[
     the Section 8 future-work mode that auto-answers witness queries."""
     bench, program, analysis = load_benchmark(name)
     return analysis, SamplingOracle(program, analysis, samples=samples)
+
+
+def triage_suite(names: list[str] | None = None, *,
+                 jobs: int | None = None,
+                 timeout: float | None = None,
+                 config: EngineConfig | None = None) -> BatchResult:
+    """Batch-triage benchmark reports (all of Figure 7 by default).
+
+    Fans out over ``jobs`` worker processes (CPU count by default) with
+    per-report ``timeout`` and graceful degradation to serial execution;
+    see :mod:`repro.batch`.
+    """
+    return triage_many(names, jobs=jobs, timeout=timeout, config=config)
 
 
 def run_user_study(**kwargs) -> StudyResult:

@@ -1,0 +1,10 @@
+"""Parallel batch triage of error reports (multiprocessing driver)."""
+
+from .driver import BatchResult, TriageOutcome, load_many, triage_many
+
+__all__ = [
+    "BatchResult",
+    "TriageOutcome",
+    "load_many",
+    "triage_many",
+]

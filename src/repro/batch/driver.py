@@ -1,0 +1,262 @@
+"""Parallel batch triage of error reports.
+
+The ROADMAP's north star is a system that triages *fleets* of error
+reports, not one report at a time.  Each report's diagnosis is
+independent of every other report's, so the batch driver fans reports
+out over worker processes:
+
+* **per-worker solver reuse** — each worker process keeps its
+  module-level solver caches, hash-consing tables and QE caches warm
+  across every report it handles, so a worker's second report is much
+  cheaper than its first;
+* **ordered results** — outcomes come back in input order regardless of
+  completion order;
+* **per-report timeout** — a report that exceeds ``timeout`` seconds is
+  recorded as timed out (classification ``"unknown"``) without sinking
+  the batch;
+* **graceful degradation** — if worker processes cannot be spawned or
+  the pool breaks mid-run, the remaining reports are triaged serially
+  in-process and the batch still completes.
+
+Results are plain data (:class:`TriageOutcome` carries strings and
+numbers, never formulas), so nothing fragile crosses the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
+from ..suite import BENCHMARKS, benchmark_by_name, load_analysis
+
+
+@dataclass(frozen=True)
+class TriageOutcome:
+    """The result of triaging one report — plain data only."""
+
+    name: str
+    classification: str            # 'false alarm' | 'real bug' | 'unknown'
+    expected: str | None = None    # ground-truth label, when known
+    num_queries: int = 0
+    rounds: int = 0
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    error: str | None = None       # repr of an in-worker exception
+
+    @property
+    def correct(self) -> bool:
+        return self.expected is not None and \
+            self.classification == self.expected
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a :func:`triage_many` run."""
+
+    outcomes: list[TriageOutcome]
+    wall_seconds: float
+    jobs: int
+    mode: str                      # 'serial' | 'parallel' | 'degraded'
+    failures: list[TriageOutcome] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.failures = [
+            o for o in self.outcomes
+            if o.expected is not None and not o.correct
+        ]
+
+    @property
+    def accuracy(self) -> float:
+        labelled = [o for o in self.outcomes if o.expected is not None]
+        if not labelled:
+            return 0.0
+        return sum(1 for o in labelled if o.correct) / len(labelled)
+
+    def by_name(self, name: str) -> TriageOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no outcome for {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _triage_one(name: str, config: EngineConfig | None) -> TriageOutcome:
+    """Triage a single benchmark report against its ground-truth oracle.
+
+    Top-level so it pickles under any multiprocessing start method.  All
+    process-global caches (default solver, intern tables, QE caches)
+    stay warm between calls within one worker.
+    """
+    start = time.perf_counter()
+    try:
+        bench = benchmark_by_name(name)
+        program, analysis = load_analysis(bench)
+        oracle = ExhaustiveOracle(
+            program, analysis, radius=bench.oracle_radius
+        )
+        result = diagnose_error(analysis, oracle, config)
+        return TriageOutcome(
+            name=name,
+            classification=result.classification,
+            expected=bench.classification,
+            num_queries=result.num_queries,
+            rounds=result.rounds,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 - outcomes must cross processes
+        return TriageOutcome(
+            name=name,
+            classification="unknown",
+            expected=None,
+            elapsed_seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _load_one(name: str):
+    """Load + analyze one benchmark (worker for :func:`load_many`)."""
+    bench = benchmark_by_name(name)
+    program, analysis = load_analysis(bench)
+    return bench, program, analysis
+
+
+# ---------------------------------------------------------------------------
+# driver side
+# ---------------------------------------------------------------------------
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _timeout_outcome(name: str, timeout: float) -> TriageOutcome:
+    return TriageOutcome(
+        name=name,
+        classification="unknown",
+        expected=None,
+        elapsed_seconds=timeout,
+        timed_out=True,
+        error=f"timed out after {timeout:g}s",
+    )
+
+
+def triage_many(
+    names: list[str] | None = None,
+    *,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    config: EngineConfig | None = None,
+) -> BatchResult:
+    """Triage many reports, in parallel when more than one core helps.
+
+    ``names`` defaults to the full Figure 7 suite.  ``jobs`` defaults to
+    the CPU count; ``jobs <= 1`` (or a single report) selects the serial
+    path outright.  ``timeout`` bounds each report's wall time in the
+    parallel mode.
+    """
+    if names is None:
+        names = [b.name for b in BENCHMARKS]
+    if jobs is None:
+        jobs = _default_jobs()
+    jobs = max(1, min(jobs, len(names))) if names else 1
+
+    start = time.perf_counter()
+    if jobs <= 1 or len(names) <= 1:
+        outcomes = [_triage_one(name, config) for name in names]
+        return BatchResult(
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - start,
+            jobs=1,
+            mode="serial",
+        )
+
+    outcomes, degraded = _triage_parallel(names, jobs, timeout, config)
+    return BatchResult(
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - start,
+        jobs=jobs,
+        mode="degraded" if degraded else "parallel",
+    )
+
+
+def _triage_parallel(
+    names: list[str],
+    jobs: int,
+    timeout: float | None,
+    config: EngineConfig | None,
+) -> tuple[list[TriageOutcome], bool]:
+    """Fan out over a process pool; fall back to serial on pool failure."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        ctx = multiprocessing.get_context()
+
+    results: dict[str, TriageOutcome] = {}
+    degraded = False
+    try:
+        with ctx.Pool(processes=jobs) as pool:
+            pending = [
+                (name, pool.apply_async(_triage_one, (name, config)))
+                for name in names
+            ]
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            for name, handle in pending:
+                try:
+                    if deadline is None:
+                        results[name] = handle.get()
+                    else:
+                        remaining = max(0.0, deadline - time.monotonic())
+                        results[name] = handle.get(remaining)
+                except multiprocessing.TimeoutError:
+                    results[name] = _timeout_outcome(name, timeout or 0.0)
+            if any(o.timed_out for o in results.values()):
+                # stuck workers would keep the pool's atexit join hanging
+                pool.terminate()
+    except (OSError, multiprocessing.ProcessError, EOFError):
+        degraded = True
+
+    if degraded:
+        # the pool broke; finish whatever did not complete, in-process
+        for name in names:
+            if name not in results:
+                results[name] = _triage_one(name, config)
+
+    return [results[name] for name in names], degraded
+
+
+def load_many(
+    benches,
+    *,
+    jobs: int | None = None,
+):
+    """Load + analyze benchmarks, in input order, optionally in parallel.
+
+    Returns ``[(benchmark, program, analysis), ...]``.  Used by the
+    benchmark harness and the user-study driver to warm a whole suite.
+    Falls back to serial loading if worker processes are unavailable.
+    """
+    names = [b.name for b in benches]
+    if jobs is None:
+        jobs = _default_jobs()
+    jobs = max(1, min(jobs, len(names))) if names else 1
+
+    if jobs <= 1 or len(names) <= 1:
+        return [_load_one(name) for name in names]
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        ctx = multiprocessing.get_context()
+    try:
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(_load_one, names)
+    except (OSError, multiprocessing.ProcessError, EOFError):
+        return [_load_one(name) for name in names]

@@ -5,6 +5,7 @@ Subcommands::
     repro-diagnose analyze FILE            run the analysis, print (I, phi)
     repro-diagnose diagnose FILE           interactive Figure 6 session
     repro-diagnose suite [NAME]            run benchmark(s) w/ ground truth
+    repro-diagnose triage [NAME...] --jobs N   batch triage across cores
     repro-diagnose userstudy [--seed N]    regenerate Figure 7
 
 (Equivalently: ``python -m repro ...``)
@@ -90,6 +91,28 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_triage(args: argparse.Namespace) -> int:
+    from .batch import triage_many
+
+    names = args.names or None
+    result = triage_many(names, jobs=args.jobs, timeout=args.timeout)
+    for outcome in result.outcomes:
+        if outcome.error is not None:
+            marker = "TIME" if outcome.timed_out else "ERR "
+            detail = outcome.error
+        else:
+            marker = "ok  " if outcome.correct else "FAIL"
+            detail = (f"{outcome.num_queries} queries, "
+                      f"{outcome.elapsed_seconds:.2f}s")
+        print(f"[{marker}] {outcome.name:16s} -> "
+              f"{outcome.classification:12s} ({detail})")
+    print(f"{result.mode} x{result.jobs}: "
+          f"{len(result.outcomes)} reports in {result.wall_seconds:.2f}s, "
+          f"accuracy {100.0 * result.accuracy:.0f}%")
+    return 1 if (result.failures or
+                 any(o.error for o in result.outcomes)) else 0
+
+
 def _cmd_userstudy(args: argparse.Namespace) -> int:
     from .userstudy import format_figure7, run_user_study
 
@@ -132,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("name", nargs="?", default=None)
     p_suite.add_argument("--verbose", "-v", action="store_true")
     p_suite.set_defaults(fn=_cmd_suite)
+
+    p_triage = sub.add_parser(
+        "triage", help="batch-triage benchmark reports across cores"
+    )
+    p_triage.add_argument("names", nargs="*", metavar="NAME",
+                          help="benchmark names (default: all of Figure 7)")
+    p_triage.add_argument("--jobs", "-j", type=int, default=None,
+                          help="worker processes (default: CPU count)")
+    p_triage.add_argument("--timeout", type=float, default=None,
+                          help="per-report timeout in seconds")
+    p_triage.set_defaults(fn=_cmd_triage)
 
     p_study = sub.add_parser("userstudy",
                              help="regenerate the Figure 7 user study")

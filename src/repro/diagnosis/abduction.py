@@ -81,8 +81,9 @@ class Abducer:
     """Shared abduction engine (one SMT solver/cache for all steps)."""
 
     def __init__(self, *, msa_strategy: str = "branch_bound",
-                 use_simplification: bool = True):
-        self._solver = SmtSolver()
+                 use_simplification: bool = True,
+                 solver: SmtSolver | None = None):
+        self._solver = solver if solver is not None else SmtSolver()
         self._msa = MsaSolver(self._solver)
         self._simplifier = Simplifier(self._solver)
         self._strategy = msa_strategy

@@ -81,6 +81,7 @@ class EngineConfig:
     use_simplification: bool = True
     use_abduction: bool = True          # False: trivial Gamma = phi (A2)
     max_rounds: int = 25
+    incremental_smt: bool = True        # persistent assumption-based context
 
 
 class DiagnosisEngine:
@@ -91,9 +92,12 @@ class DiagnosisEngine:
         self._analysis = analysis
         self._oracle = oracle
         self._config = config or EngineConfig()
+        from ..smt import SmtSolver
+
         self._abducer = Abducer(
             msa_strategy=self._config.msa_strategy,
             use_simplification=self._config.use_simplification,
+            solver=SmtSolver(incremental=self._config.incremental_smt),
         )
         self._renderer = QueryRenderer(analysis)
         self._asked: dict[tuple[str, Formula], Answer] = {}

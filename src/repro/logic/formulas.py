@@ -16,14 +16,19 @@ Atoms are aggressively normalized at construction time:
 
 Connectives are n-ary and flattened; duplicate and trivial operands are
 removed.  The AST is immutable and hashable so formulas can live in sets.
+
+Every node is hash-consed (see :mod:`repro.logic.intern`): structurally
+equal formulas are the same object, equality is usually an identity
+check, ``__hash__`` is a precomputed field, and each atom caches its
+negation — the three operations that dominate the solver stack.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import Callable, ClassVar, Iterator, Mapping, Sequence
 
+from .intern import INTERN_LIMIT, register_table
 from .terms import LinTerm, Var, gcd_all
 
 
@@ -43,6 +48,10 @@ def _floor_div(a: int, b: int) -> int:
 class Formula:
     """Base class for all formula nodes."""
 
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
 
     # -- structural queries -------------------------------------------------
     def free_vars(self) -> frozenset[Var]:
@@ -89,8 +98,19 @@ class Formula:
         return 1
 
 
-@dataclass(frozen=True, slots=True)
 class _TrueFormula(Formula):
+
+    __slots__ = ()
+    _neg = None                    # read by neg(); never written
+    _instance: ClassVar["_TrueFormula | None"] = None
+
+    def __new__(cls) -> "_TrueFormula":
+        if cls._instance is None:
+            cls._instance = object.__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_TrueFormula, ())
 
     def free_vars(self) -> frozenset[Var]:
         return frozenset()
@@ -110,8 +130,19 @@ class _TrueFormula(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class _FalseFormula(Formula):
+
+    __slots__ = ()
+    _neg = None
+    _instance: ClassVar["_FalseFormula | None"] = None
+
+    def __new__(cls) -> "_FalseFormula":
+        if cls._instance is None:
+            cls._instance = object.__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_FalseFormula, ())
 
     def free_vars(self) -> frozenset[Var]:
         return frozenset()
@@ -135,7 +166,6 @@ TRUE: Formula = _TrueFormula()
 FALSE: Formula = _FalseFormula()
 
 
-@dataclass(frozen=True, slots=True)
 class Atom(Formula):
     """A normalized linear atom ``term REL 0``.
 
@@ -144,11 +174,39 @@ class Atom(Formula):
     normalization the rest of the system relies on.
     """
 
-    rel: Rel
-    term: LinTerm
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
+    __slots__ = ("rel", "term", "_hc", "_neg")
 
+    _intern: ClassVar[dict] = register_table("Atom", {})
+
+    def __new__(cls, rel: Rel, term: LinTerm) -> "Atom":
+        key = (rel, term)
+        table = cls._intern
+        self = table.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "rel", rel)
+        _set(self, "term", term)
+        _set(self, "_hc", hash(("Atom", rel, term)))
+        _set(self, "_neg", None)
+        if len(table) < INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Atom, (self.rel, self.term))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Atom:
+            return NotImplemented
+        return (self._hc == other._hc and self.rel is other.rel
+                and self.term == other.term)
 
     def free_vars(self) -> frozenset[Var]:
         return self.term.variables
@@ -168,12 +226,21 @@ class Atom(Formula):
         return value != 0
 
     def negated(self) -> Formula:
-        """The negation of this atom, itself in atom form."""
+        """The negation of this atom, itself in atom form (memoized; the
+        negation of a normalized atom never folds to a constant)."""
+        cached = self._neg
+        if cached is not None:
+            return cached
         if self.rel is Rel.LE:           # not(t <= 0)  <=>  -t + 1 <= 0
-            return atom(Rel.LE, -self.term + 1)
-        if self.rel is Rel.EQ:
-            return atom(Rel.NE, self.term)
-        return atom(Rel.EQ, self.term)
+            result = atom(Rel.LE, -self.term + 1)
+        elif self.rel is Rel.EQ:
+            result = atom(Rel.NE, self.term)
+        else:
+            result = atom(Rel.EQ, self.term)
+        object.__setattr__(self, "_neg", result)
+        if isinstance(result, (Atom, Dvd)) and result._neg is None:
+            object.__setattr__(result, "_neg", self)
+        return result
 
     def __str__(self) -> str:
         return f"{self.term} {self.rel.value} 0"
@@ -181,7 +248,6 @@ class Atom(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class Dvd(Formula):
     """Divisibility atom ``divisor | term`` (or its negation).
 
@@ -189,12 +255,43 @@ class Dvd(Formula):
     always >= 2 after normalization.
     """
 
-    divisor: int
-    term: LinTerm
-    negated_flag: bool = False
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
+    __slots__ = ("divisor", "term", "negated_flag", "_hc", "_neg")
 
+    _intern: ClassVar[dict] = register_table("Dvd", {})
+
+    def __new__(cls, divisor: int, term: LinTerm,
+                negated_flag: bool = False) -> "Dvd":
+        key = (divisor, term, negated_flag)
+        table = cls._intern
+        self = table.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "divisor", divisor)
+        _set(self, "term", term)
+        _set(self, "negated_flag", negated_flag)
+        _set(self, "_hc", hash(("Dvd", divisor, term, negated_flag)))
+        _set(self, "_neg", None)
+        if len(table) < INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Dvd, (self.divisor, self.term, self.negated_flag))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Dvd:
+            return NotImplemented
+        return (self._hc == other._hc
+                and self.divisor == other.divisor
+                and self.negated_flag == other.negated_flag
+                and self.term == other.term)
 
     def free_vars(self) -> frozenset[Var]:
         return self.term.variables
@@ -211,7 +308,14 @@ class Dvd(Formula):
         return divides != self.negated_flag
 
     def negated(self) -> Formula:
-        return dvd(self.divisor, self.term, not self.negated_flag)
+        cached = self._neg
+        if cached is not None:
+            return cached
+        result = dvd(self.divisor, self.term, not self.negated_flag)
+        object.__setattr__(self, "_neg", result)
+        if isinstance(result, (Atom, Dvd)) and result._neg is None:
+            object.__setattr__(result, "_neg", self)
+        return result
 
     def __str__(self) -> str:
         op = "!|" if self.negated_flag else "|"
@@ -220,15 +324,40 @@ class Dvd(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class Not(Formula):
     """Negation.  Smart constructors push ``Not`` onto atoms eagerly, so a
     ``Not`` node in a normalized formula always wraps a quantifier."""
 
-    arg: Formula
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
+    __slots__ = ("arg", "_hc", "_neg")
 
+    _intern: ClassVar[dict] = register_table("Not", {})
+
+    def __new__(cls, arg: Formula) -> "Not":
+        table = cls._intern
+        self = table.get(arg)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "arg", arg)
+        _set(self, "_hc", hash(("Not", arg)))
+        _set(self, "_neg", arg)
+        if len(table) < INTERN_LIMIT:
+            table[arg] = self
+        return self
+
+    def __reduce__(self):
+        return (Not, (self.arg,))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Not:
+            return NotImplemented
+        return self._hc == other._hc and self.arg == other.arg
 
     def free_vars(self) -> frozenset[Var]:
         return self.arg.free_vars()
@@ -251,13 +380,39 @@ class Not(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class And(Formula):
-    args: tuple[Formula, ...]
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
-    _fv: frozenset | None = field(default=None, init=False, repr=False,
-                                  compare=False)
+
+    __slots__ = ("args", "_hc", "_neg", "_fv")
+
+    _intern: ClassVar[dict] = register_table("And", {})
+
+    def __new__(cls, args: tuple[Formula, ...]) -> "And":
+        table = cls._intern
+        self = table.get(args)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "args", args)
+        _set(self, "_hc", hash(("And", args)))
+        _set(self, "_neg", None)
+        _set(self, "_fv", None)
+        if len(table) < INTERN_LIMIT:
+            table[args] = self
+        return self
+
+    def __reduce__(self):
+        return (And, (self.args,))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not And:
+            return NotImplemented
+        return self._hc == other._hc and self.args == other.args
 
     def free_vars(self) -> frozenset[Var]:
         cached = self._fv
@@ -288,13 +443,39 @@ class And(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class Or(Formula):
-    args: tuple[Formula, ...]
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
-    _fv: frozenset | None = field(default=None, init=False, repr=False,
-                                  compare=False)
+
+    __slots__ = ("args", "_hc", "_neg", "_fv")
+
+    _intern: ClassVar[dict] = register_table("Or", {})
+
+    def __new__(cls, args: tuple[Formula, ...]) -> "Or":
+        table = cls._intern
+        self = table.get(args)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "args", args)
+        _set(self, "_hc", hash(("Or", args)))
+        _set(self, "_neg", None)
+        _set(self, "_fv", None)
+        if len(table) < INTERN_LIMIT:
+            table[args] = self
+        return self
+
+    def __reduce__(self):
+        return (Or, (self.args,))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Or:
+            return NotImplemented
+        return self._hc == other._hc and self.args == other.args
 
     def free_vars(self) -> frozenset[Var]:
         cached = self._fv
@@ -325,13 +506,41 @@ class Or(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class Exists(Formula):
-    variables: tuple[Var, ...]
-    body: Formula
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
 
+    __slots__ = ("variables", "body", "_hc", "_neg")
+
+    _intern: ClassVar[dict] = register_table("Exists", {})
+
+    def __new__(cls, variables: tuple[Var, ...], body: Formula) -> "Exists":
+        key = (variables, body)
+        table = cls._intern
+        self = table.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "variables", variables)
+        _set(self, "body", body)
+        _set(self, "_hc", hash(("Exists", variables, body)))
+        _set(self, "_neg", None)
+        if len(table) < INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Exists, (self.variables, self.body))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Exists:
+            return NotImplemented
+        return (self._hc == other._hc and self.variables == other.variables
+                and self.body == other.body)
 
     def free_vars(self) -> frozenset[Var]:
         return self.body.free_vars() - frozenset(self.variables)
@@ -362,13 +571,41 @@ class Exists(Formula):
     __repr__ = __str__
 
 
-@dataclass(frozen=True, slots=True)
 class Forall(Formula):
-    variables: tuple[Var, ...]
-    body: Formula
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
 
+    __slots__ = ("variables", "body", "_hc", "_neg")
+
+    _intern: ClassVar[dict] = register_table("Forall", {})
+
+    def __new__(cls, variables: tuple[Var, ...], body: Formula) -> "Forall":
+        key = (variables, body)
+        table = cls._intern
+        self = table.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "variables", variables)
+        _set(self, "body", body)
+        _set(self, "_hc", hash(("Forall", variables, body)))
+        _set(self, "_neg", None)
+        if len(table) < INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __reduce__(self):
+        return (Forall, (self.variables, self.body))
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Forall:
+            return NotImplemented
+        return (self._hc == other._hc and self.variables == other.variables
+                and self.body == other.body)
 
     def free_vars(self) -> frozenset[Var]:
         return self.body.free_vars() - frozenset(self.variables)
@@ -517,18 +754,25 @@ def disj(*parts: Formula) -> Formula:
 
 
 def neg(phi: Formula) -> Formula:
-    """Negation, pushed through constants, atoms and double negations."""
+    """Negation, pushed through constants, atoms and double negations.
+
+    Memoized on the node: every formula caches its negation (and the
+    negation caches the original), so repeated negation — ubiquitous in
+    DNF/CNF conversion and QE — costs one attribute read.
+    """
     if phi.is_true:
         return FALSE
     if phi.is_false:
         return TRUE
-    if isinstance(phi, Atom):
+    cached = phi._neg
+    if cached is not None:
+        return cached
+    if isinstance(phi, (Atom, Dvd)):
         return phi.negated()
-    if isinstance(phi, Dvd):
-        return phi.negated()
-    if isinstance(phi, Not):
-        return phi.arg
-    return Not(phi)
+    # And / Or / Exists / Forall (Not caches its arg at construction)
+    result = Not(phi)
+    object.__setattr__(phi, "_neg", result)
+    return result
 
 
 def exists(variables: Sequence[Var], body: Formula) -> Formula:
@@ -648,17 +892,3 @@ def unique_atoms(phi: Formula) -> list[Formula]:
     for a in phi.atoms():
         seen.setdefault(a, None)
     return list(seen)
-
-
-# install cached hashing on every formula node type (see terms.py for the
-# rationale: these trees live in sets and dict keys everywhere, and a
-# recomputed deep hash would dominate solver time)
-from .terms import _install_hash_cache  # noqa: E402
-
-_install_hash_cache(Atom, ("rel", "term"))
-_install_hash_cache(Dvd, ("divisor", "term", "negated_flag"))
-_install_hash_cache(Not, ("arg",))
-_install_hash_cache(And, ("args",))
-_install_hash_cache(Or, ("args",))
-_install_hash_cache(Exists, ("variables", "body"))
-_install_hash_cache(Forall, ("variables", "body"))

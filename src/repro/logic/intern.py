@@ -1,0 +1,49 @@
+"""Hash-consing (interning) support for terms and formulas.
+
+Every term and formula node is interned at construction: structurally
+equal nodes built anywhere in the process are the *same* object.  This
+makes equality an identity check on the hot paths (memo tables in the
+SMT encoder, DNF clause sets, QE caches), lets every node carry its hash
+as a precomputed field, and deduplicates the persistent caches that the
+solver stack keeps across calls.
+
+Interning is an optimization, never a semantic requirement: structural
+``__eq__``/``__hash__`` remain correct for nodes that escape the tables
+(table overflow, unpickled objects from other processes), so the tables
+may be capped or cleared at any time.
+
+Each node class registers its table here so that operational tooling —
+the batch driver, the benchmarks, long-running services — can observe
+and bound memory:
+
+* :func:`intern_stats` returns the live entry count per table;
+* :func:`clear_intern_tables` empties every table (existing nodes stay
+  valid; future constructions simply re-intern).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Per-table cap: beyond this many distinct nodes of one class, new nodes
+# are constructed without being recorded (correctness is unaffected).
+INTERN_LIMIT = 1_000_000
+
+_TABLES: Dict[str, dict] = {}
+
+
+def register_table(name: str, table: dict) -> dict:
+    """Register a class's intern table for stats/clearing; returns it."""
+    _TABLES[name] = table
+    return table
+
+
+def intern_stats() -> dict[str, int]:
+    """Live entry count of every intern table, keyed by class name."""
+    return {name: len(table) for name, table in sorted(_TABLES.items())}
+
+
+def clear_intern_tables() -> None:
+    """Drop all interned nodes (a memory valve for long-running processes)."""
+    for table in _TABLES.values():
+        table.clear()

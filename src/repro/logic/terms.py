@@ -26,6 +26,8 @@ from enum import Enum
 from fractions import Fraction
 from typing import ClassVar, Iterable, Iterator, Mapping
 
+from .intern import INTERN_LIMIT, register_table
+
 
 class VarKind(Enum):
     """Sort of a variable, mirroring the paper's classification."""
@@ -102,19 +104,54 @@ def abstraction_var(name: str, origin: tuple[str, ...] = ()) -> Var:
     return Var(name, VarKind.ABSTRACTION, origin)
 
 
-@dataclass(frozen=True)
 class LinTerm:
     """An affine integer term ``const + sum(coeffs[v] * v)``.
 
     Immutable; all arithmetic returns new terms.  Zero coefficients are
     never stored, which makes structural equality coincide with semantic
     equality of affine forms.
+
+    Terms are hash-consed: structurally equal terms are the same object
+    (see :mod:`repro.logic.intern`), so ``__eq__`` is usually an identity
+    check and ``__hash__`` a precomputed field.
     """
 
-    coeffs: tuple[tuple[Var, int], ...]
-    const: int = 0
-    _hc: int | None = field(default=None, init=False, repr=False,
-                            compare=False)
+    __slots__ = ("coeffs", "const", "_hc")
+
+    _intern: ClassVar[dict] = register_table("LinTerm", {})
+
+    def __new__(cls, coeffs: tuple[tuple[Var, int], ...] = (),
+                const: int = 0) -> "LinTerm":
+        key = (coeffs, const)
+        table = cls._intern
+        self = table.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "coeffs", coeffs)
+        object.__setattr__(self, "const", const)
+        object.__setattr__(self, "_hc", hash(("LinTerm", coeffs, const)))
+        if len(table) < INTERN_LIMIT:
+            table[key] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LinTerm is immutable")
+
+    def __hash__(self) -> int:
+        return self._hc
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not LinTerm:
+            return NotImplemented
+        return (self._hc == other._hc and self.const == other.const
+                and self.coeffs == other.coeffs)
+
+    def __reduce__(self):
+        # unpickling re-interns, restoring identity semantics in-process
+        return (LinTerm, (self.coeffs, self.const))
 
     # ------------------------------------------------------------------
     # construction
@@ -375,4 +412,3 @@ def _install_hash_cache(cls, field_names):
 
 
 _install_hash_cache(Var, ("name", "kind"))
-_install_hash_cache(LinTerm, ("coeffs", "const"))

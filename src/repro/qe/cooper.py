@@ -25,6 +25,8 @@ reasonably small before any contextual simplification.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from ..logic.formulas import (
     FALSE,
     TRUE,
@@ -52,6 +54,22 @@ from ..logic.terms import LinTerm, Var, lcm, lcm_all
 
 class QeBudgetExceeded(RuntimeError):
     """Raised when elimination would produce an unreasonably large formula."""
+
+
+# Persistent, bounded caches over hash-consed keys.  Elimination results
+# and clause-satisfiability verdicts are pure functions of their inputs,
+# so both survive across calls (the abduction loop re-eliminates the same
+# variable from near-identical clause sets round after round).
+_ELIM_CACHE_SIZE = 8_192
+_elim_cache: OrderedDict[tuple[Var, Formula], Formula] = OrderedDict()
+_CLAUSE_SAT_CACHE_SIZE = 65_536
+_clause_sat_cache: OrderedDict[frozenset[Formula], bool] = OrderedDict()
+
+
+def clear_qe_caches() -> None:
+    """Drop the persistent QE caches (a memory valve; purely optional)."""
+    _elim_cache.clear()
+    _clause_sat_cache.clear()
 
 
 def eliminate_quantifiers(phi: Formula, *, size_budget: int = 2_000_000) -> Formula:
@@ -182,6 +200,7 @@ def _prune_clauses(clauses: list[list[Formula]],
     from ..lia import OmegaSolver  # lia is below qe in the layering
 
     solver = OmegaSolver()
+    cache = _clause_sat_cache
     kept: list[list[Formula]] = []
     seen: set[frozenset[Formula]] = set()
     for clause in clauses:
@@ -190,13 +209,35 @@ def _prune_clauses(clauses: list[list[Formula]],
             continue
         seen.add(key)
         budget.charge(len(clause) + 1)
-        if solver.is_sat_literals(clause):
+        sat = cache.get(key)
+        if sat is None:
+            sat = solver.is_sat_literals(clause)
+            cache[key] = sat
+            if len(cache) > _CLAUSE_SAT_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        if sat:
             kept.append(clause)
     return kept
 
 
 def _eliminate_one(x: Var, phi: Formula, budget: _Budget) -> Formula:
-    """Cooper elimination of ``exists x`` from QF NNF ``phi``."""
+    """Cooper elimination of ``exists x`` from QF NNF ``phi`` (cached)."""
+    key = (x, phi)
+    cached = _elim_cache.get(key)
+    if cached is not None:
+        _elim_cache.move_to_end(key)
+        budget.charge(cached.size())
+        return cached
+    result = _eliminate_one_uncached(x, phi, budget)
+    _elim_cache[key] = result
+    if len(_elim_cache) > _ELIM_CACHE_SIZE:
+        _elim_cache.popitem(last=False)
+    return result
+
+
+def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:
     phi = _strip_eq_ne(x, phi)
     if x not in phi.free_vars():
         return phi

@@ -88,6 +88,11 @@ class SatSolver:
     def num_vars(self) -> int:
         return self._num_vars
 
+    @property
+    def num_clauses(self) -> int:
+        """Attached (non-unit) clauses, including learned ones."""
+        return len(self._clauses)
+
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially unsat.
 

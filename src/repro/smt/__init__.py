@@ -1,5 +1,6 @@
 """Lazy SMT solving for linear integer arithmetic (SAT + Omega test)."""
 
+from .incremental import IncrementalContext, IncrementalError
 from .solver import (
     SmtResult,
     SmtSolver,
@@ -12,6 +13,8 @@ from .solver import (
 )
 
 __all__ = [
+    "IncrementalContext",
+    "IncrementalError",
     "SmtResult",
     "SmtSolver",
     "atom_polarity",

@@ -1,0 +1,195 @@
+"""A persistent, assumption-based solving context for the lazy SMT solver.
+
+:meth:`SmtSolver._check_lazy` builds a fresh CDCL solver and re-encodes
+the formula from scratch on every call.  That is wasteful for the
+diagnosis engine, whose per-round checks run over monotonically
+strengthened invariants: consecutive queries share almost all of their
+atoms and subformulas, and every theory conflict learned in one check
+(a blocking clause over atom variables) is a *universally valid* theory
+lemma that the next check could reuse.
+
+:class:`IncrementalContext` keeps one CDCL solver alive across checks:
+
+* the atom-to-variable map and the Plaisted–Greenbaum gate memo persist,
+  so a subformula shared between queries is encoded exactly once;
+* each checked formula's root gate becomes an *assumption literal*
+  passed to :meth:`SatSolver.solve` instead of a permanent unit clause —
+  the one-sided (polarity-positive) encoding of an NNF formula makes
+  "assume the root gate" equisatisfiable with the formula itself, and
+  leaves the clause database reusable for every other root;
+* theory blocking clauses and CDCL-learned clauses accumulate in the
+  shared database, pruning future searches.
+
+Soundness notes.  Blocking clauses are negations of theory-unsat cores,
+hence valid in every LIA model and safe to share across roots.  Learned
+clauses are resolvents of permanent clauses only (assumptions enter the
+solver as decisions, never as clauses), so they are implied by the
+database and equally safe.  A root-level conflict while adding a
+blocking clause is impossible in theory (any integer assignment yields
+a consistent atom valuation satisfying every lemma), so it is treated
+as an internal error and surfaced as :class:`IncrementalError` — the
+calling solver falls back to fresh solving.
+
+The context resets itself (fresh CDCL solver, empty memos) once the
+clause database outgrows ``max_clauses``; unbounded accumulation would
+eventually slow propagation below the cost of re-encoding.
+"""
+
+from __future__ import annotations
+
+from ..lia import Model, OmegaSolver
+from ..logic.formulas import And, Atom, Dvd, Formula, Or
+from ..sat import SatSolver
+from .solver import SmtResult, atom_polarity
+
+
+class IncrementalError(RuntimeError):
+    """The persistent context reached a state it cannot solve from; the
+    caller should fall back to a fresh, non-incremental check."""
+
+
+class IncrementalContext:
+    """One persistent CDCL solver + encoding shared by many checks."""
+
+    def __init__(self, theory: OmegaSolver, *,
+                 max_theory_rounds: int = 200_000,
+                 max_clauses: int = 500_000):
+        self._theory = theory
+        self._max_rounds = max_theory_rounds
+        self._max_clauses = max_clauses
+        self.checks = 0
+        self.resets = 0
+        self.theory_rounds = 0
+        self._fresh()
+
+    def _fresh(self) -> None:
+        self._sat = SatSolver()
+        self._atom_vars: dict[Formula, int] = {}
+        self._encoded: dict[Formula, int] = {}
+
+    # ------------------------------------------------------------------
+    def check(self, phi: Formula) -> SmtResult:
+        """Check satisfiability of a quantifier-free NNF formula.
+
+        ``phi`` must be non-trivial (not TRUE/FALSE) and already in NNF —
+        exactly the precondition of ``SmtSolver._check_lazy``.
+        """
+        self.checks += 1
+        if self._sat.num_clauses > self._max_clauses:
+            self.resets += 1
+            self._fresh()
+
+        root = self._encode(phi)
+        for _ in range(self._max_rounds):
+            if not self._sat.solve([root]):
+                return SmtResult(False, None)
+            self.theory_rounds += 1
+            assignment = self._sat.model()
+            seen: dict[Formula, None] = {}
+            self._implicant(phi, assignment, seen, {})
+            literals = list(seen)
+            model = self._theory.solve_literals(literals)
+            if model is not None:
+                return SmtResult(True, model)
+            core = self._theory.unsat_core(literals)
+            blocking = []
+            for lit in core:
+                base, polarity = atom_polarity(lit)
+                var = self._atom_vars[base]
+                blocking.append(-var if polarity else var)
+            if not self._sat.add_clause(blocking):
+                # a valid theory lemma conflicting at the root level means
+                # the shared database is corrupt — never expected
+                self.resets += 1
+                self._fresh()
+                raise IncrementalError("blocking clause conflicts at root")
+        raise IncrementalError("exceeded theory-round budget")
+
+    # ------------------------------------------------------------------
+    def _literal_var(self, literal: Formula) -> int:
+        base, polarity = atom_polarity(literal)
+        var = self._atom_vars.get(base)
+        if var is None:
+            var = self._sat.new_var()
+            self._atom_vars[base] = var
+        return var if polarity else -var
+
+    def _encode(self, node: Formula) -> int:
+        """Plaisted–Greenbaum one-sided encoding into the shared solver.
+
+        The gate memo persists across checks: assuming a gate only
+        *activates* its implication clauses, so gates of formulas that are
+        not under the current assumption impose no constraints.
+        """
+        cached = self._encoded.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, (Atom, Dvd)):
+            gate = self._literal_var(node)
+        elif isinstance(node, And):
+            gate = self._sat.new_var()
+            for child in node.args:
+                self._sat.add_clause([-gate, self._encode(child)])
+        elif isinstance(node, Or):
+            gate = self._sat.new_var()
+            self._sat.add_clause(
+                [-gate] + [self._encode(child) for child in node.args]
+            )
+        else:
+            raise TypeError(f"unexpected node in NNF formula: {node!r}")
+        self._encoded[node] = gate
+        return gate
+
+    def _implicant(self, node: Formula, assignment: dict[int, bool],
+                   acc: dict[Formula, None],
+                   holds_memo: dict[Formula, bool]) -> None:
+        """Collect a small literal set making ``node`` true under the
+        current assignment (mirrors ``SmtSolver._check_lazy``)."""
+        if isinstance(node, (Atom, Dvd)):
+            base, polarity = atom_polarity(node)
+            value = assignment[self._atom_vars[base]]
+            assert value == polarity, "assignment must satisfy formula"
+            acc.setdefault(node, None)
+            return
+        if isinstance(node, And):
+            for child in node.args:
+                self._implicant(child, assignment, acc, holds_memo)
+            return
+        assert isinstance(node, Or)
+        for child in node.args:
+            if self._holds(child, assignment, holds_memo):
+                self._implicant(child, assignment, acc, holds_memo)
+                return
+        raise AssertionError("assignment must satisfy some disjunct")
+
+    def _holds(self, node: Formula, assignment: dict[int, bool],
+               memo: dict[Formula, bool]) -> bool:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, (Atom, Dvd)):
+            base, polarity = atom_polarity(node)
+            result = assignment[self._atom_vars[base]] == polarity
+        elif isinstance(node, And):
+            result = all(
+                self._holds(child, assignment, memo) for child in node.args
+            )
+        else:
+            assert isinstance(node, Or)
+            result = any(
+                self._holds(child, assignment, memo) for child in node.args
+            )
+        memo[node] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "checks": self.checks,
+            "resets": self.resets,
+            "theory_rounds": self.theory_rounds,
+            "sat_vars": self._sat.num_vars,
+            "sat_clauses": self._sat.num_clauses,
+            "encoded_nodes": len(self._encoded),
+            "atoms": len(self._atom_vars),
+        }

@@ -18,6 +18,8 @@ elimination (imported lazily to keep package layering acyclic).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from ..lia import Model, OmegaSolver
 from ..logic.formulas import (
     And,
@@ -80,11 +82,17 @@ class SmtSolver:
     quantifier elimination, full Presburger arithmetic)."""
 
     def __init__(self, *, max_theory_rounds: int = 200_000,
-                 cache_size: int = 50_000):
+                 cache_size: int = 50_000, incremental: bool = False):
         self._theory = OmegaSolver()
         self._max_rounds = max_theory_rounds
-        self._cache: dict[Formula, bool] = {}
+        # bounded LRU over is_sat verdicts (access order = recency)
+        self._cache: OrderedDict[Formula, bool] = OrderedDict()
         self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._incremental = incremental
+        self._context = None  # built lazily on the first incremental check
 
     # ------------------------------------------------------------------
     # public API
@@ -99,16 +107,38 @@ class SmtSolver:
         if isinstance(phi, (Atom, Dvd)):
             model = self._theory.solve_literals([phi])
             return SmtResult(model is not None, model)
+        if self._incremental:
+            result = self._check_incremental(phi)
+            if result is not None:
+                return result
         return self._check_lazy(phi)
 
     def is_sat(self, phi: Formula) -> bool:
         cached = self._cache.get(phi)
         if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(phi)
             return cached
+        self._misses += 1
         result = self.check(phi).sat
-        if len(self._cache) < self._cache_size:
-            self._cache[phi] = result
+        self._cache[phi] = result
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
         return result
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the is_sat verdict cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": len(self._cache),
+        }
+
+    def context_stats(self) -> dict[str, int] | None:
+        """Stats of the incremental context, if one is active."""
+        return self._context.stats() if self._context is not None else None
 
     def get_model(self, phi: Formula) -> Model | None:
         return self.check(phi).model
@@ -133,6 +163,19 @@ class SmtSolver:
 
             phi = eliminate_quantifiers(phi)
         return nnf(phi)
+
+    def _check_incremental(self, phi: Formula) -> SmtResult | None:
+        """Check via the persistent context; None means "fall back"."""
+        from .incremental import IncrementalContext, IncrementalError
+
+        if self._context is None:
+            self._context = IncrementalContext(
+                self._theory, max_theory_rounds=self._max_rounds
+            )
+        try:
+            return self._context.check(phi)
+        except IncrementalError:
+            return None
 
     def _check_lazy(self, phi: Formula) -> SmtResult:
         sat = SatSolver()

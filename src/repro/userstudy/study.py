@@ -35,7 +35,7 @@ from ..diagnosis import (
     Query,
     diagnose_error,
 )
-from ..suite import BENCHMARKS, DIAGNOSTICS, Benchmark, load_analysis
+from ..suite import BENCHMARKS, DIAGNOSTICS, Benchmark
 from .participants import (
     SESSION_OVERHEAD,
     Participant,
@@ -192,11 +192,15 @@ class UserStudy:
         seed: int = 2012,
         benchmarks: tuple[Benchmark, ...] = BENCHMARKS,
         engine_config: EngineConfig | None = None,
+        jobs: int | None = 1,
     ):
         self._num_recruited = num_recruited
         self._seed = seed
         self._benchmarks = benchmarks
         self._config = engine_config or EngineConfig()
+        # worker processes for the up-front analysis of all benchmarks;
+        # None = CPU count, 1 = load serially in-process
+        self._jobs = jobs
 
     # ------------------------------------------------------------------
     def run(self) -> StudyResult:
@@ -208,8 +212,10 @@ class UserStudy:
         excluded = len(recruited) - len(valid)
 
         sessions: list[SessionOutcome] = []
-        for bench in self._benchmarks:
-            program, analysis = load_analysis(bench)
+        from ..batch import load_many
+
+        loaded = load_many(self._benchmarks, jobs=self._jobs)
+        for bench, program, analysis in loaded:
             truth = ExhaustiveOracle(
                 program, analysis, radius=bench.oracle_radius
             )

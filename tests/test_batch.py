@@ -1,0 +1,93 @@
+"""The batch-triage driver: serial/parallel agreement, ordering,
+timeout degradation, and the bounded LRU verdict cache."""
+
+from __future__ import annotations
+
+from repro.batch import load_many, triage_many
+from repro.logic import le
+from repro.logic.terms import Var
+from repro.smt import SmtSolver
+from repro.suite import DIAGNOSTICS
+
+NAMES = [b.name for b in DIAGNOSTICS]
+
+
+class TestTriageMany:
+    def test_serial_classifies_diagnostics(self):
+        result = triage_many(NAMES, jobs=1)
+        assert result.mode == "serial"
+        assert [o.name for o in result.outcomes] == NAMES
+        assert all(o.correct for o in result.outcomes)
+        assert result.accuracy == 1.0
+        assert not result.failures
+
+    def test_parallel_agrees_with_serial(self):
+        serial = triage_many(NAMES, jobs=1)
+        parallel = triage_many(NAMES, jobs=2)
+        assert parallel.mode in ("parallel", "degraded")
+        assert [(o.name, o.classification, o.num_queries)
+                for o in parallel.outcomes] == \
+               [(o.name, o.classification, o.num_queries)
+                for o in serial.outcomes]
+
+    def test_results_come_back_in_input_order(self):
+        shuffled = list(reversed(NAMES))
+        result = triage_many(shuffled, jobs=2)
+        assert [o.name for o in result.outcomes] == shuffled
+
+    def test_per_report_timeout_marks_unknown(self):
+        result = triage_many(NAMES, jobs=2, timeout=1e-4)
+        assert len(result.outcomes) == len(NAMES)
+        assert all(o.timed_out for o in result.outcomes)
+        assert all(o.classification == "unknown" for o in result.outcomes)
+
+    def test_worker_errors_become_outcomes(self):
+        result = triage_many(["no_such_benchmark"], jobs=1)
+        (outcome,) = result.outcomes
+        assert outcome.error is not None
+        assert outcome.classification == "unknown"
+
+    def test_jobs_clamped_to_report_count(self):
+        result = triage_many([NAMES[0]], jobs=8)
+        assert result.mode == "serial"     # single report: no pool
+
+
+class TestLoadMany:
+    def test_parallel_load_matches_serial(self):
+        serial = load_many(DIAGNOSTICS, jobs=1)
+        parallel = load_many(DIAGNOSTICS, jobs=2)
+        assert [b.name for b, _, _ in parallel] == \
+               [b.name for b, _, _ in serial]
+        for (_, _, a1), (_, _, a2) in zip(serial, parallel):
+            # analyses cross the process boundary and re-intern
+            assert a1.invariants == a2.invariants
+            assert a1.success == a2.success
+
+
+class TestVerdictCacheLru:
+    def test_cache_keeps_inserting_past_capacity(self):
+        x = Var("x")
+        solver = SmtSolver(cache_size=4)
+        for i in range(10):
+            solver.is_sat(le(x, i))
+        stats = solver.cache_stats()
+        assert stats["entries"] == 4            # bounded
+        assert stats["evictions"] == 6          # still inserting (old bug:
+        assert stats["misses"] == 10            # inserts stopped at cap)
+        # the most recent entries are retained
+        assert solver.is_sat(le(x, 9))
+        assert solver.cache_stats()["hits"] == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        x = Var("x")
+        solver = SmtSolver(cache_size=2)
+        a, b, c = le(x, 1), le(x, 2), le(x, 3)
+        solver.is_sat(a)
+        solver.is_sat(b)
+        solver.is_sat(a)        # refresh a; b is now LRU
+        solver.is_sat(c)        # evicts b
+        hits_before = solver.cache_stats()["hits"]
+        solver.is_sat(a)
+        assert solver.cache_stats()["hits"] == hits_before + 1
+        solver.is_sat(b)        # miss: was evicted
+        assert solver.cache_stats()["misses"] == 4

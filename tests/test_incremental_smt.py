@@ -1,0 +1,99 @@
+"""Differential tests: the incremental context must agree with fresh
+solving on every query, in any order, including the diagnosis engine's
+monotone-invariant pattern and forced context resets."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import conj, disj, neg
+from repro.smt import SmtSolver
+
+from .strategies import formulas
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(formulas(max_depth=2), min_size=1, max_size=6))
+def test_incremental_agrees_with_fresh_on_sequences(phis):
+    incremental = SmtSolver(incremental=True)
+    for phi in phis:
+        assert incremental.is_sat(phi) == SmtSolver().is_sat(phi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(formulas(max_depth=2), min_size=2, max_size=5))
+def test_monotone_strengthening_sequence(phis):
+    """The engine's pattern: re-check a conjunction as it grows."""
+    incremental = SmtSolver(incremental=True)
+    acc = phis[0]
+    for phi in phis[1:]:
+        acc = conj(acc, phi)
+        assert incremental.is_sat(acc) == SmtSolver().is_sat(acc)
+        # interleave validity checks, as DiagnosisEngine.run does
+        assert incremental.is_valid(disj(acc, neg(acc)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(formulas(max_depth=2), min_size=1, max_size=5))
+def test_entailment_agrees(phis):
+    incremental = SmtSolver(incremental=True)
+    fresh = SmtSolver()
+    for left, right in zip(phis, phis[1:] + phis[:1]):
+        assert incremental.entails(left, right) == fresh.entails(left, right)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(formulas(max_depth=2), min_size=2, max_size=6))
+def test_forced_resets_preserve_verdicts(phis):
+    """A context that resets after every check must still agree."""
+    solver = SmtSolver(incremental=True)
+    reference = SmtSolver()
+    for phi in phis:
+        verdict = solver.is_sat(phi)
+        assert verdict == reference.is_sat(phi)
+        if solver._context is not None:
+            solver._context._max_clauses = 0   # next check resets
+    stats = solver.context_stats()
+    if stats is not None and stats["checks"] > 1:
+        assert stats["resets"] >= stats["checks"] - 1
+
+
+def test_context_reuses_encoding_across_checks():
+    from repro.logic import le
+    from repro.logic.terms import Var
+
+    x, y = Var("x"), Var("y")
+    solver = SmtSolver(incremental=True)
+    base = disj(conj(le(x, 0), le(y, 0)), le(5, x))
+    assert solver.is_sat(base)
+    nodes_after_first = solver.context_stats()["encoded_nodes"]
+    assert solver.is_sat(conj(base, le(1, y)))
+    stats = solver.context_stats()
+    # the shared subformula must not have been re-encoded
+    assert stats["checks"] == 2
+    assert stats["resets"] == 0
+    assert stats["encoded_nodes"] > nodes_after_first  # only the new part
+
+
+def test_fallback_path_still_answers():
+    """IncrementalError must route to the fresh solver, not the caller."""
+    from repro.logic import le
+    from repro.logic.terms import Var
+    from repro.smt.incremental import IncrementalError
+
+    x = Var("x")
+
+    class ExplodingContext:
+        def check(self, phi):
+            raise IncrementalError("synthetic failure")
+
+    solver = SmtSolver(incremental=True)
+    solver._context = ExplodingContext()
+    assert solver.is_sat(conj(le(x, 5), le(3, x)))
+
+
+def test_context_cache_stats_exposed():
+    solver = SmtSolver(incremental=True)
+    assert solver.context_stats() is None      # built lazily
+    assert solver.cache_stats()["hits"] == 0
