@@ -1,0 +1,113 @@
+"""Experiment E7: disabled-instrumentation overhead of the obs layer.
+
+The observability probes (``obs.span`` / ``obs.inc`` / ``obs.gauge``)
+sit on the hottest paths of the stack — Cooper QE, the MSA search, the
+CDCL solver, the abduction engine.  Their contract is *near-zero cost
+when disabled*: each probe is one function call that checks a single
+module-global boolean.  This benchmark pins that contract below 5%.
+
+Two timings of the same abduction-round workload are compared:
+
+* **stubbed** — ``obs.stubbed()`` swaps every probe for a bare no-op,
+  the "instrumentation compiled out" baseline;
+* **disabled** — the real probes with instrumentation off (the default
+  state of every process).
+
+Min-of-N timing is used on both sides so scheduler noise cannot fail
+the bound spuriously.  Runs standalone (exit code 1 past the bound, for
+CI) or under pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+OVERHEAD_BOUND = 0.05
+REPEATS = 7
+ITERATIONS = 3
+
+FOO = """
+program foo(flag, unsigned n) {
+  var k = 1, i = 0, j = 0;
+  if (flag != 0) { k = n * n; }
+  while (i <= n) { i = i + 1; j = j + i; } @post(i >= 0 && i > n)
+  var z = k + i + j;
+  assert(z > 2 * n);
+}
+"""
+
+
+def _workload():
+    """One full abduction round (obligation + witness) on a fresh
+    abducer, driving QE, MSA, simplification, SAT and SMT."""
+    from repro.diagnosis import Abducer, pi_p, pi_w
+
+    analysis = _workload.analysis
+    abducer = Abducer()
+    inv, phi = analysis.invariants, analysis.success
+    gamma = abducer.proof_obligation(inv, phi, pi_p(inv, phi))
+    upsilon = abducer.failure_witness(inv, phi, pi_w(inv, phi))
+    return gamma, upsilon
+
+
+def _prepare() -> None:
+    from repro.api import Pipeline
+
+    _workload.analysis = Pipeline().analyze(FOO).analysis
+
+
+def _timed_chunk(iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        _workload()
+    return time.perf_counter() - start
+
+
+def measure(repeats: int = REPEATS,
+            iterations: int = ITERATIONS) -> tuple[float, float, float]:
+    """(stubbed_s, disabled_s, relative overhead of disabled probes).
+
+    The two modes are timed in *interleaved* chunks and each side takes
+    its best chunk, so one-sided drift (CPU frequency, cache warm-up
+    ordering) cannot masquerade as probe overhead.
+    """
+    from repro import obs
+
+    obs.disable()
+    _prepare()
+    _workload()  # warm every lazy cache outside the timed region
+    stubbed = disabled = float("inf")
+    for _ in range(repeats):
+        with obs.stubbed():
+            stubbed = min(stubbed, _timed_chunk(iterations))
+        disabled = min(disabled, _timed_chunk(iterations))
+    overhead = disabled / stubbed - 1.0
+    return stubbed, disabled, overhead
+
+
+def test_disabled_overhead_below_bound():
+    stubbed, disabled, overhead = measure()
+    assert disabled <= stubbed * (1.0 + OVERHEAD_BOUND), (
+        f"disabled-mode probes cost {100.0 * overhead:.1f}% "
+        f"(stubbed {stubbed:.4f}s vs disabled {disabled:.4f}s); "
+        f"bound is {100.0 * OVERHEAD_BOUND:.0f}%"
+    )
+
+
+def main() -> int:
+    stubbed, disabled, overhead = measure()
+    print(f"stubbed  (no probes):       {stubbed:.4f}s")
+    print(f"disabled (real probes off): {disabled:.4f}s")
+    print(f"overhead: {100.0 * overhead:+.2f}% "
+          f"(bound {100.0 * OVERHEAD_BOUND:.0f}%)")
+    if disabled > stubbed * (1.0 + OVERHEAD_BOUND):
+        print("FAIL: disabled-mode instrumentation overhead exceeds the "
+              "bound", file=sys.stderr)
+        return 1
+    print("ok: disabled-mode instrumentation is within the bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

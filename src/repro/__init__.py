@@ -40,10 +40,18 @@ __version__ = "1.0.0"
 # individually without pulling in the whole stack.
 _EXPORTS = {
     "AnalysisOutcome": ("repro.api", "AnalysisOutcome"),
+    "Pipeline": ("repro.api", "Pipeline"),
+    "InitialVerdict": ("repro.api", "InitialVerdict"),
     "analyze_source": ("repro.api", "analyze_source"),
     "diagnose_source": ("repro.api", "diagnose_source"),
+    "triage_suite": ("repro.api", "triage_suite"),
     "load_benchmark": ("repro.api", "load_benchmark"),
     "run_user_study": ("repro.api", "run_user_study"),
+    "TriageVerdict": ("repro.schema", "TriageVerdict"),
+    "SCHEMA_VERSION": ("repro.schema", "SCHEMA_VERSION"),
+    "BatchResult": ("repro.batch", "BatchResult"),
+    "TriageOutcome": ("repro.batch", "TriageOutcome"),
+    "obs": ("repro.obs", None),
     "DiagnosisResult": ("repro.diagnosis.engine", "DiagnosisResult"),
     "Verdict": ("repro.diagnosis.engine", "Verdict"),
     "diagnose_error": ("repro.diagnosis.engine", "diagnose_error"),
@@ -72,7 +80,7 @@ def __getattr__(name: str):
     import importlib
 
     module = importlib.import_module(module_name)
-    value = getattr(module, attr)
+    value = module if attr is None else getattr(module, attr)
     globals()[name] = value
     return value
 

@@ -1,20 +1,37 @@
-"""High-level convenience API tying the pipeline together.
+"""The stable public API: one :class:`Pipeline` facade, one verdict
+vocabulary, one JSON schema.
 
-Most callers want one of three things:
+Most callers construct a :class:`Pipeline` and use its methods::
 
-* :func:`analyze_source` — parse, annotate, run the Section 3 analysis
-  and report whether the check is proved, refuted, or uncertain;
-* :func:`diagnose_source` — the full paper pipeline: analysis plus the
-  Figure 6 query loop against an oracle;
-* :func:`triage_suite` — batch-triage many reports across cores;
-* :func:`run_user_study` — regenerate Figure 7.
+    from repro import Pipeline, ScriptedOracle
+
+    pipe = Pipeline()
+    outcome = pipe.analyze(source)            # -> AnalysisOutcome
+    result = pipe.diagnose(source, oracle)    # -> DiagnosisResult
+    batch = pipe.triage(jobs=4)               # -> BatchResult
+    study = pipe.user_study(seed=2012)        # -> StudyResult
+
+Every result type shares the same protocol (see :mod:`repro.schema` and
+``docs/API.md``):
+
+* ``triage_verdict`` (and, except on the analysis outcome whose
+  ``verdict`` predates the redesign, ``verdict``) — the unified
+  :class:`~repro.schema.TriageVerdict`;
+* ``to_dict()`` / ``to_json()`` — the stable, versioned JSON payload,
+  with an obs telemetry snapshot embedded when instrumentation is on.
+
+The pre-redesign entry points (:func:`analyze_source`,
+:func:`diagnose_source`, :func:`triage_suite`) remain as thin
+deprecated aliases of the facade.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 
+from . import obs
 from .abstract import annotate_program
 from .analysis import AnalysisResult, analyze_program
 from .batch import BatchResult, triage_many
@@ -28,6 +45,7 @@ from .diagnosis import (
 )
 from .lang import Program, parse_program
 from .logic import neg
+from .schema import TriageVerdict, dump_json, envelope
 from .smt import SmtSolver
 from .suite import Benchmark, benchmark_by_name, load_analysis
 from .userstudy import StudyResult
@@ -49,6 +67,7 @@ class AnalysisOutcome:
     program: Program
     analysis: AnalysisResult
     verdict: InitialVerdict
+    telemetry: dict | None = None  # obs snapshot delta, when enabled
 
     @property
     def invariants(self):
@@ -58,31 +77,102 @@ class AnalysisOutcome:
     def success(self):
         return self.analysis.success
 
+    @property
+    def triage_verdict(self) -> TriageVerdict:
+        """The unified result vocabulary (see :mod:`repro.schema`)."""
+        return TriageVerdict.from_classification(self.verdict.value)
 
-def analyze_source(source: str, *, auto_annotate: bool = True,
-                   solver: SmtSolver | None = None) -> AnalysisOutcome:
-    """Parse, annotate, analyze and pre-classify a program."""
-    program = parse_program(source)
-    if auto_annotate:
-        program = annotate_program(program)
-    analysis = analyze_program(program)
-    solver = solver or SmtSolver()
-    if solver.entails(analysis.invariants, analysis.success):
-        verdict = InitialVerdict.VERIFIED
-    elif solver.entails(analysis.invariants, neg(analysis.success)):
-        verdict = InitialVerdict.REFUTED
-    else:
-        verdict = InitialVerdict.UNCERTAIN
-    return AnalysisOutcome(program, analysis, verdict)
+    def to_dict(self) -> dict:
+        """The stable ``repro.result`` payload (see docs/API.md)."""
+        return envelope(
+            "analysis",
+            self.triage_verdict,
+            program=self.program.name,
+            initial_verdict=self.verdict.value,
+            invariants=str(self.invariants),
+            success=str(self.success),
+            telemetry=self.telemetry,
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return dump_json(self.to_dict(), indent=indent)
 
 
-def diagnose_source(source: str, oracle: Oracle, *,
-                    auto_annotate: bool = True,
-                    config: EngineConfig | None = None) -> DiagnosisResult:
-    """The full pipeline: analysis plus the Figure 6 interaction loop."""
-    outcome = analyze_source(source, auto_annotate=auto_annotate)
-    return diagnose_error(outcome.analysis, oracle, config)
+class Pipeline:
+    """The one front door to the whole reproduction.
 
+    Bundles the configuration every entry point used to take ad hoc —
+    annotation, engine knobs, a shared solver — and exposes the four
+    workloads as methods.  Passing ``telemetry=True`` switches the
+    process-wide obs instrumentation on, so every result produced by
+    this pipeline embeds its telemetry snapshot.
+    """
+
+    def __init__(self, *, auto_annotate: bool = True,
+                 config: EngineConfig | None = None,
+                 solver: SmtSolver | None = None,
+                 telemetry: bool = False):
+        self._auto_annotate = auto_annotate
+        self._config = config
+        self._solver = solver or SmtSolver()
+        if telemetry:
+            obs.enable()
+
+    # ------------------------------------------------------------------
+    def analyze(self, source: str) -> AnalysisOutcome:
+        """Parse, annotate, analyze and pre-classify a program."""
+        with obs.capture() as cap, obs.span("api.analyze"):
+            program = parse_program(source)
+            if self._auto_annotate:
+                program = annotate_program(program)
+            analysis = analyze_program(program)
+            if self._solver.entails(analysis.invariants,
+                                    analysis.success):
+                verdict = InitialVerdict.VERIFIED
+            elif self._solver.entails(analysis.invariants,
+                                      neg(analysis.success)):
+                verdict = InitialVerdict.REFUTED
+            else:
+                verdict = InitialVerdict.UNCERTAIN
+        return AnalysisOutcome(program, analysis, verdict,
+                               telemetry=cap.snapshot)
+
+    def diagnose(self, source: str, oracle: Oracle) -> DiagnosisResult:
+        """The full pipeline: analysis plus the Figure 6 loop."""
+        outcome = self.analyze(source)
+        return diagnose_error(outcome.analysis, oracle, self._config)
+
+    def triage(self, names: list[str] | None = None, *,
+               jobs: int | None = None,
+               timeout: float | None = None) -> BatchResult:
+        """Batch-triage benchmark reports (all of Figure 7 by default).
+
+        Fans out over ``jobs`` worker processes (CPU count by default)
+        with per-report ``timeout`` and graceful degradation to serial
+        execution; see :mod:`repro.batch`.
+        """
+        return triage_many(names, jobs=jobs, timeout=timeout,
+                           config=self._config,
+                           telemetry=obs.is_enabled())
+
+    def user_study(self, *, seed: int = 2012, num_recruited: int = 56,
+                   benchmarks: tuple[Benchmark, ...] | None = None,
+                   jobs: int | None = 1) -> StudyResult:
+        """Regenerate the Figure 7 user study (see repro.userstudy)."""
+        kwargs: dict = {
+            "seed": seed,
+            "num_recruited": num_recruited,
+            "engine_config": self._config,
+            "jobs": jobs,
+        }
+        if benchmarks is not None:
+            kwargs["benchmarks"] = benchmarks
+        return _run_user_study(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# benchmark helpers (stable, not deprecated)
+# ---------------------------------------------------------------------------
 
 def load_benchmark(name: str) -> tuple[Benchmark, Program, AnalysisResult]:
     """Load a Figure 7 benchmark with its analysis."""
@@ -106,19 +196,60 @@ def dynamic_oracle(name: str, *, samples: int = 400) -> tuple[
     return analysis, SamplingOracle(program, analysis, samples=samples)
 
 
+def run_user_study(*, seed: int = 2012, num_recruited: int = 56,
+                   benchmarks: tuple[Benchmark, ...] | None = None,
+                   engine_config: EngineConfig | None = None,
+                   jobs: int | None = 1) -> StudyResult:
+    """Regenerate the Figure 7 user study (see repro.userstudy).
+
+    Keyword-only with an explicit signature so a mistyped parameter
+    fails loudly instead of being swallowed by a ``**kwargs`` sink.
+    """
+    kwargs: dict = {
+        "seed": seed,
+        "num_recruited": num_recruited,
+        "engine_config": engine_config,
+        "jobs": jobs,
+    }
+    if benchmarks is not None:
+        kwargs["benchmarks"] = benchmarks
+    return _run_user_study(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# deprecated aliases of the facade
+# ---------------------------------------------------------------------------
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.api.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def analyze_source(source: str, *, auto_annotate: bool = True,
+                   solver: SmtSolver | None = None) -> AnalysisOutcome:
+    """Deprecated alias of :meth:`Pipeline.analyze`."""
+    _deprecated("analyze_source", "Pipeline(...).analyze")
+    return Pipeline(auto_annotate=auto_annotate,
+                    solver=solver).analyze(source)
+
+
+def diagnose_source(source: str, oracle: Oracle, *,
+                    auto_annotate: bool = True,
+                    config: EngineConfig | None = None) -> DiagnosisResult:
+    """Deprecated alias of :meth:`Pipeline.diagnose`."""
+    _deprecated("diagnose_source", "Pipeline(...).diagnose")
+    return Pipeline(auto_annotate=auto_annotate,
+                    config=config).diagnose(source, oracle)
+
+
 def triage_suite(names: list[str] | None = None, *,
                  jobs: int | None = None,
                  timeout: float | None = None,
                  config: EngineConfig | None = None) -> BatchResult:
-    """Batch-triage benchmark reports (all of Figure 7 by default).
-
-    Fans out over ``jobs`` worker processes (CPU count by default) with
-    per-report ``timeout`` and graceful degradation to serial execution;
-    see :mod:`repro.batch`.
-    """
-    return triage_many(names, jobs=jobs, timeout=timeout, config=config)
-
-
-def run_user_study(**kwargs) -> StudyResult:
-    """Regenerate the Figure 7 user study (see repro.userstudy)."""
-    return _run_user_study(**kwargs)
+    """Deprecated alias of :meth:`Pipeline.triage`."""
+    _deprecated("triage_suite", "Pipeline(...).triage")
+    return Pipeline(config=config).triage(names, jobs=jobs,
+                                          timeout=timeout)

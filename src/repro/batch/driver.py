@@ -30,7 +30,9 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
+from ..schema import TriageVerdict, dump_json, envelope
 from ..suite import BENCHMARKS, benchmark_by_name, load_analysis
 
 
@@ -46,11 +48,36 @@ class TriageOutcome:
     elapsed_seconds: float = 0.0
     timed_out: bool = False
     error: str | None = None       # repr of an in-worker exception
+    telemetry: dict | None = None  # per-report obs snapshot, when enabled
+    events: tuple = ()             # per-report obs events, when enabled
 
     @property
     def correct(self) -> bool:
         return self.expected is not None and \
             self.classification == self.expected
+
+    @property
+    def verdict(self) -> TriageVerdict:
+        return TriageVerdict.from_classification(self.classification)
+
+    def to_dict(self) -> dict:
+        """The stable ``repro.result`` payload (see docs/API.md)."""
+        return envelope(
+            "triage_outcome",
+            self.verdict,
+            name=self.name,
+            expected=self.expected,
+            correct=self.correct if self.expected is not None else None,
+            num_queries=self.num_queries,
+            rounds=self.rounds,
+            elapsed_seconds=self.elapsed_seconds,
+            timed_out=self.timed_out,
+            error=self.error,
+            telemetry=self.telemetry,
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return dump_json(self.to_dict(), indent=indent)
 
 
 @dataclass
@@ -61,6 +88,7 @@ class BatchResult:
     wall_seconds: float
     jobs: int
     mode: str                      # 'serial' | 'parallel' | 'degraded'
+    telemetry: dict | None = None  # merged per-worker obs snapshots
     failures: list[TriageOutcome] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -76,32 +104,79 @@ class BatchResult:
             return 0.0
         return sum(1 for o in labelled if o.correct) / len(labelled)
 
+    @property
+    def verdict(self) -> TriageVerdict:
+        """The strongest claim about the batch: any real bug makes the
+        batch ``REAL_BUG``; otherwise any unknown leaves it ``UNKNOWN``;
+        a batch of pure false alarms is ``FALSE_ALARM``."""
+        verdicts = {o.verdict for o in self.outcomes}
+        if TriageVerdict.REAL_BUG in verdicts:
+            return TriageVerdict.REAL_BUG
+        if TriageVerdict.UNKNOWN in verdicts or not verdicts:
+            return TriageVerdict.UNKNOWN
+        return TriageVerdict.FALSE_ALARM
+
+    @property
+    def verdict_counts(self) -> dict[str, int]:
+        counts = {v.value: 0 for v in TriageVerdict}
+        for outcome in self.outcomes:
+            counts[outcome.verdict.value] += 1
+        return counts
+
     def by_name(self, name: str) -> TriageOutcome:
         for outcome in self.outcomes:
             if outcome.name == name:
                 return outcome
         raise KeyError(f"no outcome for {name!r}")
 
+    def to_dict(self) -> dict:
+        """The stable ``repro.result`` payload (see docs/API.md)."""
+        return envelope(
+            "batch",
+            self.verdict,
+            wall_seconds=self.wall_seconds,
+            jobs=self.jobs,
+            mode=self.mode,
+            accuracy=self.accuracy,
+            verdict_counts=self.verdict_counts,
+            outcomes=[o.to_dict() for o in self.outcomes],
+            telemetry=self.telemetry,
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return dump_json(self.to_dict(), indent=indent)
+
 
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
 
-def _triage_one(name: str, config: EngineConfig | None) -> TriageOutcome:
+def _triage_one(name: str, config: EngineConfig | None,
+                telemetry: bool = False) -> TriageOutcome:
     """Triage a single benchmark report against its ground-truth oracle.
 
     Top-level so it pickles under any multiprocessing start method.  All
     process-global caches (default solver, intern tables, QE caches)
     stay warm between calls within one worker.
+
+    With ``telemetry`` the report runs under an obs capture scope: the
+    outcome carries the report's own counter/span snapshot plus the span
+    events it emitted, both plain data, so the driver can merge them
+    across workers.
     """
     start = time.perf_counter()
+    if telemetry and not obs.is_enabled():
+        obs.enable()
+    events_before = obs.event_count() if telemetry else 0
     try:
-        bench = benchmark_by_name(name)
-        program, analysis = load_analysis(bench)
-        oracle = ExhaustiveOracle(
-            program, analysis, radius=bench.oracle_radius
-        )
-        result = diagnose_error(analysis, oracle, config)
+        with obs.capture() as cap, \
+                obs.span("triage.report", report=name):
+            bench = benchmark_by_name(name)
+            program, analysis = load_analysis(bench)
+            oracle = ExhaustiveOracle(
+                program, analysis, radius=bench.oracle_radius
+            )
+            result = diagnose_error(analysis, oracle, config)
         return TriageOutcome(
             name=name,
             classification=result.classification,
@@ -109,6 +184,9 @@ def _triage_one(name: str, config: EngineConfig | None) -> TriageOutcome:
             num_queries=result.num_queries,
             rounds=result.rounds,
             elapsed_seconds=time.perf_counter() - start,
+            telemetry=cap.snapshot,
+            events=tuple(obs.events()[events_before:]) if telemetry
+            else (),
         )
     except Exception as exc:  # noqa: BLE001 - outcomes must cross processes
         return TriageOutcome(
@@ -152,13 +230,16 @@ def triage_many(
     jobs: int | None = None,
     timeout: float | None = None,
     config: EngineConfig | None = None,
+    telemetry: bool = False,
 ) -> BatchResult:
     """Triage many reports, in parallel when more than one core helps.
 
     ``names`` defaults to the full Figure 7 suite.  ``jobs`` defaults to
     the CPU count; ``jobs <= 1`` (or a single report) selects the serial
     path outright.  ``timeout`` bounds each report's wall time in the
-    parallel mode.
+    parallel mode.  ``telemetry`` collects per-report obs snapshots in
+    every worker and merges them into ``BatchResult.telemetry`` (QE/SMT
+    cache hit-rates, span timings, SAT conflict counts, ...).
     """
     if names is None:
         names = [b.name for b in BENCHMARKS]
@@ -166,23 +247,38 @@ def triage_many(
         jobs = _default_jobs()
     jobs = max(1, min(jobs, len(names))) if names else 1
 
+    # also honour a caller that enabled obs globally before batching
+    telemetry = telemetry or obs.is_enabled()
+
     start = time.perf_counter()
     if jobs <= 1 or len(names) <= 1:
-        outcomes = [_triage_one(name, config) for name in names]
+        outcomes = [_triage_one(name, config, telemetry)
+                    for name in names]
         return BatchResult(
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - start,
             jobs=1,
             mode="serial",
+            telemetry=_merged_telemetry(outcomes, telemetry),
         )
 
-    outcomes, degraded = _triage_parallel(names, jobs, timeout, config)
+    outcomes, degraded = _triage_parallel(
+        names, jobs, timeout, config, telemetry
+    )
     return BatchResult(
         outcomes=outcomes,
         wall_seconds=time.perf_counter() - start,
         jobs=jobs,
         mode="degraded" if degraded else "parallel",
+        telemetry=_merged_telemetry(outcomes, telemetry),
     )
+
+
+def _merged_telemetry(outcomes: list[TriageOutcome],
+                      telemetry: bool) -> dict | None:
+    if not telemetry:
+        return None
+    return obs.merge_snapshots(*(o.telemetry for o in outcomes))
 
 
 def _triage_parallel(
@@ -190,6 +286,7 @@ def _triage_parallel(
     jobs: int,
     timeout: float | None,
     config: EngineConfig | None,
+    telemetry: bool = False,
 ) -> tuple[list[TriageOutcome], bool]:
     """Fan out over a process pool; fall back to serial on pool failure."""
     try:
@@ -202,7 +299,8 @@ def _triage_parallel(
     try:
         with ctx.Pool(processes=jobs) as pool:
             pending = [
-                (name, pool.apply_async(_triage_one, (name, config)))
+                (name,
+                 pool.apply_async(_triage_one, (name, config, telemetry)))
                 for name in names
             ]
             deadline = (
@@ -227,7 +325,7 @@ def _triage_parallel(
         # the pool broke; finish whatever did not complete, in-process
         for name in names:
             if name not in results:
-                results[name] = _triage_one(name, config)
+                results[name] = _triage_one(name, config, telemetry)
 
     return [results[name] for name in names], degraded
 

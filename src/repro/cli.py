@@ -6,7 +6,13 @@ Subcommands::
     repro-diagnose diagnose FILE           interactive Figure 6 session
     repro-diagnose suite [NAME]            run benchmark(s) w/ ground truth
     repro-diagnose triage [NAME...] --jobs N   batch triage across cores
+    repro-diagnose stats [NAME...]         triage w/ telemetry + stats table
     repro-diagnose userstudy [--seed N]    regenerate Figure 7
+
+``analyze``, ``diagnose`` and ``triage`` accept ``--json`` to emit the
+stable machine-readable schema (see docs/API.md) instead of the human
+rendering, and — like ``stats`` — accept ``--trace FILE`` to enable the
+observability layer and write its event buffer as JSONL.
 
 (Equivalently: ``python -m repro ...``)
 """
@@ -14,10 +20,12 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from .api import InitialVerdict, analyze_source
+from . import obs
+from .api import InitialVerdict, Pipeline
 from .diagnosis import (
     EngineConfig,
     ExhaustiveOracle,
@@ -28,36 +36,71 @@ from .diagnosis import (
 from .suite import BENCHMARKS, benchmark_by_name, load_analysis
 
 
+def _begin_trace(args: argparse.Namespace) -> bool:
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        obs.enable()
+        return True
+    return False
+
+
+def _end_trace(args: argparse.Namespace) -> None:
+    trace = getattr(args, "trace", None)
+    if trace is None:
+        return
+    lines = obs.export_jsonl(trace)
+    print(f"telemetry trace written to {trace} ({lines} lines)",
+          file=sys.stderr)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    _begin_trace(args)
     source = Path(args.file).read_text()
-    outcome = analyze_source(source, auto_annotate=not args.no_annotate)
-    print(f"program: {outcome.program.name}")
-    print(f"invariants I:      {outcome.invariants}")
-    print(f"success cond phi:  {outcome.success}")
-    print(f"verdict: {outcome.verdict.value}")
+    pipeline = Pipeline(auto_annotate=not args.no_annotate)
+    outcome = pipeline.analyze(source)
+    if args.json:
+        print(outcome.to_json(indent=2))
+    else:
+        print(f"program: {outcome.program.name}")
+        print(f"invariants I:      {outcome.invariants}")
+        print(f"success cond phi:  {outcome.success}")
+        print(f"verdict: {outcome.verdict.value}")
+    _end_trace(args)
     return 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
+    _begin_trace(args)
     source = Path(args.file).read_text()
-    outcome = analyze_source(source, auto_annotate=not args.no_annotate)
-    if outcome.verdict is InitialVerdict.VERIFIED:
-        print("verified outright: the report is a FALSE ALARM")
+    pipeline = Pipeline(
+        auto_annotate=not args.no_annotate,
+        config=EngineConfig(max_rounds=args.max_rounds),
+    )
+    outcome = pipeline.analyze(source)
+    if outcome.verdict is not InitialVerdict.UNCERTAIN:
+        if args.json:
+            print(outcome.to_json(indent=2))
+        elif outcome.verdict is InitialVerdict.VERIFIED:
+            print("verified outright: the report is a FALSE ALARM")
+        else:
+            print("refuted outright: the program has a REAL BUG")
+        _end_trace(args)
         return 0
-    if outcome.verdict is InitialVerdict.REFUTED:
-        print("refuted outright: the program has a REAL BUG")
-        return 0
-    print("the analysis cannot decide; starting the query session")
+    if not args.json:
+        print("the analysis cannot decide; starting the query session")
     if args.oracle == "interactive":
         oracle = InteractiveOracle()
     else:
         oracle = SamplingOracle(outcome.program, outcome.analysis)
     result = diagnose_error(outcome.analysis, oracle,
                             EngineConfig(max_rounds=args.max_rounds))
-    print()
-    print(f"verdict: {result.classification.upper()} "
-          f"after {result.num_queries} queries "
-          f"({result.elapsed_seconds:.2f}s)")
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print()
+        print(f"verdict: {result.classification.upper()} "
+              f"after {result.num_queries} queries "
+              f"({result.elapsed_seconds:.2f}s)")
     if args.report is not None:
         from .diagnosis import render_report
 
@@ -65,6 +108,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
             render_report(result, markdown=args.report.endswith(".md"))
         )
         print(f"session report written to {args.report}")
+    _end_trace(args)
     return 0
 
 
@@ -91,11 +135,34 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _cmd_triage(args: argparse.Namespace) -> int:
-    from .batch import triage_many
+def _write_batch_trace(result, path: str) -> None:
+    """One JSONL line per buffered span event (tagged with its report),
+    then the merged cross-worker snapshot."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for outcome in result.outcomes:
+            for event in outcome.events:
+                handle.write(json.dumps({**event, "report": outcome.name},
+                                        default=str))
+                handle.write("\n")
+        handle.write(json.dumps(
+            {"type": "snapshot", **(result.telemetry or {})},
+            default=str,
+        ))
+        handle.write("\n")
 
+
+def _run_triage(args: argparse.Namespace):
     names = args.names or None
-    result = triage_many(names, jobs=args.jobs, timeout=args.timeout)
+    result = Pipeline().triage(names, jobs=args.jobs,
+                               timeout=args.timeout)
+    if args.trace is not None:
+        _write_batch_trace(result, args.trace)
+        print(f"telemetry trace written to {args.trace}",
+              file=sys.stderr)
+    return result
+
+
+def _print_triage_table(result) -> None:
     for outcome in result.outcomes:
         if outcome.error is not None:
             marker = "TIME" if outcome.timed_out else "ERR "
@@ -109,6 +176,71 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     print(f"{result.mode} x{result.jobs}: "
           f"{len(result.outcomes)} reports in {result.wall_seconds:.2f}s, "
           f"accuracy {100.0 * result.accuracy:.0f}%")
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    _begin_trace(args)
+    result = _run_triage(args)
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        _print_triage_table(result)
+        if result.telemetry is not None:
+            _print_hit_rates(result.telemetry)
+    return 1 if (result.failures or
+                 any(o.error for o in result.outcomes)) else 0
+
+
+def _print_hit_rates(snap: dict) -> None:
+    parts = []
+    for label, prefix in (("qe-elim", "qe.elim"),
+                          ("qe-clause-sat", "qe.clause_sat"),
+                          ("smt-is-sat", "smt.is_sat")):
+        rate = obs.hit_rate(snap, prefix)
+        if rate is not None:
+            parts.append(f"{label} {100.0 * rate:.0f}%")
+    if parts:
+        print("cache hit rates: " + ", ".join(parts))
+
+
+def _format_stats(snap: dict) -> str:
+    """Render a merged telemetry snapshot as an aligned stats table."""
+    lines: list[str] = []
+    spans = snap.get("spans", {})
+    if spans:
+        lines.append("spans:")
+        lines.append(f"  {'name':32s} {'count':>8s} {'total_s':>10s} "
+                     f"{'mean_ms':>9s} {'max_ms':>9s}")
+        for name in sorted(spans, key=lambda n: -spans[n]["total_s"]):
+            s = spans[name]
+            mean_ms = 1000.0 * s["total_s"] / max(1, s["count"])
+            lines.append(
+                f"  {name:32s} {s['count']:8d} {s['total_s']:10.3f} "
+                f"{mean_ms:9.2f} {1000.0 * s['max_s']:9.2f}"
+            )
+    counters = snap.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:42s} {counters[name]:>10d}")
+    for label, prefix in (("qe.elim", "qe.elim"),
+                          ("qe.clause_sat", "qe.clause_sat"),
+                          ("smt.is_sat", "smt.is_sat")):
+        rate = obs.hit_rate(snap, prefix)
+        if rate is not None:
+            lines.append(f"hit rate {label:33s} {100.0 * rate:9.1f}%")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    obs.enable()
+    result = _run_triage(args)
+    if args.json:
+        print(json.dumps(result.telemetry, indent=2, default=str))
+        return 0
+    _print_triage_table(result)
+    print()
+    print(_format_stats(result.telemetry or {}))
     return 1 if (result.failures or
                  any(o.error for o in result.outcomes)) else 0
 
@@ -135,10 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_output_flags(p: argparse.ArgumentParser,
+                         *, json_flag: bool = True) -> None:
+        if json_flag:
+            p.add_argument("--json", action="store_true",
+                           help="emit the stable JSON schema "
+                                "(docs/API.md) instead of text")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="enable instrumentation and write a JSONL "
+                            "telemetry trace to FILE")
+
     p_analyze = sub.add_parser("analyze", help="run the static analysis")
     p_analyze.add_argument("file")
     p_analyze.add_argument("--no-annotate", action="store_true",
                            help="skip automatic loop-invariant inference")
+    add_output_flags(p_analyze)
     p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_diag = sub.add_parser("diagnose", help="interactive diagnosis")
@@ -149,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("--no-annotate", action="store_true")
     p_diag.add_argument("--report", default=None, metavar="PATH",
                         help="write a session report (.md for Markdown)")
+    add_output_flags(p_diag)
     p_diag.set_defaults(fn=_cmd_diagnose)
 
     p_suite = sub.add_parser("suite", help="run the Figure 7 benchmarks")
@@ -165,7 +309,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes (default: CPU count)")
     p_triage.add_argument("--timeout", type=float, default=None,
                           help="per-report timeout in seconds")
+    add_output_flags(p_triage)
     p_triage.set_defaults(fn=_cmd_triage)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="triage with instrumentation on; print the telemetry table",
+    )
+    p_stats.add_argument("names", nargs="*", metavar="NAME",
+                         help="benchmark names (default: all of Figure 7)")
+    p_stats.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes (default: CPU count)")
+    p_stats.add_argument("--timeout", type=float, default=None,
+                         help="per-report timeout in seconds")
+    add_output_flags(p_stats)
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_study = sub.add_parser("userstudy",
                              help="regenerate the Figure 7 user study")

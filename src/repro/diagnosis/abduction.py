@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import obs
 from ..logic.formulas import Formula, implies, neg
 from ..logic.terms import Var
 from ..msa import MsaResult, MsaSolver
@@ -142,19 +143,26 @@ class Abducer:
         consistency: list[Formula],
         kind: str,
     ) -> Abduction | None:
+        obs.inc(f"abduce.{kind}")
         goal = implies(invariants, target)
         relevant = _relevant_variables(goal, target.free_vars())
-        msa = self._msa.find(
-            goal, costs, consistency=consistency, strategy=self._strategy,
-            restrict=relevant,
-        )
+        with obs.span("abduce.msa", kind=kind):
+            msa = self._msa.find(
+                goal, costs, consistency=consistency,
+                strategy=self._strategy, restrict=relevant,
+            )
         if msa is None:
+            obs.inc(f"abduce.{kind}.infeasible")
             return None
         keep = msa.variables
         eliminate = [v for v in goal.free_vars() if v not in keep]
-        raw = eliminate_forall(eliminate, goal)
+        with obs.span("abduce.eliminate", kind=kind):
+            raw = eliminate_forall(eliminate, goal)
         if self._use_simplification:
-            formula = self._simplifier.simplify(raw, critical=invariants)
+            with obs.span("abduce.simplify", kind=kind):
+                formula = self._simplifier.simplify(
+                    raw, critical=invariants
+                )
         else:
             formula = raw
         return Abduction(

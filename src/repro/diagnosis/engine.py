@@ -25,8 +25,10 @@ import time
 from dataclasses import dataclass, field
 from enum import Enum
 
+from .. import obs
 from ..analysis import AnalysisResult
 from ..logic.formulas import Formula, conj, implies, neg
+from ..schema import TriageVerdict, dump_json, envelope
 from .abduction import Abducer, Abduction
 from .cost import pi_p, pi_w, uniform
 from .oracles import Oracle
@@ -58,18 +60,50 @@ class DiagnosisResult:
     analysis: AnalysisResult
     elapsed_seconds: float = 0.0
     immediate: bool = False        # closed with zero queries
+    telemetry: dict | None = None  # obs snapshot delta, when enabled
 
     @property
     def classification(self) -> str:
+        return self.triage_verdict.value
+
+    @property
+    def triage_verdict(self) -> TriageVerdict:
+        """The unified result vocabulary (see :mod:`repro.schema`)."""
         if self.verdict is Verdict.DISCHARGED:
-            return "false alarm"
+            return TriageVerdict.FALSE_ALARM
         if self.verdict is Verdict.VALIDATED:
-            return "real bug"
-        return "unknown"
+            return TriageVerdict.REAL_BUG
+        return TriageVerdict.UNKNOWN
 
     @property
     def num_queries(self) -> int:
         return len(self.interactions)
+
+    def to_dict(self) -> dict:
+        """The stable ``repro.result`` payload (see docs/API.md)."""
+        return envelope(
+            "diagnosis",
+            self.triage_verdict,
+            program=self.analysis.program.name,
+            rounds=self.rounds,
+            num_queries=self.num_queries,
+            elapsed_seconds=self.elapsed_seconds,
+            immediate=self.immediate,
+            interactions=[
+                {
+                    "kind": i.query.kind,
+                    "text": i.query.text,
+                    "answer": i.answer.value,
+                }
+                for i in self.interactions
+            ],
+            invariants=str(self.invariants),
+            witnesses=[str(w) for w in self.witnesses],
+            telemetry=self.telemetry,
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return dump_json(self.to_dict(), indent=indent)
 
 
 @dataclass
@@ -104,6 +138,13 @@ class DiagnosisEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> DiagnosisResult:
+        with obs.capture() as cap, obs.span("engine.session"):
+            result = self._run()
+        if cap.snapshot is not None:
+            result.telemetry = cap.snapshot
+        return result
+
+    def _run(self) -> DiagnosisResult:
         start = time.perf_counter()
         invariants = self._analysis.invariants
         success = self._analysis.success
@@ -127,6 +168,7 @@ class DiagnosisEngine:
             )
 
         for round_index in range(self._config.max_rounds):
+            obs.inc("engine.rounds")
             # Inconsistent knowledge would make every check below vacuous;
             # bail out before trusting it (only reachable via an oracle
             # that contradicted itself).
@@ -144,10 +186,15 @@ class DiagnosisEngine:
             ):
                 return finish(Verdict.VALIDATED, round_index)
 
-            gamma, upsilon = self._abduce(
-                invariants, success, witnesses,
-                potential_invariants, potential_witnesses,
-            )
+            with obs.span("engine.abduce", round=round_index):
+                gamma, upsilon = self._abduce(
+                    invariants, success, witnesses,
+                    potential_invariants, potential_witnesses,
+                )
+            if gamma is not None:
+                obs.gauge("engine.obligation_cost", gamma.cost)
+            if upsilon is not None:
+                obs.gauge("engine.witness_cost", upsilon.cost)
             if gamma is None and upsilon is None:
                 return finish(Verdict.UNRESOLVED, round_index)
 
@@ -236,7 +283,10 @@ class DiagnosisEngine:
     def _ask(self, query: Query) -> Answer:
         key = (query.kind, query.formula)
         if key in self._asked:
+            obs.inc("engine.queries.deduplicated")
             return self._asked[key]
+        obs.inc("engine.queries")
+        obs.inc(f"engine.queries.{query.kind}")
         answer = self._oracle.answer(query)
         self._asked[key] = answer
         return answer

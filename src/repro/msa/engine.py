@@ -36,6 +36,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+from .. import obs
 from ..logic.formulas import Formula, conj, eq
 from ..logic.terms import LinTerm, Var
 from ..qe import eliminate_forall, project
@@ -106,14 +107,16 @@ class MsaSolver:
             if c < 0:
                 raise ValueError(f"negative cost for {v}")
 
-        if strategy == "subsets":
-            found = self._search_subsets(phi, variables, cost_map,
-                                         list(consistency))
-        elif strategy == "branch_bound":
-            found = self._search_branch_bound(phi, variables, cost_map,
-                                              list(consistency))
-        else:
-            raise ValueError(f"unknown MSA strategy {strategy!r}")
+        with obs.span("msa.find", strategy=strategy,
+                      variables=len(variables)):
+            if strategy == "subsets":
+                found = self._search_subsets(phi, variables, cost_map,
+                                             list(consistency))
+            elif strategy == "branch_bound":
+                found = self._search_branch_bound(phi, variables, cost_map,
+                                                  list(consistency))
+            else:
+                raise ValueError(f"unknown MSA strategy {strategy!r}")
         return found
 
     # ------------------------------------------------------------------
@@ -132,7 +135,9 @@ class MsaSolver:
         """
         key = frozenset(include)
         if key in self._feasible_cache:
+            obs.inc("msa.feasible.hit")
             return self._feasible_cache[key]
+        obs.inc("msa.candidates")
         quantified = [v for v in phi.free_vars() if v not in key]
         residual = eliminate_forall(quantified, phi)
         constraints = [residual]
@@ -160,6 +165,8 @@ class MsaSolver:
         residual = eliminate_forall(list(exclude), phi)
         answer = self._solver.is_sat(residual)
         self._viable_cache[key] = answer
+        if not answer:
+            obs.inc("msa.subtree_prunes")
         return answer
 
     # ------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Lightweight tracing and metrics for the diagnosis pipeline.
+
+Usage, from anywhere in the package::
+
+    from .. import obs
+
+    obs.inc("qe.elim.miss")
+    with obs.span("msa.find", strategy="branch_bound"):
+        ...
+
+All probes are no-ops until :func:`enable` is called (or the
+``REPRO_OBS`` environment variable is set), and the disabled fast path
+costs one global check per probe — see ``benchmarks/bench_overhead.py``
+for the enforced bound.  :func:`snapshot` returns the aggregate
+counters/gauges/span stats; :func:`export_jsonl` dumps the bounded
+event buffer for offline analysis; :func:`merge_snapshots` combines
+per-worker snapshots from the batch driver into one fleet-wide view.
+"""
+
+from .core import (
+    NULL_SPAN,
+    capture,
+    disable,
+    enable,
+    event_count,
+    events,
+    export_jsonl,
+    gauge,
+    hit_rate,
+    inc,
+    is_enabled,
+    merge_snapshots,
+    reset,
+    snapshot,
+    span,
+    stubbed,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "capture",
+    "disable",
+    "enable",
+    "event_count",
+    "events",
+    "export_jsonl",
+    "gauge",
+    "hit_rate",
+    "inc",
+    "is_enabled",
+    "merge_snapshots",
+    "reset",
+    "snapshot",
+    "span",
+    "stubbed",
+]

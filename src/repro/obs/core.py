@@ -1,0 +1,388 @@
+"""The observability engine: spans, counters, gauges, event buffer.
+
+Everything lives in one module-level :class:`_State` per process.  The
+design goal is *near-zero cost when disabled*: every public probe checks
+a single module-global boolean first and returns immediately —
+
+* :func:`span` hands back a shared, allocation-free null context manager,
+* :func:`inc` / :func:`gauge` return before touching any dict,
+
+so an instrumented hot loop pays one function call and one global load
+per probe.  ``benchmarks/bench_overhead.py`` pins this cost below 5% of
+an abduction round; :func:`stubbed` provides the "instrumentation
+compiled out" baseline it compares against.
+
+Enabled-mode data model:
+
+* **spans** — nestable wall-clock regions (``with span("qe.cooper")``).
+  Closing a span appends one event to the bounded buffer and folds its
+  duration into a per-name aggregate (count / total / max), so the
+  aggregate survives even after the buffer evicts old events.
+* **counters** — monotone named integers (``inc("smt.is_sat.miss")``).
+* **gauges** — last-write-wins named numbers.
+* **events** — a bounded ``deque`` of plain dicts, exported as JSONL.
+
+Snapshots are plain dicts of plain scalars, safe to pickle across the
+batch driver's process boundary; :func:`merge_snapshots` sums counters
+and span aggregates from many workers into one fleet-wide view.
+
+The state is process-local on purpose: the batch driver's fork()ed
+workers each start from the parent's (usually empty) state and ship
+their snapshots home as data, never as shared memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterable, TextIO
+
+__all__ = [
+    "NULL_SPAN",
+    "capture",
+    "disable",
+    "enable",
+    "event_count",
+    "events",
+    "export_jsonl",
+    "gauge",
+    "hit_rate",
+    "inc",
+    "is_enabled",
+    "merge_snapshots",
+    "reset",
+    "snapshot",
+    "span",
+    "stubbed",
+]
+
+_DEFAULT_BUFFER = 10_000
+
+
+class _State:
+    __slots__ = ("counters", "gauges", "span_stats", "events", "depth")
+
+    def __init__(self, buffer_size: int = _DEFAULT_BUFFER):
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        # name -> [count, total_seconds, max_seconds]
+        self.span_stats: dict[str, list] = {}
+        self.events: deque[dict] = deque(maxlen=buffer_size)
+        self.depth = 0
+
+
+_enabled = False
+_state = _State()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+def enable(*, buffer_size: int | None = None) -> None:
+    """Turn instrumentation on (idempotent).
+
+    ``buffer_size`` bounds the in-memory event buffer; when omitted the
+    current buffer (and any data already in it) is kept.
+    """
+    global _enabled, _state
+    if buffer_size is not None and buffer_size != _state.events.maxlen:
+        _state = _State(buffer_size)
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; collected data stays readable."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all collected data (counters, gauges, spans, events)."""
+    global _state
+    _state = _State(_state.events.maxlen or _DEFAULT_BUFFER)
+
+
+# ---------------------------------------------------------------------------
+# probes
+# ---------------------------------------------------------------------------
+
+class _NullSpan:
+    """Shared do-nothing span handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach (or overwrite) attributes mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        _state.depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        state = _state
+        state.depth -= 1
+        stats = state.span_stats.get(self.name)
+        if stats is None:
+            state.span_stats[self.name] = [1, duration, duration]
+        else:
+            stats[0] += 1
+            stats[1] += duration
+            if duration > stats[2]:
+                stats[2] = duration
+        event = {
+            "type": "span",
+            "name": self.name,
+            "ts": time.time(),
+            "dur_s": duration,
+            "depth": state.depth,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        state.events.append(event)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """A nestable timed region: ``with span("qe.cooper", var="x"): ...``.
+
+    Returns the shared null span when disabled — callers should avoid
+    computing expensive attribute values eagerly on hot paths.
+    """
+    if not _enabled:
+        return NULL_SPAN
+    return _Span(name, attrs)
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Add ``value`` to the named monotone counter."""
+    if not _enabled:
+        return
+    counters = _state.counters
+    counters[name] = counters.get(name, 0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Record the latest value of a named gauge."""
+    if not _enabled:
+        return
+    _state.gauges[name] = value
+
+
+# ---------------------------------------------------------------------------
+# reading the data out
+# ---------------------------------------------------------------------------
+
+def snapshot() -> dict:
+    """The aggregate view: counters, gauges and per-span-name stats.
+
+    Plain dicts of plain scalars — picklable, JSON-serializable, and
+    mergeable across processes with :func:`merge_snapshots`.
+    """
+    return {
+        "enabled": _enabled,
+        "counters": dict(_state.counters),
+        "gauges": dict(_state.gauges),
+        "spans": {
+            name: {"count": s[0], "total_s": s[1], "max_s": s[2]}
+            for name, s in _state.span_stats.items()
+        },
+    }
+
+
+def events() -> list[dict]:
+    """A copy of the bounded event buffer (oldest first)."""
+    return list(_state.events)
+
+
+def event_count() -> int:
+    """Current number of buffered events (cheap; no copy)."""
+    return len(_state.events)
+
+
+def export_jsonl(destination: str | os.PathLike | TextIO) -> int:
+    """Write the event buffer (then a snapshot line) as JSONL.
+
+    Returns the number of lines written.  ``destination`` may be a path
+    or an open text file.
+    """
+    lines = events()
+    lines.append({"type": "snapshot", **snapshot()})
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return _write_jsonl(handle, lines)
+    return _write_jsonl(destination, lines)
+
+
+def _write_jsonl(handle: TextIO, lines: Iterable[dict]) -> int:
+    count = 0
+    for line in lines:
+        handle.write(json.dumps(line, default=str))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def merge_snapshots(*snaps: dict | None) -> dict:
+    """Merge worker snapshots: counters and span stats sum, gauges keep
+    the last non-missing value, ``enabled`` ORs."""
+    merged: dict = {"enabled": False, "counters": {}, "gauges": {},
+                    "spans": {}}
+    for snap in snaps:
+        if not snap:
+            continue
+        merged["enabled"] = merged["enabled"] or bool(snap.get("enabled"))
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = \
+                merged["counters"].get(name, 0) + value
+        merged["gauges"].update(snap.get("gauges", {}))
+        for name, stats in snap.get("spans", {}).items():
+            into = merged["spans"].get(name)
+            if into is None:
+                merged["spans"][name] = dict(stats)
+            else:
+                into["count"] += stats["count"]
+                into["total_s"] += stats["total_s"]
+                into["max_s"] = max(into["max_s"], stats["max_s"])
+    return merged
+
+
+def hit_rate(snap: dict, prefix: str) -> float | None:
+    """Convenience: ``prefix.hit / (prefix.hit + prefix.miss)`` from a
+    snapshot's counters; None when the pair is absent."""
+    counters = snap.get("counters", {})
+    hits = counters.get(f"{prefix}.hit", 0)
+    misses = counters.get(f"{prefix}.miss", 0)
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+class _Capture:
+    """Result holder for :func:`capture`."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self) -> None:
+        self.snapshot: dict | None = None
+
+
+@contextmanager
+def capture():
+    """Delta-scope: counters/gauges/spans accrued inside the block.
+
+    Yields a holder whose ``snapshot`` attribute is filled in on exit
+    with only the activity of the block (counters and span stats are
+    differenced against the entry state).  No-op (snapshot None) while
+    disabled.
+    """
+    holder = _Capture()
+    if not _enabled:
+        yield holder
+        return
+    before = snapshot()
+    try:
+        yield holder
+    finally:
+        after = snapshot()
+        holder.snapshot = _diff_snapshots(before, after)
+
+
+def _diff_snapshots(before: dict, after: dict) -> dict:
+    counters = {
+        name: value - before["counters"].get(name, 0)
+        for name, value in after["counters"].items()
+        if value - before["counters"].get(name, 0)
+    }
+    spans = {}
+    for name, stats in after["spans"].items():
+        prior = before["spans"].get(name)
+        count = stats["count"] - (prior["count"] if prior else 0)
+        if count <= 0:
+            continue
+        spans[name] = {
+            "count": count,
+            "total_s": stats["total_s"] - (prior["total_s"] if prior
+                                           else 0.0),
+            "max_s": stats["max_s"],
+        }
+    return {
+        "enabled": True,
+        "counters": counters,
+        "gauges": dict(after["gauges"]),
+        "spans": spans,
+    }
+
+
+# ---------------------------------------------------------------------------
+# benchmarking support
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def stubbed():
+    """Swap the probes for bare no-ops on the ``repro.obs`` package.
+
+    This is the "instrumentation removed" baseline for
+    ``benchmarks/bench_overhead.py``: call sites access probes through
+    the package namespace (``obs.inc(...)``), so patching the package
+    attributes measures what a build without any probes would cost.
+    """
+    import sys
+
+    noop_inc = lambda name, value=1: None          # noqa: E731
+    noop_gauge = lambda name, value: None          # noqa: E731
+    noop_span = lambda name, **attrs: NULL_SPAN    # noqa: E731
+    targets = [sys.modules[__name__]]
+    package = sys.modules.get(__name__.rsplit(".", 1)[0])
+    if package is not None:
+        targets.append(package)
+    saved = [(t, t.inc, t.gauge, t.span) for t in targets]
+    try:
+        for t in targets:
+            t.inc, t.gauge, t.span = noop_inc, noop_gauge, noop_span
+        yield
+    finally:
+        for t, inc_, gauge_, span_ in saved:
+            t.inc, t.gauge, t.span = inc_, gauge_, span_
+
+
+# honour an environment opt-in so any entry point can be traced without
+# code changes (workers forked from an enabled parent inherit the flag
+# directly; this covers spawn-style and standalone processes)
+if os.environ.get("REPRO_OBS", "").strip() not in ("", "0", "false"):
+    enable()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from .. import obs
 from ..logic.formulas import (
     FALSE,
     TRUE,
@@ -75,14 +76,16 @@ def clear_qe_caches() -> None:
 def eliminate_quantifiers(phi: Formula, *, size_budget: int = 2_000_000) -> Formula:
     """Eliminate every quantifier in ``phi`` (innermost first)."""
     counter = _Budget(size_budget)
-    return _eliminate(phi, counter)
+    with obs.span("qe.eliminate_quantifiers"):
+        return _eliminate(phi, counter)
 
 
 def eliminate_exists(variables: list[Var], body: Formula,
                      *, size_budget: int = 2_000_000) -> Formula:
     """Quantifier-free equivalent of ``exists variables. body`` (body QF)."""
     counter = _Budget(size_budget)
-    return _eliminate_block(list(variables), nnf(body), counter)
+    with obs.span("qe.eliminate_exists", vars=len(variables)):
+        return _eliminate_block(list(variables), nnf(body), counter)
 
 
 def eliminate_forall(variables: list[Var], body: Formula,
@@ -211,11 +214,13 @@ def _prune_clauses(clauses: list[list[Formula]],
         budget.charge(len(clause) + 1)
         sat = cache.get(key)
         if sat is None:
+            obs.inc("qe.clause_sat.miss")
             sat = solver.is_sat_literals(clause)
             cache[key] = sat
             if len(cache) > _CLAUSE_SAT_CACHE_SIZE:
                 cache.popitem(last=False)
         else:
+            obs.inc("qe.clause_sat.hit")
             cache.move_to_end(key)
         if sat:
             kept.append(clause)
@@ -227,9 +232,11 @@ def _eliminate_one(x: Var, phi: Formula, budget: _Budget) -> Formula:
     key = (x, phi)
     cached = _elim_cache.get(key)
     if cached is not None:
+        obs.inc("qe.elim.hit")
         _elim_cache.move_to_end(key)
         budget.charge(cached.size())
         return cached
+    obs.inc("qe.elim.miss")
     result = _eliminate_one_uncached(x, phi, budget)
     _elim_cache[key] = result
     if len(_elim_cache) > _ELIM_CACHE_SIZE:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from .. import obs
+
 
 def _lit_index(lit: int) -> int:
     """Map a signed literal to a dense array index."""
@@ -64,6 +66,7 @@ class SatSolver:
         self._queue_head = 0
         self._ok = True
         self._conflicts = 0
+        self._restarts = 0
 
     # ------------------------------------------------------------------
     # problem construction
@@ -92,6 +95,16 @@ class SatSolver:
     def num_clauses(self) -> int:
         """Attached (non-unit) clauses, including learned ones."""
         return len(self._clauses)
+
+    @property
+    def num_conflicts(self) -> int:
+        """Total conflicts across every ``solve()`` call."""
+        return self._conflicts
+
+    @property
+    def num_restarts(self) -> int:
+        """Total Luby restarts across every ``solve()`` call."""
+        return self._restarts
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially unsat.
@@ -143,6 +156,18 @@ class SatSolver:
     # ------------------------------------------------------------------
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
         """Decide satisfiability under optional assumptions."""
+        if not obs.is_enabled():
+            return self._solve(assumptions)
+        before_conflicts = self._conflicts
+        before_restarts = self._restarts
+        try:
+            return self._solve(assumptions)
+        finally:
+            obs.inc("sat.solves")
+            obs.inc("sat.conflicts", self._conflicts - before_conflicts)
+            obs.inc("sat.restarts", self._restarts - before_restarts)
+
+    def _solve(self, assumptions: Sequence[int] = ()) -> bool:
         if not self._ok:
             return False
         self._backtrack(0)
@@ -172,6 +197,7 @@ class SatSolver:
                 self._decay_activities()
                 if conflicts_here >= budget:
                     restarts += 1
+                    self._restarts += 1
                     budget = 64 * luby(restarts)
                     conflicts_here = 0
                     self._backtrack(len(assumptions))

@@ -1,0 +1,89 @@
+"""The stable, JSON-first result vocabulary shared by every pipeline
+layer.
+
+Historically the code base grew three disjoint result shapes: the API
+facade's ``InitialVerdict`` (verified/refuted/uncertain), the diagnosis
+engine's ``Verdict`` (discharged/validated/unresolved), and the batch
+driver's plain classification strings.  They all answer the same
+question — *is this error report a real bug?* — so this module defines
+the one vocabulary, :class:`TriageVerdict`, that every result object
+maps into, plus the envelope every ``to_dict()`` implementation shares.
+
+Schema stability contract (documented in ``docs/API.md``):
+
+* every payload carries ``"schema": SCHEMA_VERSION`` and a ``"kind"``
+  discriminator (``analysis`` / ``diagnosis`` / ``triage_outcome`` /
+  ``batch`` / ``study``);
+* every payload carries ``"verdict"``, one of ``"false alarm"``,
+  ``"real bug"``, ``"unknown"``;
+* fields are only ever *added*; renaming or removing a field bumps
+  SCHEMA_VERSION;
+* ``"telemetry"`` is present only when instrumentation was enabled.
+
+This module sits below every other layer (it imports nothing from the
+package) so any result type can use it without layering cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+from typing import Any
+
+SCHEMA_VERSION = "repro.result/1"
+
+
+class TriageVerdict(Enum):
+    """The unified answer to "is this report a real bug?".
+
+    Values equal the human-facing classification strings that predate
+    the enum, so ``verdict.value == result.classification`` everywhere.
+    """
+
+    FALSE_ALARM = "false alarm"    # proven error-free / discharged
+    REAL_BUG = "real bug"          # proven buggy / validated
+    UNKNOWN = "unknown"            # unresolved / timed out / errored
+
+    @classmethod
+    def from_classification(cls, text: str) -> "TriageVerdict":
+        """Map a legacy classification string (or verdict-enum value of
+        any of the three historical vocabularies) to the vocabulary."""
+        norm = text.strip().lower().replace("_", " ")
+        aliases = {
+            "false alarm": cls.FALSE_ALARM,
+            "verified": cls.FALSE_ALARM,
+            "discharged": cls.FALSE_ALARM,
+            "real bug": cls.REAL_BUG,
+            "refuted": cls.REAL_BUG,
+            "validated": cls.REAL_BUG,
+            "unknown": cls.UNKNOWN,
+            "uncertain": cls.UNKNOWN,
+            "unresolved": cls.UNKNOWN,
+        }
+        try:
+            return aliases[norm]
+        except KeyError:
+            raise ValueError(f"unknown classification {text!r}") from None
+
+
+def envelope(kind: str, verdict: TriageVerdict, **fields: Any) -> dict:
+    """The common payload envelope: schema tag, kind, verdict, fields.
+
+    ``None``-valued fields are omitted so optional sections (telemetry,
+    errors) never appear as JSON nulls.
+    """
+    payload: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "verdict": verdict.value,
+    }
+    for name, value in fields.items():
+        if value is not None:
+            payload[name] = value
+    return payload
+
+
+def dump_json(payload: dict, *, indent: int | None = None) -> str:
+    """Serialize a payload deterministically (stable key order as
+    built, enums/objects via ``str``)."""
+    return json.dumps(payload, indent=indent, default=str)

@@ -37,6 +37,7 @@ eventually slow propagation below the cost of re-encoding.
 
 from __future__ import annotations
 
+from .. import obs
 from ..lia import Model, OmegaSolver
 from ..logic.formulas import And, Atom, Dvd, Formula, Or
 from ..sat import SatSolver
@@ -75,8 +76,10 @@ class IncrementalContext:
         exactly the precondition of ``SmtSolver._check_lazy``.
         """
         self.checks += 1
+        obs.inc("smt.incremental.checks")
         if self._sat.num_clauses > self._max_clauses:
             self.resets += 1
+            obs.inc("smt.incremental.resets")
             self._fresh()
 
         root = self._encode(phi)
@@ -84,6 +87,7 @@ class IncrementalContext:
             if not self._sat.solve([root]):
                 return SmtResult(False, None)
             self.theory_rounds += 1
+            obs.inc("smt.incremental.theory_rounds")
             assignment = self._sat.model()
             seen: dict[Formula, None] = {}
             self._implicant(phi, assignment, seen, {})
@@ -101,6 +105,7 @@ class IncrementalContext:
                 # a valid theory lemma conflicting at the root level means
                 # the shared database is corrupt — never expected
                 self.resets += 1
+                obs.inc("smt.incremental.resets")
                 self._fresh()
                 raise IncrementalError("blocking clause conflicts at root")
         raise IncrementalError("exceeded theory-round budget")

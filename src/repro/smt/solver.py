@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from .. import obs
 from ..lia import Model, OmegaSolver
 from ..logic.formulas import (
     And,
@@ -117,14 +118,17 @@ class SmtSolver:
         cached = self._cache.get(phi)
         if cached is not None:
             self._hits += 1
+            obs.inc("smt.is_sat.hit")
             self._cache.move_to_end(phi)
             return cached
         self._misses += 1
+        obs.inc("smt.is_sat.miss")
         result = self.check(phi).sat
         self._cache[phi] = result
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
             self._evictions += 1
+            obs.inc("smt.is_sat.evictions")
         return result
 
     def cache_stats(self) -> dict[str, int]:
@@ -175,9 +179,11 @@ class SmtSolver:
         try:
             return self._context.check(phi)
         except IncrementalError:
+            obs.inc("smt.incremental.fallbacks")
             return None
 
     def _check_lazy(self, phi: Formula) -> SmtResult:
+        obs.inc("smt.fresh_checks")
         sat = SatSolver()
         atom_vars: dict[Formula, int] = {}   # base atom -> boolean var
         var_atoms: dict[int, Formula] = {}

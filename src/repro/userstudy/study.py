@@ -298,6 +298,20 @@ class UserStudy:
             answers = answers + (response,)
 
 
-def run_user_study(**kwargs) -> StudyResult:
-    """Convenience wrapper: run the full simulated study."""
-    return UserStudy(**kwargs).run()
+def run_user_study(*, num_recruited: int = 56, seed: int = 2012,
+                   benchmarks: tuple[Benchmark, ...] = BENCHMARKS,
+                   engine_config: EngineConfig | None = None,
+                   jobs: int | None = 1) -> StudyResult:
+    """Convenience wrapper: run the full simulated study.
+
+    The signature is explicit (no ``**kwargs`` passthrough) so a typo
+    like ``n_recruited=...`` raises ``TypeError`` instead of being
+    silently ignored.
+    """
+    return UserStudy(
+        num_recruited=num_recruited,
+        seed=seed,
+        benchmarks=benchmarks,
+        engine_config=engine_config,
+        jobs=jobs,
+    ).run()

@@ -5,8 +5,7 @@ import pytest
 from repro.api import (
     AnalysisOutcome,
     InitialVerdict,
-    analyze_source,
-    diagnose_source,
+    Pipeline,
     dynamic_oracle,
     ground_truth_oracle,
     load_benchmark,
@@ -30,20 +29,20 @@ DOOMED = "program doomed(x) { var y = x; assert(y > x); }"
 
 class TestApi:
     def test_analyze_verified(self):
-        outcome = analyze_source(SAFE)
+        outcome = Pipeline().analyze(SAFE)
         assert isinstance(outcome, AnalysisOutcome)
         assert outcome.verdict is InitialVerdict.VERIFIED
 
     def test_analyze_refuted(self):
-        outcome = analyze_source(DOOMED)
+        outcome = Pipeline().analyze(DOOMED)
         assert outcome.verdict is InitialVerdict.REFUTED
 
     def test_analyze_uncertain(self):
-        outcome = analyze_source(FOO)
+        outcome = Pipeline().analyze(FOO)
         assert outcome.verdict is InitialVerdict.UNCERTAIN
 
     def test_diagnose_source(self):
-        result = diagnose_source(FOO, ScriptedOracle(["yes"]))
+        result = Pipeline().diagnose(FOO, ScriptedOracle(["yes"]))
         assert result.verdict is Verdict.DISCHARGED
 
     def test_load_benchmark(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import analyze_program
-from repro.api import analyze_source
+from repro.api import Pipeline
 from repro.bmc import UnrollingOracle, unroll_program
 from repro.diagnosis import (
     Answer,
@@ -95,7 +95,7 @@ class TestUnrolling:
 
 class TestUnrollingOracle:
     def _oracle(self, source, bound=6):
-        outcome = analyze_source(source, auto_annotate=False)
+        outcome = Pipeline(auto_annotate=False).analyze(source)
         return outcome, UnrollingOracle(
             outcome.program, outcome.analysis, bound=bound
         )
@@ -169,7 +169,7 @@ class TestUnrollingOracle:
           assert(y >= 0);
         }
         """
-        outcome = analyze_source(source, auto_annotate=False)
+        outcome = Pipeline(auto_annotate=False).analyze(source)
         oracle = UnrollingOracle(outcome.program, outcome.analysis)
         from repro.diagnosis.queries import Query
         from repro.logic import LinTerm, ge

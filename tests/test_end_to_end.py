@@ -11,7 +11,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.api import analyze_source
+from repro.api import Pipeline
 from repro.diagnosis import EngineConfig, ExhaustiveOracle, Verdict, \
     diagnose_error
 from repro.lang import run_program
@@ -52,7 +52,7 @@ def _random_program(rng: random.Random) -> str:
 def test_diagnosis_matches_brute_force_truth(seed):
     rng = random.Random(seed)
     source = _random_program(rng)
-    outcome = analyze_source(source)
+    outcome = Pipeline().analyze(source)
     program, analysis = outcome.program, outcome.analysis
 
     radius = 5

@@ -1,0 +1,242 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.batch import triage_many
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts disabled with an empty state and leaves no trace."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_null_span(self):
+        assert obs.span("a") is obs.NULL_SPAN
+        assert obs.span("b", attr=1) is obs.NULL_SPAN
+
+    def test_null_span_is_reentrant(self):
+        with obs.span("outer") as s:
+            assert s is obs.NULL_SPAN
+            with obs.span("inner"):
+                pass
+        assert obs.snapshot()["spans"] == {}
+
+    def test_probes_record_nothing(self):
+        obs.inc("c")
+        obs.gauge("g", 3.5)
+        with obs.span("s"):
+            pass
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["spans"] == {}
+        assert obs.events() == []
+
+    def test_capture_yields_none_snapshot(self):
+        with obs.capture() as cap:
+            obs.inc("c")
+        assert cap.snapshot is None
+
+
+class TestEnabled:
+    def test_counters_accumulate(self):
+        obs.enable()
+        obs.inc("hits")
+        obs.inc("hits")
+        obs.inc("bytes", 10)
+        assert obs.snapshot()["counters"] == {"hits": 2, "bytes": 10}
+
+    def test_gauge_last_write_wins(self):
+        obs.enable()
+        obs.gauge("cost", 1.0)
+        obs.gauge("cost", 7.0)
+        assert obs.snapshot()["gauges"]["cost"] == 7.0
+
+    def test_spans_nest_and_record_depth(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner", kind="x"):
+                pass
+        ev = obs.events()
+        # inner closes first, at depth 1 (inside outer)
+        assert [e["name"] for e in ev] == ["inner", "outer"]
+        assert ev[0]["depth"] == 1 and ev[1]["depth"] == 0
+        assert ev[0]["attrs"] == {"kind": "x"}
+        stats = obs.snapshot()["spans"]
+        assert stats["outer"]["count"] == 1
+        assert stats["inner"]["count"] == 1
+        assert stats["outer"]["total_s"] >= stats["inner"]["total_s"]
+
+    def test_span_records_error_type(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("nope")
+        assert obs.events()[-1]["error"] == "ValueError"
+
+    def test_span_aggregates_survive_many_uses(self):
+        obs.enable()
+        for _ in range(5):
+            with obs.span("loop"):
+                pass
+        stats = obs.snapshot()["spans"]["loop"]
+        assert stats["count"] == 5
+        assert stats["max_s"] <= stats["total_s"]
+
+    def test_set_attaches_attributes_mid_span(self):
+        obs.enable()
+        with obs.span("s") as sp:
+            sp.set(found=3)
+        assert obs.events()[-1]["attrs"] == {"found": 3}
+
+    def test_buffer_is_bounded_but_stats_are_not(self):
+        obs.enable(buffer_size=4)
+        for i in range(10):
+            with obs.span("tick"):
+                pass
+        assert obs.event_count() == 4
+        assert obs.snapshot()["spans"]["tick"]["count"] == 10
+
+    def test_disable_keeps_data_readable(self):
+        obs.enable()
+        obs.inc("kept")
+        obs.disable()
+        assert obs.snapshot()["counters"]["kept"] == 1
+        obs.inc("kept")  # no-op while disabled
+        assert obs.snapshot()["counters"]["kept"] == 1
+
+
+class TestExportJsonl:
+    def test_export_events_plus_snapshot_line(self):
+        obs.enable()
+        with obs.span("work"):
+            obs.inc("c")
+        buf = io.StringIO()
+        count = obs.export_jsonl(buf)
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert count == len(lines) == 2
+        assert lines[0]["type"] == "span" and lines[0]["name"] == "work"
+        assert lines[1]["type"] == "snapshot"
+        assert lines[1]["counters"] == {"c": 1}
+
+    def test_export_to_path(self, tmp_path):
+        obs.enable()
+        obs.inc("c")
+        path = tmp_path / "trace.jsonl"
+        count = obs.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 1  # snapshot only, no events
+        assert json.loads(lines[0])["type"] == "snapshot"
+
+
+class TestMergeAndRates:
+    def test_merge_sums_counters_and_spans(self):
+        a = {"enabled": True, "counters": {"x": 1},
+             "gauges": {"g": 1.0},
+             "spans": {"s": {"count": 2, "total_s": 1.0, "max_s": 0.7}}}
+        b = {"enabled": True, "counters": {"x": 2, "y": 5},
+             "gauges": {"g": 9.0},
+             "spans": {"s": {"count": 1, "total_s": 0.5, "max_s": 0.5}}}
+        merged = obs.merge_snapshots(a, None, b)
+        assert merged["counters"] == {"x": 3, "y": 5}
+        assert merged["gauges"]["g"] == 9.0
+        assert merged["spans"]["s"] == {
+            "count": 3, "total_s": 1.5, "max_s": 0.7,
+        }
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = obs.merge_snapshots()
+        assert merged["counters"] == {} and merged["spans"] == {}
+
+    def test_hit_rate(self):
+        snap = {"counters": {"c.hit": 3, "c.miss": 1}}
+        assert obs.hit_rate(snap, "c") == 0.75
+        assert obs.hit_rate(snap, "absent") is None
+
+
+class TestCapture:
+    def test_capture_diffs_against_entry_state(self):
+        obs.enable()
+        obs.inc("pre", 100)
+        with obs.span("pre"):
+            pass
+        with obs.capture() as cap:
+            obs.inc("pre", 1)
+            obs.inc("fresh", 2)
+            with obs.span("pre"):
+                pass
+        snap = cap.snapshot
+        assert snap["counters"] == {"pre": 1, "fresh": 2}
+        assert snap["spans"]["pre"]["count"] == 1
+        # the global state is untouched by the capture
+        assert obs.snapshot()["counters"]["pre"] == 101
+
+    def test_capture_is_exception_safe(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.capture() as cap:
+                obs.inc("partial")
+                raise RuntimeError
+        assert cap.snapshot["counters"] == {"partial": 1}
+
+
+class TestStubbed:
+    def test_stubbed_turns_probes_into_noops(self):
+        obs.enable()
+        with obs.stubbed():
+            obs.inc("gone")
+            assert obs.span("gone") is obs.NULL_SPAN
+        obs.inc("back")
+        snap = obs.snapshot()
+        assert "gone" not in snap["counters"]
+        assert snap["counters"]["back"] == 1
+
+
+class TestInstrumentedPipeline:
+    def test_spans_and_cache_counters_from_a_real_run(self):
+        from repro.api import Pipeline
+
+        obs.enable()
+        source = """
+        program foo(flag, unsigned n) {
+          var k = 1, i = 0, j = 0;
+          if (flag != 0) { k = n * n; }
+          while (i <= n) { i = i + 1; j = j + i; }
+          var z = k + i + j;
+          assert(z > 2 * n);
+        }
+        """
+        outcome = Pipeline().analyze(source)
+        snap = obs.snapshot()
+        assert "api.analyze" in snap["spans"]
+        assert snap["counters"].get("smt.is_sat.miss", 0) > 0
+        # the outcome carries its own capture of the same activity
+        assert outcome.telemetry is not None
+        assert "api.analyze" in outcome.telemetry["spans"]
+
+    def test_batch_telemetry_merged_across_outcomes(self):
+        result = triage_many(["d01_plus_one", "d02_negate"], jobs=1,
+                             telemetry=True)
+        assert result.telemetry is not None
+        for outcome in result.outcomes:
+            assert outcome.telemetry is not None
+            assert "triage.report" in outcome.telemetry["spans"]
+            assert any(e.get("name") == "triage.report"
+                       for e in outcome.events)
+        merged = result.telemetry
+        assert merged["spans"]["triage.report"]["count"] == 2
+        total_queries = sum(
+            o.telemetry["counters"].get("engine.queries", 0)
+            for o in result.outcomes
+        )
+        assert merged["counters"].get("engine.queries", 0) == total_queries

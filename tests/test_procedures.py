@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import InitialVerdict, analyze_source
+from repro.api import InitialVerdict, Pipeline
 from repro.lang import (
     ParseError,
     parse_module,
@@ -142,7 +142,7 @@ class TestSemantics:
 
 class TestAnalysisIntegration:
     def test_analysis_sees_through_calls(self):
-        outcome = analyze_source(CLAMP)
+        outcome = Pipeline().analyze(CLAMP)
         # clamp's postcondition is fully visible after inlining:
         # loop-free, so the analysis is exact and verifies outright
         assert outcome.verdict is InitialVerdict.VERIFIED
@@ -160,5 +160,5 @@ class TestAnalysisIntegration:
           assert(c >= 0);
         }
         """
-        outcome = analyze_source(source)
+        outcome = Pipeline().analyze(source)
         assert outcome.verdict is InitialVerdict.VERIFIED

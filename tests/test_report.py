@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import diagnose_source
+from repro.api import Pipeline
 from repro.diagnosis import Answer, EngineConfig, ScriptedOracle, \
     render_report
 
@@ -19,7 +19,7 @@ program foo(flag, unsigned n) {
 
 @pytest.fixture(scope="module")
 def discharged():
-    return diagnose_source(FOO, ScriptedOracle(["yes"]))
+    return Pipeline().diagnose(FOO, ScriptedOracle(["yes"]))
 
 
 class TestTextReport:
@@ -53,19 +53,16 @@ class TestMarkdownReport:
 
 class TestOtherVerdicts:
     def test_unresolved_report(self):
-        result = diagnose_source(
-            FOO,
-            ScriptedOracle([], default=Answer.UNKNOWN),
-            config=EngineConfig(max_rounds=3),
+        result = Pipeline(config=EngineConfig(max_rounds=3)).diagnose(
+            FOO, ScriptedOracle([], default=Answer.UNKNOWN)
         )
         report = render_report(result)
         assert "UNRESOLVED" in report
 
     def test_validated_report_lists_witnesses(self):
         src = FOO.replace("assert(z > 2 * n);", "assert(z > 2 * n + 9);")
-        result = diagnose_source(
-            src, ScriptedOracle(["no", "yes", "yes", "yes", "yes"]),
-            config=EngineConfig(max_rounds=6),
+        result = Pipeline(config=EngineConfig(max_rounds=6)).diagnose(
+            src, ScriptedOracle(["no", "yes", "yes", "yes", "yes"])
         )
         report = render_report(result)
         if result.classification == "real bug":

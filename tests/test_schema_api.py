@@ -1,0 +1,261 @@
+"""Tests for the stable JSON schema, the Pipeline facade, the deprecated
+aliases, and the machine-readable CLI modes."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.api import (
+    Pipeline,
+    analyze_source,
+    diagnose_source,
+    ground_truth_oracle,
+    run_user_study,
+    triage_suite,
+)
+from repro.batch import triage_many
+from repro.cli import main
+from repro.diagnosis import ScriptedOracle, diagnose_error, render_report
+from repro.schema import SCHEMA_VERSION, TriageVerdict, envelope
+from repro.suite import BENCHMARKS
+
+SAFE = "program safe(x) { var y = x + 1; assert(y > x); }"
+DOOMED = "program doomed(x) { var y = x; assert(y > x); }"
+
+FOO = """
+program foo(flag, unsigned n) {
+  var k = 1, i = 0, j = 0;
+  if (flag != 0) { k = n * n; }
+  while (i <= n) { i = i + 1; j = j + i; } @post(i >= 0 && i > n)
+  var z = k + i + j;
+  assert(z > 2 * n);
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    """Schema tests run with instrumentation off unless they enable it."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestTriageVerdict:
+    @pytest.mark.parametrize("text,expected", [
+        ("false alarm", TriageVerdict.FALSE_ALARM),
+        ("verified", TriageVerdict.FALSE_ALARM),
+        ("discharged", TriageVerdict.FALSE_ALARM),
+        ("real bug", TriageVerdict.REAL_BUG),
+        ("refuted", TriageVerdict.REAL_BUG),
+        ("VALIDATED", TriageVerdict.REAL_BUG),
+        ("unknown", TriageVerdict.UNKNOWN),
+        ("uncertain", TriageVerdict.UNKNOWN),
+        ("unresolved", TriageVerdict.UNKNOWN),
+        ("real_bug", TriageVerdict.REAL_BUG),
+    ])
+    def test_from_classification(self, text, expected):
+        assert TriageVerdict.from_classification(text) is expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown classification"):
+            TriageVerdict.from_classification("maybe")
+
+    def test_values_equal_legacy_strings(self):
+        assert TriageVerdict.FALSE_ALARM.value == "false alarm"
+        assert TriageVerdict.REAL_BUG.value == "real bug"
+        assert TriageVerdict.UNKNOWN.value == "unknown"
+
+
+class TestEnvelope:
+    def test_core_fields(self):
+        payload = envelope("analysis", TriageVerdict.UNKNOWN, a=1)
+        assert payload == {"schema": SCHEMA_VERSION, "kind": "analysis",
+                           "verdict": "unknown", "a": 1}
+
+    def test_none_fields_omitted(self):
+        payload = envelope("batch", TriageVerdict.REAL_BUG,
+                           telemetry=None, error=None, count=0)
+        assert "telemetry" not in payload and "error" not in payload
+        assert payload["count"] == 0
+
+
+class TestAnalysisOutcomeJson:
+    def test_round_trip(self):
+        payload = json.loads(Pipeline().analyze(SAFE).to_json())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["kind"] == "analysis"
+        assert payload["verdict"] == "false alarm"
+        assert payload["initial_verdict"] == "verified"
+        assert payload["program"] == "safe"
+        assert isinstance(payload["invariants"], str)
+        assert "telemetry" not in payload
+
+    def test_refuted_maps_to_real_bug(self):
+        payload = Pipeline().analyze(DOOMED).to_dict()
+        assert payload["verdict"] == "real bug"
+        assert payload["initial_verdict"] == "refuted"
+
+    def test_telemetry_embedded_when_enabled(self):
+        obs.enable()
+        payload = Pipeline().analyze(SAFE).to_dict()
+        assert payload["telemetry"]["spans"]["api.analyze"]["count"] == 1
+
+
+class TestDiagnosisResultJson:
+    def test_round_trip(self):
+        result = Pipeline().diagnose(FOO, ScriptedOracle(["yes"]))
+        payload = json.loads(result.to_json(indent=2))
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["kind"] == "diagnosis"
+        assert payload["verdict"] == result.classification == "false alarm"
+        assert payload["program"] == "foo"
+        assert payload["rounds"] == result.rounds
+        assert payload["num_queries"] == result.num_queries == 1
+        assert payload["interactions"] == [
+            {"kind": i.query.kind, "text": i.query.text,
+             "answer": i.answer.value}
+            for i in result.interactions
+        ]
+
+    def test_triage_verdict_property(self):
+        result = Pipeline().diagnose(FOO, ScriptedOracle(["yes"]))
+        assert result.triage_verdict is TriageVerdict.FALSE_ALARM
+        assert result.triage_verdict.value == result.classification
+
+
+class TestBatchJson:
+    def test_round_trip(self):
+        result = triage_many(["d01_plus_one", "d02_negate"], jobs=1)
+        payload = json.loads(result.to_json())
+        assert payload["kind"] == "batch"
+        assert payload["verdict"] == "real bug"  # d02 is a real bug
+        assert payload["accuracy"] == 1.0
+        assert len(payload["outcomes"]) == 2
+        first = payload["outcomes"][0]
+        assert first["kind"] == "triage_outcome"
+        assert first["name"] == "d01_plus_one"
+        assert first["verdict"] == "false alarm"
+        assert first["correct"] is True
+
+    def test_verdict_counts(self):
+        result = triage_many(["d01_plus_one", "d02_negate"], jobs=1)
+        assert result.verdict_counts == {
+            "false alarm": 1, "real bug": 1, "unknown": 0,
+        }
+
+    def test_empty_batch_is_unknown(self):
+        result = triage_many([], jobs=1)
+        assert result.verdict is TriageVerdict.UNKNOWN
+
+
+class TestDeprecatedAliases:
+    def test_analyze_source_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="analyze_source"):
+            outcome = analyze_source(SAFE)
+        assert outcome.verdict is Pipeline().analyze(SAFE).verdict
+
+    def test_diagnose_source_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="diagnose_source"):
+            result = diagnose_source(FOO, ScriptedOracle(["yes"]))
+        assert result.classification == "false alarm"
+
+    def test_triage_suite_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="triage_suite"):
+            result = triage_suite(["d01_plus_one"], jobs=1)
+        assert result.accuracy == 1.0
+
+
+class TestRunUserStudySignature:
+    def test_typo_fails_loudly(self):
+        with pytest.raises(TypeError):
+            run_user_study(seeed=7)
+
+    def test_positional_arguments_rejected(self):
+        with pytest.raises(TypeError):
+            run_user_study(7)
+
+
+class TestCliJsonModes:
+    def test_analyze_json(self, tmp_path, capsys):
+        path = tmp_path / "safe.err"
+        path.write_text(SAFE)
+        assert main(["analyze", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "analysis"
+        assert payload["verdict"] == "false alarm"
+
+    def test_diagnose_json_sampling(self, tmp_path, capsys):
+        path = tmp_path / "bug.err"
+        path.write_text("""
+        program bug(x) {
+          var y = x + 1;
+          assert(y != 0);
+        }
+        """)
+        assert main(["diagnose", str(path), "--oracle", "sampling",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "diagnosis"
+        assert payload["verdict"] == "real bug"
+
+    def test_triage_json(self, capsys):
+        assert main(["triage", "d01_plus_one", "--jobs", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "batch"
+        assert payload["outcomes"][0]["verdict"] == "false alarm"
+
+    def test_triage_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        assert main(["triage", "d01_plus_one", "d02_negate",
+                     "--jobs", "2", "--trace", str(trace)]) == 0
+        lines = [json.loads(l)
+                 for l in trace.read_text().splitlines()]
+        assert lines, "trace must not be empty"
+        assert lines[-1]["type"] == "snapshot"
+        merged = lines[-1]
+        assert merged["spans"]["triage.report"]["count"] == 2
+        assert obs.hit_rate(merged, "smt.is_sat") is not None
+        reports = {l.get("report") for l in lines[:-1]}
+        assert {"d01_plus_one", "d02_negate"} <= reports
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "p10_toggle", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out and "counters:" in out
+        assert "triage.report" in out
+        assert "engine.queries" in out
+
+
+# ---------------------------------------------------------------------------
+# differential: the JSON payload and the human report must agree on the
+# verdict for every Figure 7 benchmark
+# ---------------------------------------------------------------------------
+
+_SESSIONS: dict[str, object] = {}
+
+_REPORT_HEADLINE = {
+    "false alarm": "FALSE ALARM",
+    "real bug": "REAL BUG",
+    "unknown": "UNRESOLVED",
+}
+
+
+def _session(name):
+    if name not in _SESSIONS:
+        analysis, oracle = ground_truth_oracle(name)
+        _SESSIONS[name] = diagnose_error(analysis, oracle)
+    return _SESSIONS[name]
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_json_and_report_agree_on_verdict(bench):
+    result = _session(bench.name)
+    payload = json.loads(result.to_json())
+    report = render_report(result)
+    assert payload["verdict"] == result.classification
+    assert _REPORT_HEADLINE[payload["verdict"]] in report

@@ -14,7 +14,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.api import InitialVerdict, analyze_source
+from repro.api import InitialVerdict, Pipeline
 from repro.lang import run_program
 
 
@@ -62,7 +62,7 @@ def _random_loop_program(rng: random.Random) -> str:
 def test_lemma1_lemma2_sound_on_random_programs(seed):
     rng = random.Random(seed)
     source = _random_loop_program(rng)
-    outcome = analyze_source(source)
+    outcome = Pipeline().analyze(source)
     program = outcome.program
 
     failures, successes = 0, 0
@@ -94,7 +94,7 @@ def test_posts_always_sound_on_random_programs(seed):
 
     rng = random.Random(seed)
     source = _random_loop_program(rng)
-    outcome = analyze_source(source)
+    outcome = Pipeline().analyze(source)
     program = outcome.program
     for n in range(0, 5):
         for m in (-2, 0, 2):
