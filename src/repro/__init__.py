@@ -49,6 +49,10 @@ _EXPORTS = {
     "run_user_study": ("repro.api", "run_user_study"),
     "TriageVerdict": ("repro.schema", "TriageVerdict"),
     "SCHEMA_VERSION": ("repro.schema", "SCHEMA_VERSION"),
+    "read_envelope": ("repro.schema", "read_envelope"),
+    "Limits": ("repro.limits", "Limits"),
+    "ResourceExhausted": ("repro.limits", "ResourceExhausted"),
+    "CancellationToken": ("repro.limits", "CancellationToken"),
     "BatchResult": ("repro.batch", "BatchResult"),
     "TriageOutcome": ("repro.batch", "TriageOutcome"),
     "obs": ("repro.obs", None),

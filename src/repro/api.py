@@ -44,6 +44,7 @@ from .diagnosis import (
     diagnose_error,
 )
 from .lang import Program, parse_program
+from .limits import Limits
 from .logic import neg
 from .schema import TriageVerdict, dump_json, envelope
 from .smt import SmtSolver
@@ -111,10 +112,12 @@ class Pipeline:
     def __init__(self, *, auto_annotate: bool = True,
                  config: EngineConfig | None = None,
                  solver: SmtSolver | None = None,
-                 telemetry: bool = False):
+                 telemetry: bool = False,
+                 limits: Limits | None = None):
         self._auto_annotate = auto_annotate
         self._config = config
         self._solver = solver or SmtSolver()
+        self._limits = limits
         if telemetry:
             obs.enable()
 
@@ -138,22 +141,40 @@ class Pipeline:
                                telemetry=cap.snapshot)
 
     def diagnose(self, source: str, oracle: Oracle) -> DiagnosisResult:
-        """The full pipeline: analysis plus the Figure 6 loop."""
+        """The full pipeline: analysis plus the Figure 6 loop.
+
+        A pipeline constructed with ``limits=`` governs the diagnosis
+        loop: running out yields the ``RESOURCE_EXHAUSTED`` verdict
+        (``UNKNOWN_RESOURCE`` in the unified vocabulary), not an
+        exception.
+        """
         outcome = self.analyze(source)
-        return diagnose_error(outcome.analysis, oracle, self._config)
+        return diagnose_error(outcome.analysis, oracle, self._config,
+                              limits=self._limits)
 
     def triage(self, names: list[str] | None = None, *,
                jobs: int | None = None,
-               timeout: float | None = None) -> BatchResult:
+               timeout: float | None = None,
+               limits: Limits | None = None) -> BatchResult:
         """Batch-triage benchmark reports (all of Figure 7 by default).
 
         Fans out over ``jobs`` worker processes (CPU count by default)
-        with per-report ``timeout`` and graceful degradation to serial
-        execution; see :mod:`repro.batch`.
+        with per-report resource governance, worker recovery and
+        graceful degradation to serial execution; see
+        :mod:`repro.batch`.  ``limits`` overrides the pipeline-level
+        :class:`~repro.limits.Limits` for this call; ``timeout`` is a
+        deprecated alias for ``limits=Limits(deadline=timeout)``.
         """
-        return triage_many(names, jobs=jobs, timeout=timeout,
+        if timeout is not None:
+            _deprecated("Pipeline.triage(timeout=...)",
+                        "triage(limits=Limits(deadline=...))")
+            if limits is None:
+                limits = Limits(deadline=timeout)
+        return triage_many(names, jobs=jobs,
                            config=self._config,
-                           telemetry=obs.is_enabled())
+                           telemetry=obs.is_enabled(),
+                           limits=limits if limits is not None
+                           else self._limits)
 
     def user_study(self, *, seed: int = 2012, num_recruited: int = 56,
                    benchmarks: tuple[Benchmark, ...] | None = None,

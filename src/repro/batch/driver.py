@@ -1,4 +1,4 @@
-"""Parallel batch triage of error reports.
+"""Parallel batch triage of error reports, with fault tolerance.
 
 The ROADMAP's north star is a system that triages *fleets* of error
 reports, not one report at a time.  Each report's diagnosis is
@@ -11,12 +11,26 @@ out over worker processes:
   cheaper than its first;
 * **ordered results** — outcomes come back in input order regardless of
   completion order;
-* **per-report timeout** — a report that exceeds ``timeout`` seconds is
-  recorded as timed out (classification ``"unknown"``) without sinking
-  the batch;
+* **resource governance** — a :class:`repro.limits.Limits` bounds each
+  report (deadline, per-stage step budgets); a report that runs out is
+  recorded as ``"unknown resource"`` with per-stage spend attribution
+  instead of sinking the batch;
+* **worker recovery** — a report whose worker crashes, is killed, or
+  hangs past a grace window is retried with exponential backoff and a
+  tightened deadline up to ``limits.retries`` extra attempts, then
+  quarantined into :attr:`BatchResult.degraded`; if every worker is
+  wedged the pool is rebuilt and in-flight innocents are requeued;
 * **graceful degradation** — if worker processes cannot be spawned or
   the pool breaks mid-run, the remaining reports are triaged serially
   in-process and the batch still completes.
+
+Hang detection is two-layered.  The governor's deadline check inside
+every solver checkpoint catches hangs the worker can see (including
+``sleep`` faults), returning a normal ``unknown resource`` outcome with
+the *stage* that noticed — that is the attribution path.  The driver's
+grace window (``deadline * 1.5 + 0.5s``) catches workers that never
+return at all (SIGKILL, hard hangs); those quarantine without stage
+attribution because no code ran to observe one.
 
 Results are plain data (:class:`TriageOutcome` carries strings and
 numbers, never formulas), so nothing fragile crosses the process
@@ -28,10 +42,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+import warnings
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 
+from .. import limits as _limits_mod
 from .. import obs
 from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
+from ..limits import Limits, ResourceExhausted
+from ..limits import faults
 from ..schema import TriageVerdict, dump_json, envelope
 from ..suite import BENCHMARKS, benchmark_by_name, load_analysis
 
@@ -41,7 +60,7 @@ class TriageOutcome:
     """The result of triaging one report — plain data only."""
 
     name: str
-    classification: str            # 'false alarm' | 'real bug' | 'unknown'
+    classification: str            # a TriageVerdict value string
     expected: str | None = None    # ground-truth label, when known
     num_queries: int = 0
     rounds: int = 0
@@ -50,6 +69,11 @@ class TriageOutcome:
     error: str | None = None       # repr of an in-worker exception
     telemetry: dict | None = None  # per-report obs snapshot, when enabled
     events: tuple = ()             # per-report obs events, when enabled
+    exhausted_stage: str | None = None  # stage whose checkpoint fired
+    exhausted_kind: str | None = None   # steps | nodes | deadline | ...
+    resource_spend: dict | None = None  # per-stage spend (governed runs)
+    attempts: int = 1              # triage attempts consumed
+    degraded: bool = False         # quarantined after exhausting retries
 
     @property
     def correct(self) -> bool:
@@ -74,6 +98,11 @@ class TriageOutcome:
             timed_out=self.timed_out,
             error=self.error,
             telemetry=self.telemetry,
+            exhausted_stage=self.exhausted_stage,
+            exhausted_kind=self.exhausted_kind,
+            resource_spend=self.resource_spend,
+            attempts=self.attempts,
+            degraded=self.degraded,
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -89,12 +118,19 @@ class BatchResult:
     jobs: int
     mode: str                      # 'serial' | 'parallel' | 'degraded'
     telemetry: dict | None = None  # merged per-worker obs snapshots
+    limits: dict | None = None     # rendering of the governing Limits
     failures: list[TriageOutcome] = field(init=False)
+    degraded: list[TriageOutcome] = field(init=False)
 
     def __post_init__(self) -> None:
+        # quarantined reports are governed degradation, not
+        # misclassification — they never count as failures
+        self.degraded = [o for o in self.outcomes if o.degraded]
         self.failures = [
             o for o in self.outcomes
             if o.expected is not None and not o.correct
+            and not o.degraded
+            and o.verdict is not TriageVerdict.UNKNOWN_RESOURCE
         ]
 
     @property
@@ -107,12 +143,15 @@ class BatchResult:
     @property
     def verdict(self) -> TriageVerdict:
         """The strongest claim about the batch: any real bug makes the
-        batch ``REAL_BUG``; otherwise any unknown leaves it ``UNKNOWN``;
-        a batch of pure false alarms is ``FALSE_ALARM``."""
+        batch ``REAL_BUG``; otherwise any unknown (including resource
+        exhaustion) leaves it ``UNKNOWN``; a batch of pure false alarms
+        is ``FALSE_ALARM``."""
         verdicts = {o.verdict for o in self.outcomes}
         if TriageVerdict.REAL_BUG in verdicts:
             return TriageVerdict.REAL_BUG
-        if TriageVerdict.UNKNOWN in verdicts or not verdicts:
+        if (TriageVerdict.UNKNOWN in verdicts
+                or TriageVerdict.UNKNOWN_RESOURCE in verdicts
+                or not verdicts):
             return TriageVerdict.UNKNOWN
         return TriageVerdict.FALSE_ALARM
 
@@ -122,6 +161,15 @@ class BatchResult:
         for outcome in self.outcomes:
             counts[outcome.verdict.value] += 1
         return counts
+
+    @property
+    def resource_spend(self) -> dict[str, int]:
+        """Per-stage spend summed across every governed outcome."""
+        merged: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for stage, n in (outcome.resource_spend or {}).items():
+                merged[stage] = merged.get(stage, 0) + n
+        return merged
 
     def by_name(self, name: str) -> TriageOutcome:
         for outcome in self.outcomes:
@@ -141,6 +189,9 @@ class BatchResult:
             verdict_counts=self.verdict_counts,
             outcomes=[o.to_dict() for o in self.outcomes],
             telemetry=self.telemetry,
+            limits=self.limits,
+            resource_spend=self.resource_spend or None,
+            degraded=[o.name for o in self.degraded],
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -151,13 +202,20 @@ class BatchResult:
 # worker side
 # ---------------------------------------------------------------------------
 
-def _triage_one(name: str, config: EngineConfig | None,
-                telemetry: bool = False) -> TriageOutcome:
+def _triage_one(name: str, config: EngineConfig | None = None,
+                telemetry: bool = False, limits: Limits | None = None,
+                attempt: int = 0, in_worker: bool = False) -> TriageOutcome:
     """Triage a single benchmark report against its ground-truth oracle.
 
     Top-level so it pickles under any multiprocessing start method.  All
     process-global caches (default solver, intern tables, QE caches)
     stay warm between calls within one worker.
+
+    With ``limits`` the whole report — loading, analysis and the
+    diagnosis loop — runs under one governor, so the deadline covers
+    everything and per-stage spend is attributed to this report.  Fault
+    injection (``REPRO_FAULT``) needs a governor to observe checkpoints,
+    so an active fault spec forces an (otherwise unlimited) one.
 
     With ``telemetry`` the report runs under an obs capture scope: the
     outcome carries the report's own counter/span snapshot plus the span
@@ -165,17 +223,29 @@ def _triage_one(name: str, config: EngineConfig | None,
     across workers.
     """
     start = time.perf_counter()
+    if in_worker:
+        faults.mark_worker()
+    faults.set_report(name)
     if telemetry and not obs.is_enabled():
         obs.enable()
     events_before = obs.event_count() if telemetry else 0
+    effective = limits
+    if effective is None and faults.active() is not None:
+        effective = Limits()
+    governed = (
+        _limits_mod.governed(effective) if effective is not None
+        else nullcontext(None)
+    )
     try:
         with obs.capture() as cap, \
-                obs.span("triage.report", report=name):
+                obs.span("triage.report", report=name, attempt=attempt), \
+                governed as governor:
             bench = benchmark_by_name(name)
             program, analysis = load_analysis(bench)
             oracle = ExhaustiveOracle(
                 program, analysis, radius=bench.oracle_radius
             )
+            # the engine inherits the ambient governor installed above
             result = diagnose_error(analysis, oracle, config)
         return TriageOutcome(
             name=name,
@@ -184,9 +254,25 @@ def _triage_one(name: str, config: EngineConfig | None,
             num_queries=result.num_queries,
             rounds=result.rounds,
             elapsed_seconds=time.perf_counter() - start,
+            timed_out=result.exhausted_kind == "deadline",
             telemetry=cap.snapshot,
             events=tuple(obs.events()[events_before:]) if telemetry
             else (),
+            exhausted_stage=result.exhausted_stage,
+            exhausted_kind=result.exhausted_kind,
+            resource_spend=result.resource_spend,
+        )
+    except ResourceExhausted as exc:
+        # a limit ran out before the engine's own handler could see it
+        # (loading / abstract interpretation) — same verdict, same shape
+        return TriageOutcome(
+            name=name,
+            classification=TriageVerdict.UNKNOWN_RESOURCE.value,
+            expected=None,
+            elapsed_seconds=time.perf_counter() - start,
+            timed_out=exc.kind == "deadline",
+            exhausted_stage=exc.stage,
+            exhausted_kind=exc.kind,
         )
     except Exception as exc:  # noqa: BLE001 - outcomes must cross processes
         return TriageOutcome(
@@ -195,7 +281,10 @@ def _triage_one(name: str, config: EngineConfig | None,
             expected=None,
             elapsed_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            exhausted_stage=getattr(exc, "stage", None),
         )
+    finally:
+        faults.set_report(None)
 
 
 def _load_one(name: str):
@@ -213,14 +302,34 @@ def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _timeout_outcome(name: str, timeout: float) -> TriageOutcome:
+def _stuck_outcome(name: str, limits: Limits | None) -> TriageOutcome:
+    """The outcome for a worker that never returned (killed or a hang no
+    checkpoint could observe) — no stage attribution is possible."""
+    deadline = limits.deadline if limits is not None else None
     return TriageOutcome(
         name=name,
-        classification="unknown",
+        classification=TriageVerdict.UNKNOWN_RESOURCE.value,
         expected=None,
-        elapsed_seconds=timeout,
+        elapsed_seconds=deadline or 0.0,
         timed_out=True,
-        error=f"timed out after {timeout:g}s",
+        exhausted_kind="deadline",
+        error="worker unresponsive past the grace window",
+    )
+
+
+def _is_retryable(outcome: TriageOutcome) -> bool:
+    """Crashes and resource exhaustion earn another attempt; genuine
+    verdicts (including plain ``unknown`` from round exhaustion) are
+    deterministic and final."""
+    return outcome.error is not None or \
+        outcome.verdict is TriageVerdict.UNKNOWN_RESOURCE
+
+
+def _finalize(outcome: TriageOutcome, attempts: int) -> TriageOutcome:
+    """Stamp the attempt count; quarantine still-retryable outcomes."""
+    return replace(
+        outcome, attempts=attempts,
+        degraded=outcome.degraded or _is_retryable(outcome),
     )
 
 
@@ -231,16 +340,32 @@ def triage_many(
     timeout: float | None = None,
     config: EngineConfig | None = None,
     telemetry: bool = False,
+    limits: Limits | None = None,
 ) -> BatchResult:
     """Triage many reports, in parallel when more than one core helps.
 
     ``names`` defaults to the full Figure 7 suite.  ``jobs`` defaults to
     the CPU count; ``jobs <= 1`` (or a single report) selects the serial
-    path outright.  ``timeout`` bounds each report's wall time in the
-    parallel mode.  ``telemetry`` collects per-report obs snapshots in
-    every worker and merges them into ``BatchResult.telemetry`` (QE/SMT
-    cache hit-rates, span timings, SAT conflict counts, ...).
+    path outright.  ``limits`` governs each report individually
+    (deadline, per-stage budgets, retry policy — see
+    :mod:`repro.limits`); reports that run out come back as
+    ``"unknown resource"`` and, once retries are exhausted, are
+    quarantined into ``BatchResult.degraded``.  ``telemetry`` collects
+    per-report obs snapshots in every worker and merges them into
+    ``BatchResult.telemetry``.
+
+    ``timeout`` is a deprecated alias for
+    ``limits=Limits(deadline=timeout)``.
     """
+    if timeout is not None:
+        warnings.warn(
+            "triage_many(timeout=...) is deprecated; pass "
+            "limits=Limits(deadline=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if limits is None:
+            limits = Limits(deadline=timeout)
     if names is None:
         names = [b.name for b in BENCHMARKS]
     if jobs is None:
@@ -249,28 +374,33 @@ def triage_many(
 
     # also honour a caller that enabled obs globally before batching
     telemetry = telemetry or obs.is_enabled()
+    limits_payload = limits.to_dict() if limits is not None else None
 
     start = time.perf_counter()
     if jobs <= 1 or len(names) <= 1:
-        outcomes = [_triage_one(name, config, telemetry)
-                    for name in names]
+        outcomes = [
+            _triage_with_retries(name, config, telemetry, limits)
+            for name in names
+        ]
         return BatchResult(
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - start,
             jobs=1,
             mode="serial",
             telemetry=_merged_telemetry(outcomes, telemetry),
+            limits=limits_payload,
         )
 
-    outcomes, degraded = _triage_parallel(
-        names, jobs, timeout, config, telemetry
+    outcomes, pool_broke = _triage_parallel(
+        names, jobs, limits, config, telemetry
     )
     return BatchResult(
         outcomes=outcomes,
         wall_seconds=time.perf_counter() - start,
         jobs=jobs,
-        mode="degraded" if degraded else "parallel",
+        mode="degraded" if pool_broke else "parallel",
         telemetry=_merged_telemetry(outcomes, telemetry),
+        limits=limits_payload,
     )
 
 
@@ -281,53 +411,160 @@ def _merged_telemetry(outcomes: list[TriageOutcome],
     return obs.merge_snapshots(*(o.telemetry for o in outcomes))
 
 
+def _max_attempts(limits: Limits | None) -> int:
+    return 1 if limits is None else max(1, limits.retries + 1)
+
+
+def _triage_with_retries(name: str, config: EngineConfig | None,
+                         telemetry: bool,
+                         limits: Limits | None) -> TriageOutcome:
+    """The serial-mode retry loop (mirrors the parallel driver's)."""
+    attempts = _max_attempts(limits)
+    outcome = None
+    for attempt in range(attempts):
+        tightened = limits.tightened(attempt) if limits is not None else None
+        outcome = _triage_one(name, config, telemetry,
+                              limits=tightened, attempt=attempt)
+        if not _is_retryable(outcome):
+            return _finalize(outcome, attempt + 1)
+        if attempt + 1 < attempts:
+            obs.inc("batch.retries")
+            time.sleep(limits.backoff_for(attempt + 1)
+                       if limits is not None else 0.0)
+    obs.inc("batch.quarantined")
+    return _finalize(outcome, attempts)
+
+
 def _triage_parallel(
     names: list[str],
     jobs: int,
-    timeout: float | None,
+    limits: Limits | None,
     config: EngineConfig | None,
     telemetry: bool = False,
 ) -> tuple[list[TriageOutcome], bool]:
-    """Fan out over a process pool; fall back to serial on pool failure."""
+    """Fan out over a process pool with worker recovery.
+
+    An event loop tracks every submitted attempt: completions settle or
+    requeue their report, attempts silent past the grace window are
+    declared stuck (their worker was killed or wedged), and when stuck
+    attempts have eaten every worker slot the pool itself is rebuilt and
+    the innocent in-flight attempts are resubmitted.  Falls back to
+    serial in-process completion if the pool machinery breaks outright.
+    """
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - platform without fork
         ctx = multiprocessing.get_context()
 
+    attempts_allowed = _max_attempts(limits)
     results: dict[str, TriageOutcome] = {}
-    degraded = False
-    try:
-        with ctx.Pool(processes=jobs) as pool:
-            pending = [
-                (name,
-                 pool.apply_async(_triage_one, (name, config, telemetry)))
-                for name in names
-            ]
-            deadline = (
-                time.monotonic() + timeout if timeout is not None else None
-            )
-            for name, handle in pending:
-                try:
-                    if deadline is None:
-                        results[name] = handle.get()
-                    else:
-                        remaining = max(0.0, deadline - time.monotonic())
-                        results[name] = handle.get(remaining)
-                except multiprocessing.TimeoutError:
-                    results[name] = _timeout_outcome(name, timeout or 0.0)
-            if any(o.timed_out for o in results.values()):
-                # stuck workers would keep the pool's atexit join hanging
-                pool.terminate()
-    except (OSError, multiprocessing.ProcessError, EOFError):
-        degraded = True
+    # (eligible_at, name, attempt) — a report waits here between retries
+    waiting: list[tuple[float, str, int]] = [(0.0, n, 0) for n in names]
+    running: dict[int, tuple[str, int, object, float | None]] = {}
+    next_task = 0
+    stuck = 0
+    ever_stuck = False
+    pool_broke = False
 
-    if degraded:
+    def settle(name: str, attempt: int, outcome: TriageOutcome) -> None:
+        if _is_retryable(outcome) and attempt + 1 < attempts_allowed:
+            obs.inc("batch.retries")
+            delay = (limits.backoff_for(attempt + 1)
+                     if limits is not None else 0.0)
+            waiting.append((time.monotonic() + delay, name, attempt + 1))
+            return
+        if _is_retryable(outcome):
+            obs.inc("batch.quarantined")
+        results[name] = _finalize(outcome, attempt + 1)
+
+    pool = None
+    try:
+        pool = ctx.Pool(processes=jobs)
+        while waiting or running:
+            now = time.monotonic()
+
+            # submit every attempt whose backoff has elapsed
+            still_waiting = []
+            for eligible_at, name, attempt in waiting:
+                if eligible_at > now:
+                    still_waiting.append((eligible_at, name, attempt))
+                    continue
+                tightened = (limits.tightened(attempt)
+                             if limits is not None else None)
+                handle = pool.apply_async(
+                    _triage_one, (name, config, telemetry),
+                    {"limits": tightened, "attempt": attempt,
+                     "in_worker": True},
+                )
+                grace_at = None
+                if tightened is not None and tightened.deadline is not None:
+                    grace_at = now + tightened.deadline * 1.5 + 0.5
+                running[next_task] = (name, attempt, handle, grace_at)
+                next_task += 1
+            waiting = still_waiting
+
+            progressed = False
+            for task_id in list(running):
+                name, attempt, handle, grace_at = running[task_id]
+                if handle.ready():
+                    progressed = True
+                    del running[task_id]
+                    try:
+                        outcome = handle.get()
+                    except Exception as exc:  # noqa: BLE001 - worker died
+                        outcome = TriageOutcome(
+                            name=name,
+                            classification="unknown",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    settle(name, attempt, outcome)
+                elif grace_at is not None and now > grace_at:
+                    # worker never returned: killed, or hung somewhere no
+                    # checkpoint runs — count it stuck and move on
+                    progressed = True
+                    del running[task_id]
+                    stuck += 1
+                    ever_stuck = True
+                    obs.inc("batch.stuck_workers")
+                    tightened = (limits.tightened(attempt)
+                                 if limits is not None else None)
+                    settle(name, attempt, _stuck_outcome(name, tightened))
+
+            if stuck >= jobs and running:
+                # every worker slot may be wedged: rebuild the pool and
+                # resubmit the in-flight innocents at the same attempt
+                obs.inc("batch.pool_rebuilds")
+                pool.terminate()
+                pool.join()
+                pool = ctx.Pool(processes=jobs)
+                stuck = 0
+                now = time.monotonic()
+                for task_id in list(running):
+                    name, attempt, _handle, _grace = running.pop(task_id)
+                    waiting.append((now, name, attempt))
+
+            if not progressed and (waiting or running):
+                time.sleep(0.005)
+    except (OSError, multiprocessing.ProcessError, EOFError):
+        pool_broke = True
+    finally:
+        if pool is not None:
+            # stuck workers would keep a close()/join() hanging forever
+            if ever_stuck or pool_broke:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+    if pool_broke:
         # the pool broke; finish whatever did not complete, in-process
         for name in names:
             if name not in results:
-                results[name] = _triage_one(name, config, telemetry)
+                results[name] = _triage_with_retries(
+                    name, config, telemetry, limits
+                )
 
-    return [results[name] for name in names], degraded
+    return [results[name] for name in names], pool_broke
 
 
 def load_many(

@@ -33,7 +33,31 @@ from .diagnosis import (
     SamplingOracle,
     diagnose_error,
 )
+from .limits import Limits
 from .suite import BENCHMARKS, benchmark_by_name, load_analysis
+
+
+def _limits_from_args(args: argparse.Namespace) -> Limits | None:
+    """Build the run's :class:`Limits` from the resource flags.
+
+    ``--timeout`` is a deprecated alias of ``--deadline`` (kept so PR 1
+    invocations keep working); it loses to an explicit ``--deadline``.
+    """
+    deadline = getattr(args, "deadline", None)
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None:
+        print("warning: --timeout is deprecated; use --deadline",
+              file=sys.stderr)
+        if deadline is None:
+            deadline = timeout
+    max_steps = getattr(args, "max_steps", None)
+    retries = getattr(args, "retries", None)
+    if deadline is None and max_steps is None and retries is None:
+        return None
+    kwargs: dict = {"deadline": deadline, "max_steps": max_steps}
+    if retries is not None:
+        kwargs["retries"] = retries
+    return Limits(**kwargs)
 
 
 def _begin_trace(args: argparse.Namespace) -> bool:
@@ -154,7 +178,7 @@ def _write_batch_trace(result, path: str) -> None:
 def _run_triage(args: argparse.Namespace):
     names = args.names or None
     result = Pipeline().triage(names, jobs=args.jobs,
-                               timeout=args.timeout)
+                               limits=_limits_from_args(args))
     if args.trace is not None:
         _write_batch_trace(result, args.trace)
         print(f"telemetry trace written to {args.trace}",
@@ -164,18 +188,43 @@ def _run_triage(args: argparse.Namespace):
 
 def _print_triage_table(result) -> None:
     for outcome in result.outcomes:
-        if outcome.error is not None:
+        if outcome.degraded:
+            marker = "DEGR"
+            detail = outcome.error or "resource limits exhausted"
+            if outcome.exhausted_stage:
+                detail = (f"stage {outcome.exhausted_stage}, "
+                          f"{outcome.exhausted_kind or 'steps'}, "
+                          f"{outcome.attempts} attempts")
+        elif outcome.error is not None:
             marker = "TIME" if outcome.timed_out else "ERR "
             detail = outcome.error
+        elif outcome.exhausted_stage is not None:
+            marker = "TIME" if outcome.timed_out else "RSRC"
+            detail = (f"stage {outcome.exhausted_stage}, "
+                      f"{outcome.exhausted_kind or 'steps'}")
         else:
             marker = "ok  " if outcome.correct else "FAIL"
             detail = (f"{outcome.num_queries} queries, "
                       f"{outcome.elapsed_seconds:.2f}s")
         print(f"[{marker}] {outcome.name:16s} -> "
               f"{outcome.classification:12s} ({detail})")
-    print(f"{result.mode} x{result.jobs}: "
-          f"{len(result.outcomes)} reports in {result.wall_seconds:.2f}s, "
-          f"accuracy {100.0 * result.accuracy:.0f}%")
+    summary = (f"{result.mode} x{result.jobs}: "
+               f"{len(result.outcomes)} reports in "
+               f"{result.wall_seconds:.2f}s, "
+               f"accuracy {100.0 * result.accuracy:.0f}%")
+    if result.degraded:
+        summary += f", {len(result.degraded)} degraded"
+    print(summary)
+
+
+def _triage_exit_code(result) -> int:
+    """Exit 1 only for genuine misclassifications or un-quarantined
+    errors — resource-governed degradation is a *result*, not a
+    failure, so a batch that degrades gracefully still exits 0."""
+    hard_errors = any(
+        o.error for o in result.outcomes if not o.degraded
+    )
+    return 1 if (result.failures or hard_errors) else 0
 
 
 def _cmd_triage(args: argparse.Namespace) -> int:
@@ -187,8 +236,7 @@ def _cmd_triage(args: argparse.Namespace) -> int:
         _print_triage_table(result)
         if result.telemetry is not None:
             _print_hit_rates(result.telemetry)
-    return 1 if (result.failures or
-                 any(o.error for o in result.outcomes)) else 0
+    return _triage_exit_code(result)
 
 
 def _print_hit_rates(snap: dict) -> None:
@@ -241,8 +289,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     _print_triage_table(result)
     print()
     print(_format_stats(result.telemetry or {}))
-    return 1 if (result.failures or
-                 any(o.error for o in result.outcomes)) else 0
+    return _triage_exit_code(result)
 
 
 def _cmd_userstudy(args: argparse.Namespace) -> int:
@@ -300,6 +347,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--verbose", "-v", action="store_true")
     p_suite.set_defaults(fn=_cmd_suite)
 
+    def add_limit_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-report wall-clock deadline; reports "
+                            "that run out come back 'unknown resource'")
+        p.add_argument("--max-steps", type=int, default=None,
+                       metavar="N",
+                       help="per-stage solver step budget "
+                            "(see repro.limits)")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="extra attempts (tightened deadline, "
+                            "backoff) before quarantining a report")
+        p.add_argument("--timeout", type=float, default=None,
+                       help=argparse.SUPPRESS)  # deprecated: --deadline
+
     p_triage = sub.add_parser(
         "triage", help="batch-triage benchmark reports across cores"
     )
@@ -307,8 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="benchmark names (default: all of Figure 7)")
     p_triage.add_argument("--jobs", "-j", type=int, default=None,
                           help="worker processes (default: CPU count)")
-    p_triage.add_argument("--timeout", type=float, default=None,
-                          help="per-report timeout in seconds")
+    add_limit_flags(p_triage)
     add_output_flags(p_triage)
     p_triage.set_defaults(fn=_cmd_triage)
 
@@ -320,8 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="benchmark names (default: all of Figure 7)")
     p_stats.add_argument("--jobs", "-j", type=int, default=None,
                          help="worker processes (default: CPU count)")
-    p_stats.add_argument("--timeout", type=float, default=None,
-                         help="per-report timeout in seconds")
+    add_limit_flags(p_stats)
     add_output_flags(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
 

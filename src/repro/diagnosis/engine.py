@@ -25,8 +25,10 @@ import time
 from dataclasses import dataclass, field
 from enum import Enum
 
+from .. import limits as _limits_mod
 from .. import obs
 from ..analysis import AnalysisResult
+from ..limits import Limits, ResourceExhausted
 from ..logic.formulas import Formula, conj, implies, neg
 from ..schema import TriageVerdict, dump_json, envelope
 from .abduction import Abducer, Abduction
@@ -40,6 +42,7 @@ class Verdict(Enum):
     DISCHARGED = "discharged"      # proven error-free: false alarm
     VALIDATED = "validated"        # proven buggy: real bug
     UNRESOLVED = "unresolved"
+    RESOURCE_EXHAUSTED = "resource exhausted"  # a governed limit ran out
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,10 @@ class DiagnosisResult:
     elapsed_seconds: float = 0.0
     immediate: bool = False        # closed with zero queries
     telemetry: dict | None = None  # obs snapshot delta, when enabled
+    limits: dict | None = None     # rendering of the governing Limits
+    resource_spend: dict | None = None   # per-stage spend (governed runs)
+    exhausted_stage: str | None = None   # stage whose checkpoint fired
+    exhausted_kind: str | None = None    # steps | nodes | deadline | ...
 
     @property
     def classification(self) -> str:
@@ -73,6 +80,8 @@ class DiagnosisResult:
             return TriageVerdict.FALSE_ALARM
         if self.verdict is Verdict.VALIDATED:
             return TriageVerdict.REAL_BUG
+        if self.verdict is Verdict.RESOURCE_EXHAUSTED:
+            return TriageVerdict.UNKNOWN_RESOURCE
         return TriageVerdict.UNKNOWN
 
     @property
@@ -100,6 +109,10 @@ class DiagnosisResult:
             invariants=str(self.invariants),
             witnesses=[str(w) for w in self.witnesses],
             telemetry=self.telemetry,
+            limits=self.limits,
+            resource_spend=self.resource_spend,
+            exhausted_stage=self.exhausted_stage,
+            exhausted_kind=self.exhausted_kind,
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -122,10 +135,12 @@ class DiagnosisEngine:
     """Drives the Figure 6 interaction loop."""
 
     def __init__(self, analysis: AnalysisResult, oracle: Oracle,
-                 config: EngineConfig | None = None):
+                 config: EngineConfig | None = None,
+                 limits: Limits | None = None):
         self._analysis = analysis
         self._oracle = oracle
         self._config = config or EngineConfig()
+        self._limits = limits
         from ..smt import SmtSolver
 
         self._abducer = Abducer(
@@ -139,7 +154,17 @@ class DiagnosisEngine:
     # ------------------------------------------------------------------
     def run(self) -> DiagnosisResult:
         with obs.capture() as cap, obs.span("engine.session"):
-            result = self._run()
+            if self._limits is not None:
+                with _limits_mod.governed(self._limits) as governor:
+                    result = self._run()
+                result.limits = self._limits.to_dict()
+            else:
+                # an ambient governor (e.g. installed by the batch
+                # driver around the whole report) still attributes spend
+                governor = _limits_mod.current_governor()
+                result = self._run()
+            if governor is not None:
+                result.resource_spend = governor.spend_snapshot()
         if cap.snapshot is not None:
             result.telemetry = cap.snapshot
         return result
@@ -167,61 +192,73 @@ class DiagnosisEngine:
                 immediate=not interactions,
             )
 
-        for round_index in range(self._config.max_rounds):
-            obs.inc("engine.rounds")
-            # Inconsistent knowledge would make every check below vacuous;
-            # bail out before trusting it (only reachable via an oracle
-            # that contradicted itself).
-            if not solver.is_sat(invariants):
-                return finish(Verdict.UNRESOLVED, round_index)
-            # Figure 6, lines 3-4: try to close the report outright.
-            if solver.is_valid(implies(invariants, success)):
-                return finish(Verdict.DISCHARGED, round_index)
-            if not solver.is_sat(conj(invariants, success)):
-                # Lemma 2: I |= !phi — every execution fails the check
-                return finish(Verdict.VALIDATED, round_index)
-            if any(
-                not solver.is_sat(conj(invariants, psi, success))
-                for psi in witnesses
-            ):
-                return finish(Verdict.VALIDATED, round_index)
+        round_index = 0
+        try:
+            for round_index in range(self._config.max_rounds):
+                obs.inc("engine.rounds")
+                # Inconsistent knowledge would make every check below
+                # vacuous; bail out before trusting it (only reachable
+                # via an oracle that contradicted itself).
+                if not solver.is_sat(invariants):
+                    return finish(Verdict.UNRESOLVED, round_index)
+                # Figure 6, lines 3-4: try to close the report outright.
+                if solver.is_valid(implies(invariants, success)):
+                    return finish(Verdict.DISCHARGED, round_index)
+                if not solver.is_sat(conj(invariants, success)):
+                    # Lemma 2: I |= !phi — every execution fails the check
+                    return finish(Verdict.VALIDATED, round_index)
+                if any(
+                    not solver.is_sat(conj(invariants, psi, success))
+                    for psi in witnesses
+                ):
+                    return finish(Verdict.VALIDATED, round_index)
 
-            with obs.span("engine.abduce", round=round_index):
-                gamma, upsilon = self._abduce(
-                    invariants, success, witnesses,
-                    potential_invariants, potential_witnesses,
-                )
-            if gamma is not None:
-                obs.gauge("engine.obligation_cost", gamma.cost)
-            if upsilon is not None:
-                obs.gauge("engine.witness_cost", upsilon.cost)
-            if gamma is None and upsilon is None:
-                return finish(Verdict.UNRESOLVED, round_index)
+                with obs.span("engine.abduce", round=round_index):
+                    gamma, upsilon = self._abduce(
+                        invariants, success, witnesses,
+                        potential_invariants, potential_witnesses,
+                    )
+                if gamma is not None:
+                    obs.gauge("engine.obligation_cost", gamma.cost)
+                if upsilon is not None:
+                    obs.gauge("engine.witness_cost", upsilon.cost)
+                if gamma is None and upsilon is None:
+                    return finish(Verdict.UNRESOLVED, round_index)
 
-            # Figure 6, line 9: ask the cheaper side first.
-            ask_invariant = upsilon is None or (
-                gamma is not None and gamma.cost <= upsilon.cost
-            )
+                # Figure 6, line 9: ask the cheaper side first.
+                ask_invariant = upsilon is None or (
+                    gamma is not None and gamma.cost <= upsilon.cost
+                )
 
-            if ask_invariant:
-                assert gamma is not None
-                yes_clauses = self._ask_invariant(
-                    gamma.formula, interactions, witnesses,
-                    potential_invariants, potential_witnesses,
-                )
-                # every affirmed clause is a learned invariant, even when
-                # the query as a whole was not affirmed (Section 4.4)
-                invariants = conj(invariants, *yes_clauses)
-            else:
-                assert upsilon is not None
-                validated, refuted = self._ask_witness(
-                    upsilon.formula, interactions, witnesses,
-                    potential_invariants, potential_witnesses,
-                )
-                if validated:
-                    return finish(Verdict.VALIDATED, round_index + 1)
-                # a refuted witness clause is a learned invariant
-                invariants = conj(invariants, *refuted)
+                if ask_invariant:
+                    assert gamma is not None
+                    yes_clauses = self._ask_invariant(
+                        gamma.formula, interactions, witnesses,
+                        potential_invariants, potential_witnesses,
+                    )
+                    # every affirmed clause is a learned invariant, even
+                    # when the query as a whole was not (Section 4.4)
+                    invariants = conj(invariants, *yes_clauses)
+                else:
+                    assert upsilon is not None
+                    validated, refuted = self._ask_witness(
+                        upsilon.formula, interactions, witnesses,
+                        potential_invariants, potential_witnesses,
+                    )
+                    if validated:
+                        return finish(Verdict.VALIDATED, round_index + 1)
+                    # a refuted witness clause is a learned invariant
+                    invariants = conj(invariants, *refuted)
+        except ResourceExhausted as exc:
+            # A governed limit ran out mid-round.  This is a *verdict*,
+            # not an error: the report stays open, the exception says
+            # which solver stage's checkpoint noticed and why.
+            obs.inc("engine.resource_exhausted")
+            obs.inc(f"engine.resource_exhausted.{exc.stage}")
+            result = finish(Verdict.RESOURCE_EXHAUSTED, round_index)
+            result.exhausted_stage = exc.stage
+            result.exhausted_kind = exc.kind
+            return result
 
         return finish(Verdict.UNRESOLVED, self._config.max_rounds)
 
@@ -352,6 +389,7 @@ class DiagnosisEngine:
 
 
 def diagnose_error(analysis: AnalysisResult, oracle: Oracle,
-                   config: EngineConfig | None = None) -> DiagnosisResult:
+                   config: EngineConfig | None = None,
+                   limits: Limits | None = None) -> DiagnosisResult:
     """Run the Figure 6 algorithm on an analysis result."""
-    return DiagnosisEngine(analysis, oracle, config).run()
+    return DiagnosisEngine(analysis, oracle, config, limits=limits).run()

@@ -36,7 +36,16 @@ def render_report(result: DiagnosisResult, *, markdown: bool = False) -> str:
                            "checked assertion",
         Verdict.UNRESOLVED: "UNRESOLVED — the available answers did not "
                             "settle the report",
+        Verdict.RESOURCE_EXHAUSTED: "UNKNOWN (RESOURCE) — a resource "
+                                    "limit ran out before the report "
+                                    "was settled",
     }[result.verdict]
+    if result.verdict is Verdict.RESOURCE_EXHAUSTED \
+            and result.exhausted_stage:
+        verdict_text += (
+            f" (stage {result.exhausted_stage}, "
+            f"{result.exhausted_kind or 'steps'})"
+        )
     lines.append(verdict_text)
     lines.append(
         f"({result.num_queries} queries, {result.rounds} engine rounds, "

@@ -23,10 +23,15 @@ introduces a quotient and a bounded nonzero remainder.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
+from .. import limits as _limits
+from ..limits import ResourceExhausted
 from ..logic.formulas import Atom, Dvd, Formula, Rel
 from ..logic.terms import LinTerm, Var, VarSupply
+
+_DEFAULT_BUDGET = 5_000_000
 
 
 class Model(dict):
@@ -40,9 +45,10 @@ class Model(dict):
         return self.get(v, default)
 
 
-class BudgetExceeded(RuntimeError):
-    """Raised when the solver exceeds its step budget (safety valve; the
-    formulas arising in this system are far below the budget)."""
+#: Backwards-compatible alias: the omega step budget now raises the
+#: unified :class:`repro.limits.ResourceExhausted` (stage ``"omega"``),
+#: so existing ``except BudgetExceeded`` handlers keep working.
+BudgetExceeded = ResourceExhausted
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -93,8 +99,15 @@ def _normalize_eq(term: LinTerm) -> LinTerm | None | bool:
 class OmegaSolver:
     """Exact integer linear arithmetic solver for conjunctions of literals."""
 
-    def __init__(self, *, budget: int = 5_000_000):
-        self._budget = budget
+    def __init__(self, *, budget: int | None = None):
+        if budget is not None:
+            warnings.warn(
+                "OmegaSolver(budget=...) is deprecated; govern runs with "
+                "repro.limits.Limits(omega_steps=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._budget = _DEFAULT_BUDGET if budget is None else budget
         self._steps = 0
 
     # ------------------------------------------------------------------
@@ -216,9 +229,10 @@ class OmegaSolver:
     # core solver: returns a model covering every variable of the system
     # ------------------------------------------------------------------
     def _tick(self) -> None:
+        _limits.tick("omega")
         self._steps += 1
         if self._steps > self._budget:
-            raise BudgetExceeded(f"omega solver exceeded {self._budget} steps")
+            raise ResourceExhausted("omega", self._steps, self._budget)
 
     def _solve(
         self, les: list[LinTerm], eqs: list[LinTerm]

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from .. import obs
+from .. import limits as _limits
 from ..logic.formulas import Formula, conj, eq
 from ..logic.terms import LinTerm, Var
 from ..qe import eliminate_forall, project
@@ -184,6 +185,7 @@ class MsaSolver:
         heap: list[tuple[int, int]] = [(0, 0)]
         seen: set[int] = {0}
         while heap:
+            _limits.tick("msa")
             cost, mask = heapq.heappop(heap)
             include = [order[i] for i in range(n) if mask >> i & 1]
             exclude = [order[i] for i in range(n) if not mask >> i & 1]
@@ -235,6 +237,7 @@ class MsaSolver:
 
         def descend(index: int, include: list[Var],
                     exclude: list[Var], cost: int) -> None:
+            _limits.tick("msa")
             if best[0] is not None and cost >= best[0].cost:
                 return
             if index == len(order):

@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from .. import obs
+from .. import limits as _limits
+from ..limits import ResourceExhausted
 from ..logic.formulas import (
     FALSE,
     TRUE,
@@ -53,8 +55,10 @@ from ..logic.normal_forms import dnf_clauses, nnf
 from ..logic.terms import LinTerm, Var, lcm, lcm_all
 
 
-class QeBudgetExceeded(RuntimeError):
-    """Raised when elimination would produce an unreasonably large formula."""
+#: Backwards-compatible alias: QE node-budget overruns now raise the
+#: unified :class:`repro.limits.ResourceExhausted` (stage ``"qe"``,
+#: ``kind="nodes"``), so existing handlers keep working.
+QeBudgetExceeded = ResourceExhausted
 
 
 # Persistent, bounded caches over hash-consed keys.  Elimination results
@@ -120,10 +124,12 @@ class _Budget:
         self.used = 0
 
     def charge(self, amount: int) -> None:
+        _limits.tick("qe", amount)
         self.used += amount
         if self.used > self.limit:
-            raise QeBudgetExceeded(
-                f"quantifier elimination exceeded {self.limit} nodes"
+            raise ResourceExhausted(
+                "qe", self.used, self.limit, kind="nodes",
+                message=f"quantifier elimination exceeded {self.limit} nodes",
             )
 
 
@@ -165,7 +171,9 @@ def _eliminate_block(variables: list[Var], body: Formula,
     try:
         clauses = dnf_clauses(body, limit=500_000)
     except MemoryError as exc:
-        raise QeBudgetExceeded("DNF conversion overflow in QE") from exc
+        raise ResourceExhausted(
+            "qe", kind="nodes", message="DNF conversion overflow in QE"
+        ) from exc
     clauses = _prune_clauses(clauses, budget)
 
     while remaining:
@@ -188,7 +196,9 @@ def _eliminate_block(variables: list[Var], body: Formula,
             try:
                 new_clauses.extend(dnf_clauses(eliminated, limit=500_000))
             except MemoryError as exc:
-                raise QeBudgetExceeded("DNF overflow in QE") from exc
+                raise ResourceExhausted(
+                    "qe", kind="nodes", message="DNF overflow in QE"
+                ) from exc
         clauses = _prune_clauses(new_clauses, budget)
         remaining = [
             u for u in remaining

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .. import obs
+from .. import limits as _limits
 
 
 def _lit_index(lit: int) -> int:
@@ -181,6 +182,7 @@ class SatSolver:
 
         # assumption handling: decide assumption literals first
         while True:
+            _limits.tick("sat")
             conflict = self._propagate()
             if conflict != -1:
                 self._conflicts += 1

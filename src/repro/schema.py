@@ -15,10 +15,16 @@ Schema stability contract (documented in ``docs/API.md``):
   discriminator (``analysis`` / ``diagnosis`` / ``triage_outcome`` /
   ``batch`` / ``study``);
 * every payload carries ``"verdict"``, one of ``"false alarm"``,
-  ``"real bug"``, ``"unknown"``;
+  ``"real bug"``, ``"unknown"``, ``"unknown resource"``;
 * fields are only ever *added*; renaming or removing a field bumps
   SCHEMA_VERSION;
 * ``"telemetry"`` is present only when instrumentation was enabled.
+
+Version history.  ``repro.result/2`` (current) added the
+``UNKNOWN_RESOURCE`` verdict and the resource-governance fields
+(``limits``, ``resource_spend``, ``degraded``, ``exhausted_stage``,
+``attempts``) on top of ``repro.result/1``; the change is purely
+additive, and :func:`read_envelope` upgrades ``/1`` payloads in place.
 
 This module sits below every other layer (it imports nothing from the
 package) so any result type can use it without layering cycles.
@@ -30,7 +36,10 @@ import json
 from enum import Enum
 from typing import Any
 
-SCHEMA_VERSION = "repro.result/1"
+SCHEMA_VERSION = "repro.result/2"
+
+#: Envelope versions :func:`read_envelope` accepts, oldest first.
+SUPPORTED_VERSIONS = ("repro.result/1", "repro.result/2")
 
 
 class TriageVerdict(Enum):
@@ -40,9 +49,10 @@ class TriageVerdict(Enum):
     the enum, so ``verdict.value == result.classification`` everywhere.
     """
 
-    FALSE_ALARM = "false alarm"    # proven error-free / discharged
-    REAL_BUG = "real bug"          # proven buggy / validated
-    UNKNOWN = "unknown"            # unresolved / timed out / errored
+    FALSE_ALARM = "false alarm"        # proven error-free / discharged
+    REAL_BUG = "real bug"              # proven buggy / validated
+    UNKNOWN = "unknown"                # unresolved / errored
+    UNKNOWN_RESOURCE = "unknown resource"  # a governed limit ran out
 
     @classmethod
     def from_classification(cls, text: str) -> "TriageVerdict":
@@ -59,6 +69,8 @@ class TriageVerdict(Enum):
             "unknown": cls.UNKNOWN,
             "uncertain": cls.UNKNOWN,
             "unresolved": cls.UNKNOWN,
+            "unknown resource": cls.UNKNOWN_RESOURCE,
+            "resource exhausted": cls.UNKNOWN_RESOURCE,
         }
         try:
             return aliases[norm]
@@ -87,3 +99,34 @@ def dump_json(payload: dict, *, indent: int | None = None) -> str:
     """Serialize a payload deterministically (stable key order as
     built, enums/objects via ``str``)."""
     return json.dumps(payload, indent=indent, default=str)
+
+
+def read_envelope(payload: dict) -> dict:
+    """Validate a result envelope and upgrade it to the current schema.
+
+    Accepts any version in :data:`SUPPORTED_VERSIONS`; older payloads
+    come back reshaped as ``repro.result/2`` (the upgrade is purely
+    additive — resource fields default to "ungoverned run").  The input
+    dict is not mutated.  Raises ``ValueError`` for unknown versions or
+    envelopes missing the required keys.
+    """
+    for key in ("schema", "kind", "verdict"):
+        if key not in payload:
+            raise ValueError(f"result envelope is missing {key!r}")
+    version = payload["schema"]
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported result schema {version!r} "
+            f"(supported: {', '.join(SUPPORTED_VERSIONS)})"
+        )
+    TriageVerdict.from_classification(payload["verdict"])  # validate
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA_VERSION
+    if version == "repro.result/1":
+        # /1 predates the governance fields: a /1 batch or outcome was
+        # by definition ungoverned and never degraded
+        if payload["kind"] == "batch":
+            upgraded.setdefault("degraded", [])
+        elif payload["kind"] == "triage_outcome":
+            upgraded.setdefault("degraded", False)
+    return upgraded

@@ -38,7 +38,9 @@ eventually slow propagation below the cost of re-encoding.
 from __future__ import annotations
 
 from .. import obs
+from .. import limits as _limits
 from ..lia import Model, OmegaSolver
+from ..limits import ResourceExhausted
 from ..logic.formulas import And, Atom, Dvd, Formula, Or
 from ..sat import SatSolver
 from .solver import SmtResult, atom_polarity
@@ -84,6 +86,7 @@ class IncrementalContext:
 
         root = self._encode(phi)
         for _ in range(self._max_rounds):
+            _limits.tick("smt")
             if not self._sat.solve([root]):
                 return SmtResult(False, None)
             self.theory_rounds += 1
@@ -108,7 +111,13 @@ class IncrementalContext:
                 obs.inc("smt.incremental.resets")
                 self._fresh()
                 raise IncrementalError("blocking clause conflicts at root")
-        raise IncrementalError("exceeded theory-round budget")
+        # deliberately NOT an IncrementalError: a budget overrun would hit
+        # the fresh solver just as hard, so it must reach the governor's
+        # caller instead of triggering the fallback path
+        raise ResourceExhausted(
+            "smt", self._max_rounds, self._max_rounds,
+            message="incremental SMT exceeded theory-round budget",
+        )
 
     # ------------------------------------------------------------------
     def _literal_var(self, literal: Formula) -> int:

@@ -21,7 +21,9 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from .. import obs
+from .. import limits as _limits
 from ..lia import Model, OmegaSolver
+from ..limits import ResourceExhausted
 from ..logic.formulas import (
     And,
     Atom,
@@ -100,6 +102,10 @@ class SmtSolver:
     # ------------------------------------------------------------------
     def check(self, phi: Formula) -> SmtResult:
         """Check satisfiability; returns a result carrying a model if SAT."""
+        # checkpoint at entry as well as at the lazy round loop: trivial
+        # and single-literal formulas short-circuit below, and a governed
+        # deadline must still be noticed on those fast paths
+        _limits.tick("smt")
         phi = self._prepare(phi)
         if phi.is_true:
             return SmtResult(True, Model())
@@ -118,6 +124,7 @@ class SmtSolver:
         cached = self._cache.get(phi)
         if cached is not None:
             self._hits += 1
+            _limits.tick("smt")  # cache hits skip check(); keep the deadline live
             obs.inc("smt.is_sat.hit")
             self._cache.move_to_end(phi)
             return cached
@@ -250,6 +257,7 @@ class SmtSolver:
             raise AssertionError("assignment must satisfy some disjunct")
 
         for _ in range(self._max_rounds):
+            _limits.tick("smt")
             if not sat.solve():
                 return SmtResult(False, None)
             assignment = sat.model()
@@ -266,7 +274,10 @@ class SmtSolver:
                 var = atom_vars[base]
                 blocking.append(-var if polarity else var)
             sat.add_clause(blocking)
-        raise RuntimeError("SMT solver exceeded theory-round budget")
+        raise ResourceExhausted(
+            "smt", self._max_rounds, self._max_rounds,
+            message="SMT solver exceeded theory-round budget",
+        )
 
     @staticmethod
     def _holds(node: Formula, assignment: dict[int, bool],

@@ -3,7 +3,10 @@ timeout degradation, and the bounded LRU verdict cache."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.batch import load_many, triage_many
+from repro.limits import Limits
 from repro.logic import le
 from repro.logic.terms import Var
 from repro.smt import SmtSolver
@@ -35,11 +38,28 @@ class TestTriageMany:
         result = triage_many(shuffled, jobs=2)
         assert [o.name for o in result.outcomes] == shuffled
 
-    def test_per_report_timeout_marks_unknown(self):
-        result = triage_many(NAMES, jobs=2, timeout=1e-4)
+    def test_per_report_deadline_marks_unknown_resource(self):
+        result = triage_many(NAMES, jobs=2,
+                             limits=Limits(deadline=1e-9, retries=0))
         assert len(result.outcomes) == len(NAMES)
         assert all(o.timed_out for o in result.outcomes)
-        assert all(o.classification == "unknown" for o in result.outcomes)
+        assert all(o.classification == "unknown resource"
+                   for o in result.outcomes)
+        assert all(o.exhausted_kind == "deadline" for o in result.outcomes)
+        # resource outcomes degrade the batch instead of failing it
+        assert sorted(o.name for o in result.degraded) == sorted(NAMES)
+        assert not result.failures
+
+    def test_timeout_param_is_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="timeout"):
+            result = triage_many([NAMES[0]], jobs=1, timeout=1e-4)
+        # the deprecated knob lands in the governing Limits (with the
+        # default retry budget, so the report may still recover: a warm
+        # second attempt can finish inside even this deadline)
+        assert result.limits is not None
+        assert result.limits["deadline"] == pytest.approx(1e-4)
+        (outcome,) = result.outcomes
+        assert outcome.attempts >= 2 or outcome.timed_out
 
     def test_worker_errors_become_outcomes(self):
         result = triage_many(["no_such_benchmark"], jobs=1)

@@ -1,0 +1,342 @@
+"""The resource-governance layer: the Limits dataclass, the cooperative
+Governor, fault-spec parsing, deprecated knob aliases and the
+``repro.result/2`` envelope reader."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import limits as limits_mod
+from repro.limits import (
+    STAGES,
+    CancellationToken,
+    Governor,
+    Limits,
+    ResourceExhausted,
+    current_governor,
+    governed,
+    tick,
+)
+from repro.limits.faults import (
+    FaultInjected,
+    FaultSpec,
+    install,
+    parse_fault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_fault():
+    """Every test starts and ends with no programmatic fault installed."""
+    install(None)
+    # clearing via install(None) re-enables the REPRO_FAULT env route;
+    # tests that need full isolation monkeypatch the env var themselves
+    yield
+    install(None)
+
+
+class TestLimits:
+    def test_default_is_unlimited(self):
+        limits = Limits()
+        assert limits.unlimited
+        assert all(limits.step_limit(s) is None for s in STAGES)
+
+    def test_any_bound_clears_unlimited(self):
+        assert not Limits(deadline=1.0).unlimited
+        assert not Limits(max_steps=10).unlimited
+        assert not Limits(msa_steps=10).unlimited
+        assert not Limits(max_nodes=10).unlimited
+        assert not Limits(token=CancellationToken()).unlimited
+        # retries/backoff are recovery policy, not resource bounds
+        assert Limits(retries=5, backoff=0.5).unlimited
+
+    def test_step_limit_precedence(self):
+        limits = Limits(max_steps=100, smt_steps=7, max_nodes=50)
+        assert limits.step_limit("smt") == 7          # specific wins
+        assert limits.step_limit("qe") == 50          # nodes ceiling
+        assert limits.step_limit("sat") == 100        # the default
+        qe_specific = Limits(max_nodes=50, qe_steps=9)
+        assert qe_specific.step_limit("qe") == 9      # specific beats nodes
+
+    def test_tightened_halves_deadline(self):
+        limits = Limits(deadline=8.0)
+        assert limits.tightened(0) is limits
+        assert limits.tightened(1).deadline == pytest.approx(4.0)
+        assert limits.tightened(2).deadline == pytest.approx(2.0)
+        # floor keeps retries meaningful
+        assert Limits(deadline=0.01).tightened(3).deadline == \
+            pytest.approx(0.05)
+        assert Limits().tightened(3) == Limits()      # nothing to tighten
+
+    def test_backoff_is_exponential_and_capped(self):
+        limits = Limits(backoff=0.1)
+        assert limits.backoff_for(1) == pytest.approx(0.1)
+        assert limits.backoff_for(2) == pytest.approx(0.2)
+        assert limits.backoff_for(3) == pytest.approx(0.4)
+        assert limits.backoff_for(20) == pytest.approx(2.0)
+
+    def test_to_dict_roundtrip(self):
+        limits = Limits(deadline=2.5, max_steps=100, smt_steps=7,
+                        retries=3)
+        payload = limits.to_dict()
+        assert payload == {"deadline": 2.5, "max_steps": 100,
+                           "smt_steps": 7, "retries": 3}
+        assert Limits.from_dict(payload) == limits
+
+    def test_to_dict_renders_token_as_flag(self):
+        payload = Limits(token=CancellationToken()).to_dict()
+        assert payload["cancellable"] is True
+        # the flag does not round-trip into a token (tokens are local)
+        assert Limits.from_dict(payload).token is None
+
+
+class TestResourceExhausted:
+    def test_attributes_and_message(self):
+        exc = ResourceExhausted("msa", 11, 10)
+        assert (exc.stage, exc.spent, exc.limit, exc.kind) == \
+            ("msa", 11, 10, "steps")
+        assert "msa" in str(exc) and "11" in str(exc)
+
+    def test_is_a_runtime_error(self):
+        # pre-governance callers caught RuntimeError for budget blowups
+        assert issubclass(ResourceExhausted, RuntimeError)
+
+    def test_budget_exceeded_aliases(self):
+        from repro.lia import BudgetExceeded
+        from repro.qe.cooper import QeBudgetExceeded
+        assert BudgetExceeded is ResourceExhausted
+        assert QeBudgetExceeded is ResourceExhausted
+
+
+class TestGovernor:
+    def test_tick_is_noop_without_governor(self):
+        assert current_governor() is None
+        for _ in range(10):
+            tick("smt")                   # must not raise or accumulate
+
+    def test_step_budget_raises_with_stage(self):
+        with governed(Limits(smt_steps=3)) as governor:
+            for _ in range(3):
+                tick("smt")
+            tick("sat")                   # other stages are unbounded
+            with pytest.raises(ResourceExhausted) as err:
+                tick("smt")
+        assert err.value.stage == "smt"
+        assert err.value.kind == "steps"
+        assert (err.value.spent, err.value.limit) == (4, 3)
+        assert governor.spend_snapshot() == {"smt": 4, "sat": 1}
+
+    def test_qe_counts_nodes(self):
+        with governed(Limits(max_nodes=10)):
+            with pytest.raises(ResourceExhausted) as err:
+                tick("qe", amount=11)
+        assert err.value.kind == "nodes"
+
+    def test_deadline_raises_at_next_checkpoint(self):
+        with governed(Limits(deadline=0.005)):
+            time.sleep(0.02)
+            with pytest.raises(ResourceExhausted) as err:
+                tick("omega")
+        assert err.value.stage == "omega"     # attribution: who noticed
+        assert err.value.kind == "deadline"
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        with governed(Limits(token=token)):
+            tick("msa")
+            token.cancel()
+            with pytest.raises(ResourceExhausted) as err:
+                tick("msa")
+        assert err.value.kind == "cancelled"
+        assert token.cancelled
+
+    def test_governed_nesting_restores_outer(self):
+        with governed(Limits(smt_steps=100)) as outer:
+            with governed(Limits(smt_steps=1)) as inner:
+                assert current_governor() is inner
+                tick("smt")
+            assert current_governor() is outer
+            tick("smt")
+        assert current_governor() is None
+        assert outer.spend_snapshot() == {"smt": 1}
+
+    def test_governor_restored_after_exhaustion(self):
+        with pytest.raises(ResourceExhausted):
+            with governed(Limits(sat_steps=0)):
+                tick("sat")
+        assert current_governor() is None
+
+
+class TestFaultSpecs:
+    def test_parse_simple(self):
+        spec = parse_fault("raise@qe")
+        assert spec == FaultSpec(action="raise", stage="qe")
+        assert str(spec) == "raise@qe"
+
+    def test_parse_sleep_with_report(self):
+        spec = parse_fault("sleep:2.5@smt@p03_square")
+        assert spec.action == "sleep"
+        assert spec.seconds == pytest.approx(2.5)
+        assert spec.report == "p03_square"
+        assert str(spec) == "sleep:2.5@smt@p03_square"
+
+    @pytest.mark.parametrize("bad", [
+        "explode@qe",          # unknown action
+        "raise",               # no stage
+        "sleep@qe",            # sleep without duration
+        "raise:3@qe",          # raise takes no argument
+        "@qe",                 # empty action
+        "raise@@p03",          # empty stage
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault(bad)
+
+    def test_env_var_activates(self, monkeypatch):
+        from repro.limits import faults
+        monkeypatch.setenv("REPRO_FAULT", "exhaust@msa")
+        assert faults.active() == FaultSpec(action="exhaust", stage="msa")
+        install("raise@sat")              # programmatic install wins
+        assert faults.active().action == "raise"
+
+    def test_exhaust_fault_fires_once_per_governor(self):
+        install("exhaust@smt")
+        with governed(Limits()):
+            with pytest.raises(ResourceExhausted) as err:
+                tick("smt")
+            tick("smt")                   # same governor: fired already
+        assert err.value.kind == "injected"
+        with governed(Limits()):          # fresh governor: fires again
+            with pytest.raises(ResourceExhausted):
+                tick("smt")
+
+    def test_raise_fault_is_not_resource_exhausted(self):
+        install("raise@sat")
+        with governed(Limits()):
+            with pytest.raises(FaultInjected) as err:
+                tick("sat")
+        assert err.value.stage == "sat"
+        assert not isinstance(err.value, ResourceExhausted)
+
+    def test_report_scoped_fault_skips_other_reports(self):
+        from repro.limits import faults
+        install("exhaust@smt@only_this_one")
+        try:
+            faults.set_report("some_other_report")
+            with governed(Limits()):
+                tick("smt")               # not our report: no fault
+            faults.set_report("only_this_one")
+            with governed(Limits()):
+                with pytest.raises(ResourceExhausted):
+                    tick("smt")
+        finally:
+            faults.set_report(None)
+
+    def test_kill_downgrades_outside_workers(self):
+        install("kill@omega")
+        with governed(Limits()):
+            with pytest.raises(FaultInjected):
+                tick("omega")             # we are not a marked worker
+
+    def test_sleep_fault_yields_deadline_attribution(self):
+        install("sleep:30@msa")
+        start = time.monotonic()
+        with governed(Limits(deadline=0.05)):
+            with pytest.raises(ResourceExhausted) as err:
+                tick("msa")
+        assert time.monotonic() - start < 5.0     # sliced, not 30s
+        assert err.value.stage == "msa"
+        assert err.value.kind == "deadline"
+
+
+class TestDeprecatedKnobs:
+    def test_omega_budget_param_warns(self):
+        from repro.lia import OmegaSolver
+        with pytest.warns(DeprecationWarning, match="budget"):
+            OmegaSolver(budget=100)
+
+    def test_pipeline_triage_timeout_warns(self):
+        from repro.api import Pipeline
+        with pytest.warns(DeprecationWarning, match="timeout"):
+            result = Pipeline().triage(["d01_plus_one"], jobs=1,
+                                       timeout=30.0)
+        assert result.limits["deadline"] == pytest.approx(30.0)
+
+
+class TestEngineIntegration:
+    def test_diagnosis_converts_exhaustion_to_verdict(self):
+        from repro.api import Pipeline
+        from repro.diagnosis import ScriptedOracle, Verdict
+        from repro.schema import TriageVerdict
+        from tests.test_api_cli import FOO
+        pipe = Pipeline(limits=Limits(smt_steps=1))
+        result = pipe.diagnose(FOO, ScriptedOracle(["yes"]))
+        assert result.verdict is Verdict.RESOURCE_EXHAUSTED
+        assert result.triage_verdict is TriageVerdict.UNKNOWN_RESOURCE
+        assert result.exhausted_stage == "smt"
+        assert result.exhausted_kind == "steps"
+        assert result.resource_spend["smt"] >= 1
+        payload = result.to_dict()
+        assert payload["verdict"] == "unknown resource"
+        assert payload["limits"] == {"smt_steps": 1, "retries": 1}
+
+    def test_ungoverned_diagnosis_reports_no_spend(self):
+        from repro.api import Pipeline
+        from repro.diagnosis import ScriptedOracle, Verdict
+        from tests.test_api_cli import FOO
+        result = Pipeline().diagnose(FOO, ScriptedOracle(["yes"]))
+        assert result.verdict is Verdict.DISCHARGED
+        assert result.resource_spend is None
+        assert result.exhausted_stage is None
+
+
+class TestEnvelopeV2:
+    def test_read_current_version_passthrough(self):
+        from repro.schema import SCHEMA_VERSION, read_envelope
+        payload = {"schema": SCHEMA_VERSION, "kind": "triage_outcome",
+                   "verdict": "false alarm", "degraded": False}
+        assert read_envelope(payload) == payload
+
+    def test_read_upgrades_v1_batch(self):
+        from repro.schema import SCHEMA_VERSION, read_envelope
+        legacy = {"schema": "repro.result/1", "kind": "batch",
+                  "verdict": "unknown", "outcomes": []}
+        upgraded = read_envelope(legacy)
+        assert upgraded["schema"] == SCHEMA_VERSION
+        assert upgraded["degraded"] == []
+        assert legacy["schema"] == "repro.result/1"   # input not mutated
+
+    def test_read_upgrades_v1_outcome(self):
+        from repro.schema import read_envelope
+        legacy = {"schema": "repro.result/1", "kind": "triage_outcome",
+                  "verdict": "real bug"}
+        assert read_envelope(legacy)["degraded"] is False
+
+    def test_read_rejects_unknown_version(self):
+        from repro.schema import read_envelope
+        with pytest.raises(ValueError, match="unsupported"):
+            read_envelope({"schema": "repro.result/99", "kind": "batch",
+                           "verdict": "unknown"})
+
+    def test_read_rejects_missing_keys(self):
+        from repro.schema import read_envelope
+        with pytest.raises(ValueError, match="missing"):
+            read_envelope({"kind": "batch", "verdict": "unknown"})
+
+    def test_read_rejects_bad_verdict(self):
+        from repro.schema import SCHEMA_VERSION, read_envelope
+        with pytest.raises(ValueError):
+            read_envelope({"schema": SCHEMA_VERSION, "kind": "batch",
+                           "verdict": "maybe"})
+
+    def test_batch_payload_reads_back(self):
+        from repro.batch import triage_many
+        from repro.schema import read_envelope
+        result = triage_many(["d01_plus_one"], jobs=1,
+                             limits=Limits(deadline=60.0, retries=0))
+        payload = read_envelope(result.to_dict())
+        assert payload["limits"]["deadline"] == pytest.approx(60.0)
+        assert payload["degraded"] == []
+        assert "resource_spend" in payload

@@ -145,6 +145,7 @@ class TestBatchJson:
         result = triage_many(["d01_plus_one", "d02_negate"], jobs=1)
         assert result.verdict_counts == {
             "false alarm": 1, "real bug": 1, "unknown": 0,
+            "unknown resource": 0,
         }
 
     def test_empty_batch_is_unknown(self):
