@@ -1,20 +1,26 @@
-"""Experiment E7: disabled-instrumentation overhead of the obs layer.
+"""Experiment E7: instrumentation overhead of the obs layer.
 
 The observability probes (``obs.span`` / ``obs.inc`` / ``obs.gauge``)
-sit on the hottest paths of the stack — Cooper QE, the MSA search, the
-CDCL solver, the abduction engine.  Their contract is *near-zero cost
-when disabled*: each probe is one function call that checks a single
-module-global boolean.  This benchmark pins that contract below 5%.
+and the provenance recorder (``prov.record``) sit on the hottest paths
+of the stack — Cooper QE, the MSA search, the CDCL solver, the
+abduction engine.  Two contracts are pinned here:
 
-Two timings of the same abduction-round workload are compared:
+* **provenance disabled** (the default state of every process) must
+  cost under 5% of an abduction round: each probe is one function call
+  that checks a single module-global boolean;
+* **provenance enabled** (spans + histograms + derivation nodes with
+  their formula renderings) must cost under 10% — the price of a full
+  ``explain``-grade derivation DAG.
+
+Three timings of the same abduction-round workload are compared:
 
 * **stubbed** — ``obs.stubbed()`` swaps every probe for a bare no-op,
   the "instrumentation compiled out" baseline;
-* **disabled** — the real probes with instrumentation off (the default
-  state of every process).
+* **disabled** — the real probes with instrumentation off;
+* **enabled** — core obs *and* provenance recording both on.
 
-Min-of-N timing is used on both sides so scheduler noise cannot fail
-the bound spuriously.  Runs standalone (exit code 1 past the bound, for
+Min-of-N timing is used on all sides so scheduler noise cannot fail
+the bounds spuriously.  Runs standalone (exit code 1 past a bound, for
 CI) or under pytest.
 """
 
@@ -24,6 +30,7 @@ import sys
 import time
 
 OVERHEAD_BOUND = 0.05
+PROVENANCE_BOUND = 0.10
 REPEATS = 7
 ITERATIONS = 3
 
@@ -65,48 +72,88 @@ def _timed_chunk(iterations: int) -> float:
 
 
 def measure(repeats: int = REPEATS,
-            iterations: int = ITERATIONS) -> tuple[float, float, float]:
-    """(stubbed_s, disabled_s, relative overhead of disabled probes).
+            iterations: int = ITERATIONS) -> dict[str, float]:
+    """Best-chunk seconds for each mode plus relative overheads.
 
-    The two modes are timed in *interleaved* chunks and each side takes
-    its best chunk, so one-sided drift (CPU frequency, cache warm-up
-    ordering) cannot masquerade as probe overhead.
+    The three modes are timed in *interleaved* chunks and each side
+    takes its best chunk, so one-sided drift (CPU frequency, cache
+    warm-up ordering) cannot masquerade as probe overhead.
     """
     from repro import obs
+    from repro.obs import provenance as prov
 
+    prov.disable()
     obs.disable()
     _prepare()
     _workload()  # warm every lazy cache outside the timed region
-    stubbed = disabled = float("inf")
-    for _ in range(repeats):
-        with obs.stubbed():
-            stubbed = min(stubbed, _timed_chunk(iterations))
-        disabled = min(disabled, _timed_chunk(iterations))
-    overhead = disabled / stubbed - 1.0
-    return stubbed, disabled, overhead
+    stubbed = disabled = enabled = float("inf")
+    try:
+        for _ in range(repeats):
+            with obs.stubbed():
+                stubbed = min(stubbed, _timed_chunk(iterations))
+            disabled = min(disabled, _timed_chunk(iterations))
+            prov.enable()
+            enabled = min(enabled, _timed_chunk(iterations))
+            prov.disable()
+            obs.disable()
+            prov.reset()
+            obs.reset()
+    finally:
+        prov.disable()
+        obs.disable()
+        prov.reset()
+        obs.reset()
+    return {
+        "stubbed_s": stubbed,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_overhead": disabled / stubbed - 1.0,
+        "enabled_overhead": enabled / stubbed - 1.0,
+    }
 
 
 def test_disabled_overhead_below_bound():
-    stubbed, disabled, overhead = measure()
-    assert disabled <= stubbed * (1.0 + OVERHEAD_BOUND), (
-        f"disabled-mode probes cost {100.0 * overhead:.1f}% "
-        f"(stubbed {stubbed:.4f}s vs disabled {disabled:.4f}s); "
-        f"bound is {100.0 * OVERHEAD_BOUND:.0f}%"
+    m = measure()
+    assert m["disabled_s"] <= m["stubbed_s"] * (1.0 + OVERHEAD_BOUND), (
+        f"disabled-mode probes cost {100.0 * m['disabled_overhead']:.1f}% "
+        f"(stubbed {m['stubbed_s']:.4f}s vs disabled "
+        f"{m['disabled_s']:.4f}s); bound is "
+        f"{100.0 * OVERHEAD_BOUND:.0f}%"
+    )
+
+
+def test_provenance_overhead_below_bound():
+    m = measure()
+    assert m["enabled_s"] <= m["stubbed_s"] * (1.0 + PROVENANCE_BOUND), (
+        f"provenance-enabled run costs "
+        f"{100.0 * m['enabled_overhead']:.1f}% "
+        f"(stubbed {m['stubbed_s']:.4f}s vs enabled "
+        f"{m['enabled_s']:.4f}s); bound is "
+        f"{100.0 * PROVENANCE_BOUND:.0f}%"
     )
 
 
 def main() -> int:
-    stubbed, disabled, overhead = measure()
-    print(f"stubbed  (no probes):       {stubbed:.4f}s")
-    print(f"disabled (real probes off): {disabled:.4f}s")
-    print(f"overhead: {100.0 * overhead:+.2f}% "
+    m = measure()
+    print(f"stubbed  (no probes):          {m['stubbed_s']:.4f}s")
+    print(f"disabled (real probes off):    {m['disabled_s']:.4f}s")
+    print(f"enabled  (obs + provenance):   {m['enabled_s']:.4f}s")
+    print(f"disabled overhead: {100.0 * m['disabled_overhead']:+.2f}% "
           f"(bound {100.0 * OVERHEAD_BOUND:.0f}%)")
-    if disabled > stubbed * (1.0 + OVERHEAD_BOUND):
+    print(f"enabled  overhead: {100.0 * m['enabled_overhead']:+.2f}% "
+          f"(bound {100.0 * PROVENANCE_BOUND:.0f}%)")
+    status = 0
+    if m["disabled_s"] > m["stubbed_s"] * (1.0 + OVERHEAD_BOUND):
         print("FAIL: disabled-mode instrumentation overhead exceeds the "
               "bound", file=sys.stderr)
-        return 1
-    print("ok: disabled-mode instrumentation is within the bound")
-    return 0
+        status = 1
+    if m["enabled_s"] > m["stubbed_s"] * (1.0 + PROVENANCE_BOUND):
+        print("FAIL: provenance-enabled overhead exceeds the bound",
+              file=sys.stderr)
+        status = 1
+    if status == 0:
+        print("ok: instrumentation overhead is within both bounds")
+    return status
 
 
 if __name__ == "__main__":

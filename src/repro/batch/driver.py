@@ -48,6 +48,7 @@ from dataclasses import dataclass, field, replace
 
 from .. import limits as _limits_mod
 from .. import obs
+from ..obs import provenance as prov
 from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
 from ..limits import Limits, ResourceExhausted
 from ..limits import faults
@@ -69,11 +70,13 @@ class TriageOutcome:
     error: str | None = None       # repr of an in-worker exception
     telemetry: dict | None = None  # per-report obs snapshot, when enabled
     events: tuple = ()             # per-report obs events, when enabled
+    provenance: tuple = ()         # per-report derivation nodes, when enabled
     exhausted_stage: str | None = None  # stage whose checkpoint fired
     exhausted_kind: str | None = None   # steps | nodes | deadline | ...
     resource_spend: dict | None = None  # per-stage spend (governed runs)
     attempts: int = 1              # triage attempts consumed
     degraded: bool = False         # quarantined after exhausting retries
+    prior_telemetry: tuple = ()    # partial snapshots of failed attempts
 
     @property
     def correct(self) -> bool:
@@ -98,6 +101,7 @@ class TriageOutcome:
             timed_out=self.timed_out,
             error=self.error,
             telemetry=self.telemetry,
+            provenance=list(self.provenance) or None,
             exhausted_stage=self.exhausted_stage,
             exhausted_kind=self.exhausted_kind,
             resource_spend=self.resource_spend,
@@ -219,8 +223,11 @@ def _triage_one(name: str, config: EngineConfig | None = None,
 
     With ``telemetry`` the report runs under an obs capture scope: the
     outcome carries the report's own counter/span snapshot plus the span
-    events it emitted, both plain data, so the driver can merge them
-    across workers.
+    events (and, when provenance is on, derivation nodes) it emitted,
+    all plain data, so the driver can merge them across workers.  The
+    snapshot is stamped with the attempt number, and failed attempts
+    keep their partial telemetry too — a quarantined report still shows
+    up in the fleet-wide merge.
     """
     start = time.perf_counter()
     if in_worker:
@@ -228,7 +235,28 @@ def _triage_one(name: str, config: EngineConfig | None = None,
     faults.set_report(name)
     if telemetry and not obs.is_enabled():
         obs.enable()
-    events_before = obs.event_count() if telemetry else 0
+    # slice by span id, not buffer offset: the bounded event deque may
+    # evict old entries mid-report, which would shift any saved offset
+    events_marker = obs.span_sequence() if telemetry else 0
+    prov_marker = prov.mark() if prov.is_enabled() else None
+
+    def report_events() -> tuple:
+        if not telemetry:
+            return ()
+        return tuple(e for e in obs.events()
+                     if e.get("id", 0) >= events_marker)
+
+    def report_provenance() -> tuple:
+        if prov_marker is None:
+            return ()
+        return tuple(prov.nodes_since(prov_marker))
+
+    def stamped(snap: dict | None) -> dict | None:
+        if snap is not None:
+            snap["report"] = name
+            snap["attempt"] = attempt
+        return snap
+
     effective = limits
     if effective is None and faults.active() is not None:
         effective = Limits()
@@ -236,6 +264,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
         _limits_mod.governed(effective) if effective is not None
         else nullcontext(None)
     )
+    cap = None
     try:
         with obs.capture() as cap, \
                 obs.span("triage.report", report=name, attempt=attempt), \
@@ -255,22 +284,27 @@ def _triage_one(name: str, config: EngineConfig | None = None,
             rounds=result.rounds,
             elapsed_seconds=time.perf_counter() - start,
             timed_out=result.exhausted_kind == "deadline",
-            telemetry=cap.snapshot,
-            events=tuple(obs.events()[events_before:]) if telemetry
-            else (),
+            telemetry=stamped(cap.snapshot),
+            events=report_events(),
+            provenance=report_provenance(),
             exhausted_stage=result.exhausted_stage,
             exhausted_kind=result.exhausted_kind,
             resource_spend=result.resource_spend,
         )
     except ResourceExhausted as exc:
         # a limit ran out before the engine's own handler could see it
-        # (loading / abstract interpretation) — same verdict, same shape
+        # (loading / abstract interpretation) — same verdict, same shape;
+        # the capture scope already closed, so the partial telemetry of
+        # the failed attempt is still collected
         return TriageOutcome(
             name=name,
             classification=TriageVerdict.UNKNOWN_RESOURCE.value,
             expected=None,
             elapsed_seconds=time.perf_counter() - start,
             timed_out=exc.kind == "deadline",
+            telemetry=stamped(cap.snapshot) if cap is not None else None,
+            events=report_events(),
+            provenance=report_provenance(),
             exhausted_stage=exc.stage,
             exhausted_kind=exc.kind,
         )
@@ -281,6 +315,9 @@ def _triage_one(name: str, config: EngineConfig | None = None,
             expected=None,
             elapsed_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            telemetry=stamped(cap.snapshot) if cap is not None else None,
+            events=report_events(),
+            provenance=report_provenance(),
             exhausted_stage=getattr(exc, "stage", None),
         )
     finally:
@@ -406,9 +443,19 @@ def triage_many(
 
 def _merged_telemetry(outcomes: list[TriageOutcome],
                       telemetry: bool) -> dict | None:
+    """One fleet-wide snapshot: every attempt of every report counts.
+
+    Degraded reports and failed attempts contribute their partial
+    snapshots (each stamped with its attempt number) — quarantining a
+    report must not silently drop the work its workers did.
+    """
     if not telemetry:
         return None
-    return obs.merge_snapshots(*(o.telemetry for o in outcomes))
+    snaps: list[dict | None] = []
+    for o in outcomes:
+        snaps.extend(o.prior_telemetry)
+        snaps.append(o.telemetry)
+    return obs.merge_snapshots(*snaps)
 
 
 def _max_attempts(limits: Limits | None) -> int:
@@ -421,13 +468,18 @@ def _triage_with_retries(name: str, config: EngineConfig | None,
     """The serial-mode retry loop (mirrors the parallel driver's)."""
     attempts = _max_attempts(limits)
     outcome = None
+    prior: list[dict] = []
     for attempt in range(attempts):
         tightened = limits.tightened(attempt) if limits is not None else None
         outcome = _triage_one(name, config, telemetry,
                               limits=tightened, attempt=attempt)
+        if prior:
+            outcome = replace(outcome, prior_telemetry=tuple(prior))
         if not _is_retryable(outcome):
             return _finalize(outcome, attempt + 1)
         if attempt + 1 < attempts:
+            if outcome.telemetry is not None:
+                prior.append(outcome.telemetry)
             obs.inc("batch.retries")
             time.sleep(limits.backoff_for(attempt + 1)
                        if limits is not None else 0.0)
@@ -466,8 +518,14 @@ def _triage_parallel(
     ever_stuck = False
     pool_broke = False
 
+    # partial telemetry of failed attempts, kept per report so retried
+    # and quarantined reports still contribute to the fleet-wide merge
+    partials: dict[str, list[dict]] = {}
+
     def settle(name: str, attempt: int, outcome: TriageOutcome) -> None:
         if _is_retryable(outcome) and attempt + 1 < attempts_allowed:
+            if outcome.telemetry is not None:
+                partials.setdefault(name, []).append(outcome.telemetry)
             obs.inc("batch.retries")
             delay = (limits.backoff_for(attempt + 1)
                      if limits is not None else 0.0)
@@ -475,6 +533,9 @@ def _triage_parallel(
             return
         if _is_retryable(outcome):
             obs.inc("batch.quarantined")
+        if partials.get(name):
+            outcome = replace(
+                outcome, prior_telemetry=tuple(partials[name]))
         results[name] = _finalize(outcome, attempt + 1)
 
     pool = None

@@ -7,12 +7,20 @@ Subcommands::
     repro-diagnose suite [NAME]            run benchmark(s) w/ ground truth
     repro-diagnose triage [NAME...] --jobs N   batch triage across cores
     repro-diagnose stats [NAME...]         triage w/ telemetry + stats table
+    repro-diagnose explain NAME            render a report's derivation tree
+    repro-diagnose trace export --format chrome|prom|jsonl --out FILE
     repro-diagnose userstudy [--seed N]    regenerate Figure 7
 
 ``analyze``, ``diagnose`` and ``triage`` accept ``--json`` to emit the
 stable machine-readable schema (see docs/API.md) instead of the human
 rendering, and — like ``stats`` — accept ``--trace FILE`` to enable the
-observability layer and write its event buffer as JSONL.
+observability layer and write a ``repro.trace/1`` stream.  ``explain``
+runs one report with full provenance recording and prints the
+derivation tree behind the verdict; ``trace export`` renders a run (or
+an existing ``repro.trace/1`` file via ``--in``) as Chrome trace-event
+JSON, Prometheus text, or the versioned JSONL stream; ``stats
+--history`` appends the run's telemetry to ``BENCH_obs.json`` and flags
+stage-latency regressions (see docs/OBSERVABILITY.md).
 
 (Equivalently: ``python -m repro ...``)
 """
@@ -25,6 +33,8 @@ import sys
 from pathlib import Path
 
 from . import obs
+from .obs import history as obs_history
+from .obs import provenance as prov
 from .api import InitialVerdict, Pipeline
 from .diagnosis import (
     EngineConfig,
@@ -159,20 +169,34 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _write_batch_trace(result, path: str) -> None:
-    """One JSONL line per buffered span event (tagged with its report),
-    then the merged cross-worker snapshot."""
-    with open(path, "w", encoding="utf-8") as handle:
-        for outcome in result.outcomes:
-            for event in outcome.events:
-                handle.write(json.dumps({**event, "report": outcome.name},
-                                        default=str))
-                handle.write("\n")
-        handle.write(json.dumps(
-            {"type": "snapshot", **(result.telemetry or {})},
-            default=str,
-        ))
-        handle.write("\n")
+def _batch_events(result) -> list[dict]:
+    """Every outcome's span events, tagged with their report."""
+    return [
+        {**event, "report": outcome.name}
+        for outcome in result.outcomes
+        for event in outcome.events
+    ]
+
+
+def _batch_provenance(result) -> list[dict]:
+    """Every outcome's provenance nodes, tagged with their report."""
+    return [
+        {**node, "report": outcome.name}
+        for outcome in result.outcomes
+        for node in outcome.provenance
+    ]
+
+
+def _write_batch_trace(result, path: str) -> int:
+    """The versioned ``repro.trace/1`` stream for a batch: header, every
+    outcome's span events and provenance nodes (each tagged with its
+    report), then the merged cross-worker snapshot."""
+    return prov.export_trace(
+        path,
+        events=_batch_events(result),
+        prov_nodes=_batch_provenance(result),
+        snapshot=result.telemetry or {},
+    )
 
 
 def _run_triage(args: argparse.Namespace):
@@ -243,7 +267,8 @@ def _print_hit_rates(snap: dict) -> None:
     parts = []
     for label, prefix in (("qe-elim", "qe.elim"),
                           ("qe-clause-sat", "qe.clause_sat"),
-                          ("smt-is-sat", "smt.is_sat")):
+                          ("smt-is-sat", "smt.is_sat"),
+                          ("smt-incremental", "smt.incremental")):
         rate = obs.hit_rate(snap, prefix)
         if rate is not None:
             parts.append(f"{label} {100.0 * rate:.0f}%")
@@ -266,6 +291,18 @@ def _format_stats(snap: dict) -> str:
                 f"  {name:32s} {s['count']:8d} {s['total_s']:10.3f} "
                 f"{mean_ms:9.2f} {1000.0 * s['max_s']:9.2f}"
             )
+    hists = snap.get("hists", {})
+    if hists:
+        lines.append("histograms (span names in seconds):")
+        lines.append(f"  {'name':32s} {'count':>8s} {'p50':>10s} "
+                     f"{'p95':>10s} {'p99':>10s} {'max':>10s}")
+        for name in sorted(hists):
+            h = hists[name]
+            lines.append(
+                f"  {name:32s} {h['count']:8d} {h.get('p50', 0.0):10.4g} "
+                f"{h.get('p95', 0.0):10.4g} {h.get('p99', 0.0):10.4g} "
+                f"{h.get('max', 0.0):10.4g}"
+            )
     counters = snap.get("counters", {})
     if counters:
         lines.append("counters:")
@@ -273,11 +310,50 @@ def _format_stats(snap: dict) -> str:
             lines.append(f"  {name:42s} {counters[name]:>10d}")
     for label, prefix in (("qe.elim", "qe.elim"),
                           ("qe.clause_sat", "qe.clause_sat"),
-                          ("smt.is_sat", "smt.is_sat")):
+                          ("smt.is_sat", "smt.is_sat"),
+                          ("smt.incremental", "smt.incremental")):
         rate = obs.hit_rate(snap, prefix)
         if rate is not None:
             lines.append(f"hit rate {label:33s} {100.0 * rate:9.1f}%")
     return "\n".join(lines)
+
+
+def _handle_history(args: argparse.Namespace, result) -> int:
+    """``stats --history``: check for regressions against the stored
+    baseline, append this run, print the trajectory.  Returns the extra
+    exit status (1 when ``--fail-on-regression`` fires)."""
+    snap = result.telemetry or {}
+    path = args.history_file
+    history = obs_history.load(path)
+    had_baseline = obs_history.baseline_run(history) is not None
+    regressions = obs_history.check_regressions(
+        history, snap, threshold=args.regress_threshold
+    )
+    obs_history.append_run(
+        path, snap, label="stats",
+        meta={
+            "accuracy": result.accuracy,
+            "wall_seconds": result.wall_seconds,
+            "jobs": result.jobs,
+            "mode": result.mode,
+            "reports": len(result.outcomes),
+        },
+    )
+    print()
+    print(obs_history.format_history(obs_history.load(path)))
+    if not had_baseline:
+        print("no stored baseline yet; this run becomes the baseline")
+        return 0
+    if not regressions:
+        print(f"no stage p95 regressions vs baseline "
+              f"(threshold {100.0 * args.regress_threshold:.0f}%)")
+        return 0
+    for r in regressions:
+        print(f"REGRESSION {r['stage']}: p95 "
+              f"{1000.0 * r['baseline_p95_s']:.2f}ms -> "
+              f"{1000.0 * r['current_p95_s']:.2f}ms "
+              f"({100.0 * (r['ratio'] - 1.0):.0f}% slower)")
+    return 1 if args.fail_on_regression else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -285,11 +361,63 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     result = _run_triage(args)
     if args.json:
         print(json.dumps(result.telemetry, indent=2, default=str))
-        return 0
+        return _handle_history(args, result) if args.history else 0
     _print_triage_table(result)
     print()
     print(_format_stats(result.telemetry or {}))
-    return _triage_exit_code(result)
+    history_status = _handle_history(args, result) if args.history else 0
+    return history_status or _triage_exit_code(result)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Triage one report with provenance on; print its derivation tree."""
+    prov.enable()
+    result = Pipeline().triage([args.name], jobs=1,
+                               limits=_limits_from_args(args))
+    outcome = result.outcomes[0]
+    header = f"{outcome.name}: {outcome.classification}"
+    if outcome.expected is not None:
+        header += f" (expected: {outcome.expected})"
+    print(header)
+    print()
+    print(prov.render_tree(_batch_events(result),
+                           _batch_provenance(result),
+                           report=outcome.name))
+    if args.trace is not None:
+        lines = _write_batch_trace(result, args.trace)
+        print(f"provenance trace written to {args.trace} ({lines} lines)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Render a traced run (or an existing ``repro.trace/1`` stream) in
+    the requested exporter format."""
+    if args.input is not None:
+        data = prov.read_trace(args.input)
+        events = data["events"]
+        nodes = data["nodes"]
+        snap = data["snapshot"] or {}
+    else:
+        prov.enable()
+        result = Pipeline().triage(args.names or None, jobs=args.jobs,
+                                   limits=_limits_from_args(args))
+        events = _batch_events(result)
+        nodes = _batch_provenance(result)
+        snap = result.telemetry or {}
+    if args.format == "chrome":
+        doc = obs.export_chrome(args.out, source_events=events)
+        detail = f"{len(doc['traceEvents'])} events"
+    elif args.format == "prom":
+        text = obs.export_prometheus(args.out, snap=snap)
+        detail = f"{len(text.splitlines())} lines"
+    else:
+        lines = prov.export_trace(args.out, events=events,
+                                  prov_nodes=nodes, snapshot=snap)
+        detail = f"{lines} lines"
+    print(f"{args.format} trace written to {args.out} ({detail})",
+          file=sys.stderr)
+    return 0
 
 
 def _cmd_userstudy(args: argparse.Namespace) -> int:
@@ -381,9 +509,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="benchmark names (default: all of Figure 7)")
     p_stats.add_argument("--jobs", "-j", type=int, default=None,
                          help="worker processes (default: CPU count)")
+    p_stats.add_argument("--history", action="store_true",
+                         help="append this run's telemetry to the "
+                              "history file and flag p95 stage-latency "
+                              "regressions vs the stored baseline")
+    p_stats.add_argument("--history-file", default="BENCH_obs.json",
+                         metavar="FILE",
+                         help="run-history store (default: BENCH_obs.json)")
+    p_stats.add_argument("--regress-threshold", type=float, default=0.2,
+                         metavar="FRACTION",
+                         help="p95 regression threshold (default: 0.2 "
+                              "= 20%%)")
+    p_stats.add_argument("--fail-on-regression", action="store_true",
+                         help="exit 1 when a stage regresses beyond the "
+                              "threshold")
     add_limit_flags(p_stats)
     add_output_flags(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="triage one report with provenance recording and print "
+             "the derivation tree behind its verdict",
+    )
+    p_explain.add_argument("name", metavar="NAME",
+                           help="a Figure 7 benchmark name")
+    add_limit_flags(p_explain)
+    p_explain.add_argument("--trace", default=None, metavar="FILE",
+                           help="also write the repro.trace/1 stream")
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    p_trace = sub.add_parser(
+        "trace", help="export telemetry traces in standard formats"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_export = trace_sub.add_parser(
+        "export",
+        help="run a traced triage (or convert an existing stream) and "
+             "write it as Chrome trace-event JSON, Prometheus text, or "
+             "repro.trace/1 JSONL",
+    )
+    p_export.add_argument("names", nargs="*", metavar="NAME",
+                          help="benchmark names (default: all of Figure 7)")
+    p_export.add_argument("--format", choices=["chrome", "prom", "jsonl"],
+                          default="jsonl",
+                          help="output format (default: jsonl)")
+    p_export.add_argument("--out", required=True, metavar="FILE",
+                          help="destination file")
+    p_export.add_argument("--in", dest="input", default=None,
+                          metavar="FILE",
+                          help="convert an existing repro.trace/1 stream "
+                               "instead of re-running the suite")
+    p_export.add_argument("--jobs", "-j", type=int, default=None,
+                          help="worker processes (default: CPU count)")
+    add_limit_flags(p_export)
+    p_export.set_defaults(fn=_cmd_trace_export)
 
     p_study = sub.add_parser("userstudy",
                              help="regenerate the Figure 7 user study")

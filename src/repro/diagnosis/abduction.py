@@ -28,6 +28,7 @@ from typing import Sequence
 
 from .. import obs
 from ..logic.formulas import Formula, implies, neg
+from ..obs import provenance as prov
 from ..logic.terms import Var
 from ..msa import MsaResult, MsaSolver
 from ..qe import eliminate_forall
@@ -153,6 +154,9 @@ class Abducer:
             )
         if msa is None:
             obs.inc(f"abduce.{kind}.infeasible")
+            if prov.is_enabled():
+                prov.record("abduce", abduction_kind=kind, cost=None,
+                            formula="(infeasible)")
             return None
         keep = msa.variables
         eliminate = [v for v in goal.free_vars() if v not in keep]
@@ -165,9 +169,23 @@ class Abducer:
                 )
         else:
             formula = raw
+        cost = formula_cost(formula, costs)
+        if obs.is_enabled():
+            obs.observe("abduce.formula_size", formula.size())
+            raw_size = raw.size()
+            if raw_size:
+                obs.observe("abduce.simplify_ratio",
+                            formula.size() / raw_size)
+        if prov.is_enabled():
+            prov.record(
+                "abduce", abduction_kind=kind, cost=cost,
+                formula=prov.fmla(formula),
+                msa_variables=[v.name for v in msa.variables],
+                msa_cost=msa.cost,
+            )
         return Abduction(
             formula=formula,
-            cost=formula_cost(formula, costs),
+            cost=cost,
             kind=kind,
             msa=msa,
             unsimplified=raw,

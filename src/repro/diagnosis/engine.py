@@ -27,6 +27,7 @@ from enum import Enum
 
 from .. import limits as _limits_mod
 from .. import obs
+from ..obs import provenance as prov
 from ..analysis import AnalysisResult
 from ..limits import Limits, ResourceExhausted
 from ..logic.formulas import Formula, conj, implies, neg
@@ -180,7 +181,13 @@ class DiagnosisEngine:
         potential_witnesses: list[Formula] = []
         interactions: list[Interaction] = []
 
-        def finish(verdict: Verdict, rounds: int) -> DiagnosisResult:
+        def finish(verdict: Verdict, rounds: int,
+                   reason: str = "") -> DiagnosisResult:
+            if prov.is_enabled():
+                prov.record(
+                    "verdict", verdict=verdict.value, rounds=rounds,
+                    queries=len(interactions), reason=reason,
+                )
             return DiagnosisResult(
                 verdict=verdict,
                 interactions=interactions,
@@ -199,19 +206,59 @@ class DiagnosisEngine:
                 # Inconsistent knowledge would make every check below
                 # vacuous; bail out before trusting it (only reachable
                 # via an oracle that contradicted itself).
-                if not solver.is_sat(invariants):
-                    return finish(Verdict.UNRESOLVED, round_index)
+                consistent = solver.is_sat(invariants)
+                if prov.is_enabled():
+                    prov.record(
+                        "entailment", lemma="consistency",
+                        check=f"SAT({prov.fmla(invariants)})",
+                        verdict=consistent, round=round_index,
+                    )
+                if not consistent:
+                    return finish(Verdict.UNRESOLVED, round_index,
+                                  reason="knowledge base inconsistent")
                 # Figure 6, lines 3-4: try to close the report outright.
-                if solver.is_valid(implies(invariants, success)):
-                    return finish(Verdict.DISCHARGED, round_index)
-                if not solver.is_sat(conj(invariants, success)):
-                    # Lemma 2: I |= !phi — every execution fails the check
-                    return finish(Verdict.VALIDATED, round_index)
-                if any(
-                    not solver.is_sat(conj(invariants, psi, success))
-                    for psi in witnesses
-                ):
-                    return finish(Verdict.VALIDATED, round_index)
+                discharged = solver.is_valid(implies(invariants, success))
+                if prov.is_enabled():
+                    prov.record(
+                        "entailment", lemma="lemma-1",
+                        check=f"I |= {prov.fmla(success)}",
+                        verdict=discharged, round=round_index,
+                    )
+                if discharged:
+                    return finish(Verdict.DISCHARGED, round_index,
+                                  reason="I entails the success condition"
+                                         " (Lemma 1)")
+                # Lemma 2: I |= !phi — every execution fails the check
+                validated = not solver.is_sat(conj(invariants, success))
+                if prov.is_enabled():
+                    prov.record(
+                        "entailment", lemma="lemma-2",
+                        check=f"UNSAT(I and {prov.fmla(success)})",
+                        verdict=validated, round=round_index,
+                    )
+                if validated:
+                    return finish(Verdict.VALIDATED, round_index,
+                                  reason="I contradicts the success"
+                                         " condition (Lemma 2)")
+                confirmed_witness = None
+                for psi in witnesses:
+                    closes = not solver.is_sat(
+                        conj(invariants, psi, success))
+                    if prov.is_enabled():
+                        prov.record(
+                            "entailment", lemma="lemma-2",
+                            check=f"UNSAT(I and {prov.fmla(psi)} and phi)",
+                            verdict=closes, round=round_index,
+                        )
+                    if closes:
+                        confirmed_witness = psi
+                        break
+                if confirmed_witness is not None:
+                    return finish(
+                        Verdict.VALIDATED, round_index,
+                        reason="learned witness "
+                               f"{prov.fmla(confirmed_witness)} rules out"
+                               " success (Lemma 2)")
 
                 with obs.span("engine.abduce", round=round_index):
                     gamma, upsilon = self._abduce(
@@ -223,12 +270,23 @@ class DiagnosisEngine:
                 if upsilon is not None:
                     obs.gauge("engine.witness_cost", upsilon.cost)
                 if gamma is None and upsilon is None:
-                    return finish(Verdict.UNRESOLVED, round_index)
+                    return finish(Verdict.UNRESOLVED, round_index,
+                                  reason="no abducible proof obligation"
+                                         " or failure witness")
 
                 # Figure 6, line 9: ask the cheaper side first.
                 ask_invariant = upsilon is None or (
                     gamma is not None and gamma.cost <= upsilon.cost
                 )
+                if prov.is_enabled():
+                    prov.record(
+                        "choice",
+                        chosen="invariant" if ask_invariant else "witness",
+                        gamma_cost=None if gamma is None else gamma.cost,
+                        upsilon_cost=(None if upsilon is None
+                                      else upsilon.cost),
+                        round=round_index,
+                    )
 
                 if ask_invariant:
                     assert gamma is not None
@@ -246,7 +304,9 @@ class DiagnosisEngine:
                         potential_invariants, potential_witnesses,
                     )
                     if validated:
-                        return finish(Verdict.VALIDATED, round_index + 1)
+                        return finish(Verdict.VALIDATED, round_index + 1,
+                                      reason="oracle affirmed a failure"
+                                             " witness clause")
                     # a refuted witness clause is a learned invariant
                     invariants = conj(invariants, *refuted)
         except ResourceExhausted as exc:
@@ -255,12 +315,14 @@ class DiagnosisEngine:
             # which solver stage's checkpoint noticed and why.
             obs.inc("engine.resource_exhausted")
             obs.inc(f"engine.resource_exhausted.{exc.stage}")
-            result = finish(Verdict.RESOURCE_EXHAUSTED, round_index)
+            result = finish(Verdict.RESOURCE_EXHAUSTED, round_index,
+                            reason=f"{exc.kind} limit hit in {exc.stage}")
             result.exhausted_stage = exc.stage
             result.exhausted_kind = exc.kind
             return result
 
-        return finish(Verdict.UNRESOLVED, self._config.max_rounds)
+        return finish(Verdict.UNRESOLVED, self._config.max_rounds,
+                      reason="round budget exhausted")
 
     # ------------------------------------------------------------------
     def _abduce(
@@ -321,11 +383,19 @@ class DiagnosisEngine:
         key = (query.kind, query.formula)
         if key in self._asked:
             obs.inc("engine.queries.deduplicated")
-            return self._asked[key]
+            answer = self._asked[key]
+            if prov.is_enabled():
+                prov.record("query", query_kind=query.kind,
+                            text=query.text, answer=answer.value,
+                            cached=True)
+            return answer
         obs.inc("engine.queries")
         obs.inc(f"engine.queries.{query.kind}")
         answer = self._oracle.answer(query)
         self._asked[key] = answer
+        if prov.is_enabled():
+            prov.record("query", query_kind=query.kind, text=query.text,
+                        answer=answer.value)
         return answer
 
     def _ask_invariant(
@@ -343,6 +413,9 @@ class DiagnosisEngine:
         are recorded as potential invariants/witnesses (Section 5).
         """
         clauses = decompose_invariant(gamma)
+        if prov.is_enabled():
+            prov.record("decompose", query_kind="invariant", mode="cnf",
+                        clauses=len(clauses), formula=prov.fmla(gamma))
         yes_clauses: list[Formula] = []
         for clause in clauses:
             query = self._renderer.invariant_query(clause)
@@ -372,6 +445,9 @@ class DiagnosisEngine:
         learned invariants.
         """
         clauses = decompose_witness(upsilon)
+        if prov.is_enabled():
+            prov.record("decompose", query_kind="witness", mode="dnf",
+                        clauses=len(clauses), formula=prov.fmla(upsilon))
         refuted: list[Formula] = []
         for clause in clauses:
             query = self._renderer.witness_query(clause)

@@ -39,6 +39,7 @@ from typing import Callable, Mapping, Sequence
 from .. import obs
 from .. import limits as _limits
 from ..logic.formulas import Formula, conj, eq
+from ..obs import provenance as prov
 from ..logic.terms import LinTerm, Var
 from ..qe import eliminate_forall, project
 from ..smt import SmtSolver
@@ -127,30 +128,48 @@ class MsaSolver:
         include: Sequence[Var],
         exclude: Sequence[Var],
         consistency: Sequence[Formula],
+        cost: int | None = None,
     ) -> dict[Var, int] | None:
         """A consistent assignment over ``include`` making phi valid.
 
         ``exclude`` must be the complement of ``include`` in the search
         variables; any free variables of ``phi`` outside the search set
-        are always universally quantified as well.
+        are always universally quantified as well.  ``cost`` is the
+        candidate's total cost, carried along for provenance only.
         """
         key = frozenset(include)
-        if key in self._feasible_cache:
+        cached = key in self._feasible_cache
+        if cached:
             obs.inc("msa.feasible.hit")
-            return self._feasible_cache[key]
-        obs.inc("msa.candidates")
-        quantified = [v for v in phi.free_vars() if v not in key]
-        residual = eliminate_forall(quantified, phi)
-        constraints = [residual]
-        keep = set(include)
-        for psi in consistency:
-            constraints.append(project(psi, keep))
-        result = self._solver.check(conj(*constraints))
-        answer = (
-            None if not result.sat
-            else {v: result.model.value(v) for v in include}
-        )
-        self._feasible_cache[key] = answer
+            answer = self._feasible_cache[key]
+        else:
+            obs.inc("msa.candidates")
+            quantified = [v for v in phi.free_vars() if v not in key]
+            residual = eliminate_forall(quantified, phi)
+            constraints = [residual]
+            keep = set(include)
+            for psi in consistency:
+                constraints.append(project(psi, keep))
+            result = self._solver.check(conj(*constraints))
+            answer = (
+                None if not result.sat
+                else {v: result.model.value(v) for v in include}
+            )
+            self._feasible_cache[key] = answer
+        if prov.is_enabled():
+            node: dict = {
+                "variables": sorted(v.name for v in include),
+                "cost": cost,
+                "status": "kept" if answer is not None else "infeasible",
+            }
+            if answer:
+                node["assignment"] = {
+                    v.name: c for v, c in sorted(
+                        answer.items(), key=lambda item: item[0].name)
+                }
+            if cached:
+                node["cached"] = True
+            prov.record("msa.node", **node)
         return answer
 
     def _subtree_viable(
@@ -162,12 +181,19 @@ class MsaSolver:
         key = frozenset(exclude)
         cached = self._viable_cache.get(key)
         if cached is not None:
+            if not cached and prov.is_enabled():
+                prov.record("msa.prune",
+                            variables=sorted(v.name for v in exclude),
+                            cached=True)
             return cached
         residual = eliminate_forall(list(exclude), phi)
         answer = self._solver.is_sat(residual)
         self._viable_cache[key] = answer
         if not answer:
             obs.inc("msa.subtree_prunes")
+            if prov.is_enabled():
+                prov.record("msa.prune",
+                            variables=sorted(v.name for v in exclude))
         return answer
 
     # ------------------------------------------------------------------
@@ -189,7 +215,8 @@ class MsaSolver:
             cost, mask = heapq.heappop(heap)
             include = [order[i] for i in range(n) if mask >> i & 1]
             exclude = [order[i] for i in range(n) if not mask >> i & 1]
-            assignment = self._feasible(phi, include, exclude, consistency)
+            assignment = self._feasible(phi, include, exclude, consistency,
+                                        cost=cost)
             if assignment is not None:
                 return MsaResult(
                     tuple(sorted(assignment.items(),
@@ -224,10 +251,11 @@ class MsaSolver:
 
         def record(include: list[Var]) -> None:
             exclude = [v for v in variables if v not in include]
-            assignment = self._feasible(phi, include, exclude, consistency)
+            cost = sum(cost_map[v] for v in include)
+            assignment = self._feasible(phi, include, exclude, consistency,
+                                        cost=cost)
             if assignment is None:
                 return
-            cost = sum(cost_map[v] for v in include)
             if best[0] is None or cost < best[0].cost:
                 best[0] = MsaResult(
                     tuple(sorted(assignment.items(),

@@ -5,6 +5,7 @@ Usage, from anywhere in the package::
     from .. import obs
 
     obs.inc("qe.elim.miss")
+    obs.observe("qe.blowup", after / before)
     with obs.span("msa.find", strategy="branch_bound"):
         ...
 
@@ -12,45 +13,64 @@ All probes are no-ops until :func:`enable` is called (or the
 ``REPRO_OBS`` environment variable is set), and the disabled fast path
 costs one global check per probe — see ``benchmarks/bench_overhead.py``
 for the enforced bound.  :func:`snapshot` returns the aggregate
-counters/gauges/span stats; :func:`export_jsonl` dumps the bounded
-event buffer for offline analysis; :func:`merge_snapshots` combines
-per-worker snapshots from the batch driver into one fleet-wide view.
+counters/gauges/span stats/histograms; :func:`export_jsonl` dumps the
+bounded event buffer for offline analysis; :func:`export_chrome` and
+:func:`export_prometheus` render the same data for Perfetto and
+Prometheus scrapers; :func:`merge_snapshots` combines per-worker
+snapshots from the batch driver into one fleet-wide view.
+
+The sibling modules layer on top: :mod:`.provenance` records the
+derivation DAG behind each verdict (keyed to span ids), and
+:mod:`.history` appends per-run snapshots to ``BENCH_obs.json`` and
+flags stage-latency regressions.
 """
 
 from .core import (
     NULL_SPAN,
     capture,
+    current_span_id,
     disable,
     enable,
     event_count,
     events,
+    export_chrome,
     export_jsonl,
+    export_prometheus,
     gauge,
     hit_rate,
     inc,
     is_enabled,
     merge_snapshots,
+    observe,
+    percentile,
     reset,
     snapshot,
     span,
+    span_sequence,
     stubbed,
 )
 
 __all__ = [
     "NULL_SPAN",
     "capture",
+    "current_span_id",
     "disable",
     "enable",
     "event_count",
     "events",
+    "export_chrome",
     "export_jsonl",
+    "export_prometheus",
     "gauge",
     "hit_rate",
     "inc",
     "is_enabled",
     "merge_snapshots",
+    "observe",
+    "percentile",
     "reset",
     "snapshot",
     "span",
+    "span_sequence",
     "stubbed",
 ]

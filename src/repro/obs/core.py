@@ -15,12 +15,20 @@ compiled out" baseline it compares against.
 Enabled-mode data model:
 
 * **spans** — nestable wall-clock regions (``with span("qe.cooper")``).
-  Closing a span appends one event to the bounded buffer and folds its
-  duration into a per-name aggregate (count / total / max), so the
-  aggregate survives even after the buffer evicts old events.
+  Each live span gets a process-unique id and remembers its parent, so
+  the event stream reconstructs the call tree exactly (and the
+  provenance layer can key derivation steps to the enclosing span).
+  Closing a span appends one event to the bounded buffer, folds its
+  duration into a per-name aggregate (count / total / max), and feeds a
+  per-name duration histogram, so aggregates and percentiles survive
+  even after the buffer evicts old events.
 * **counters** — monotone named integers (``inc("smt.is_sat.miss")``).
 * **gauges** — last-write-wins named numbers.
-* **events** — a bounded ``deque`` of plain dicts, exported as JSONL.
+* **histograms** — streaming value distributions (``observe("qe.blowup",
+  3.5)``) with bounded reservoirs; snapshots carry p50/p95/p99.
+* **events** — a bounded ``deque`` of plain dicts, exported as JSONL,
+  Chrome trace-event JSON (:func:`export_chrome`, Perfetto-loadable) or
+  Prometheus text format (:func:`export_prometheus`).
 
 Snapshots are plain dicts of plain scalars, safe to pickle across the
 batch driver's process boundary; :func:`merge_snapshots` sums counters
@@ -43,35 +51,102 @@ from typing import Any, Iterable, TextIO
 __all__ = [
     "NULL_SPAN",
     "capture",
+    "current_span_id",
     "disable",
     "enable",
     "event_count",
     "events",
+    "export_chrome",
     "export_jsonl",
+    "export_prometheus",
     "gauge",
     "hit_rate",
     "inc",
     "is_enabled",
     "merge_snapshots",
+    "observe",
+    "percentile",
     "reset",
     "snapshot",
     "span",
+    "span_sequence",
     "stubbed",
 ]
 
 _DEFAULT_BUFFER = 10_000
 
+#: Histogram reservoirs are decimated (every other sample dropped, the
+#: sampling stride doubled) once they reach this many samples, so a
+#: histogram's memory stays bounded while its percentiles stay a fair
+#: sketch of the whole stream.
+_HIST_RESERVOIR = 2_048
+
+
+class _Hist:
+    """A streaming histogram: exact count/sum/min/max plus a bounded,
+    stride-decimated sample reservoir for percentile estimates."""
+
+    __slots__ = ("count", "total", "min", "max", "samples", "stride")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples: list[float] = []
+        self.stride = 1
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.count % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= _HIST_RESERVOIR:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a sample list (q in [0, 1])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+def _hist_snapshot(h: _Hist) -> dict:
+    return {
+        "count": h.count,
+        "total": h.total,
+        "min": h.min if h.count else 0.0,
+        "max": h.max if h.count else 0.0,
+        "p50": percentile(h.samples, 0.50),
+        "p95": percentile(h.samples, 0.95),
+        "p99": percentile(h.samples, 0.99),
+        "samples": list(h.samples),
+        "stride": h.stride,
+    }
+
 
 class _State:
-    __slots__ = ("counters", "gauges", "span_stats", "events", "depth")
+    __slots__ = ("counters", "gauges", "span_stats", "hists", "events",
+                 "depth", "next_span_id", "span_stack")
 
     def __init__(self, buffer_size: int = _DEFAULT_BUFFER):
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         # name -> [count, total_seconds, max_seconds]
         self.span_stats: dict[str, list] = {}
+        self.hists: dict[str, _Hist] = {}
         self.events: deque[dict] = deque(maxlen=buffer_size)
         self.depth = 0
+        self.next_span_id = 1
+        self.span_stack: list[int] = []
 
 
 _enabled = False
@@ -133,12 +208,15 @@ NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    __slots__ = ("name", "attrs", "_start")
+    __slots__ = ("name", "attrs", "id", "parent", "_start", "_wall")
 
     def __init__(self, name: str, attrs: dict[str, Any]):
         self.name = name
         self.attrs = attrs
+        self.id = 0
+        self.parent = 0
         self._start = 0.0
+        self._wall = 0.0
 
     def set(self, **attrs: Any) -> "_Span":
         """Attach (or overwrite) attributes mid-span."""
@@ -146,7 +224,13 @@ class _Span:
         return self
 
     def __enter__(self) -> "_Span":
-        _state.depth += 1
+        state = _state
+        state.depth += 1
+        self.id = state.next_span_id
+        state.next_span_id += 1
+        self.parent = state.span_stack[-1] if state.span_stack else 0
+        state.span_stack.append(self.id)
+        self._wall = time.time()
         self._start = time.perf_counter()
         return self
 
@@ -154,6 +238,8 @@ class _Span:
         duration = time.perf_counter() - self._start
         state = _state
         state.depth -= 1
+        if state.span_stack and state.span_stack[-1] == self.id:
+            state.span_stack.pop()
         stats = state.span_stats.get(self.name)
         if stats is None:
             state.span_stats[self.name] = [1, duration, duration]
@@ -162,10 +248,16 @@ class _Span:
             stats[1] += duration
             if duration > stats[2]:
                 stats[2] = duration
+        hist = state.hists.get(self.name)
+        if hist is None:
+            hist = state.hists[self.name] = _Hist()
+        hist.add(duration)
         event = {
             "type": "span",
             "name": self.name,
-            "ts": time.time(),
+            "id": self.id,
+            "parent": self.parent,
+            "ts": self._wall,
             "dur_s": duration,
             "depth": state.depth,
         }
@@ -203,6 +295,40 @@ def gauge(name: str, value: float) -> None:
     _state.gauges[name] = value
 
 
+def observe(name: str, value: float) -> None:
+    """Feed one value into the named histogram.
+
+    Closing spans feed their duration into the histogram of the span's
+    name automatically; ``observe`` is for every other distribution
+    (formula sizes, QE blowup ratios, solver-call latencies measured
+    out-of-span).  Snapshots summarize each histogram as
+    count/total/min/max plus p50/p95/p99.
+    """
+    if not _enabled:
+        return
+    hist = _state.hists.get(name)
+    if hist is None:
+        hist = _state.hists[name] = _Hist()
+    hist.add(value)
+
+
+def current_span_id() -> int:
+    """The id of the innermost open span (0 when none / disabled).
+
+    Span ids are process-unique and appear in every span event as
+    ``id``/``parent``, so external records (e.g. provenance nodes)
+    stamped with this id can be joined back onto the span tree.
+    """
+    stack = _state.span_stack
+    return stack[-1] if stack else 0
+
+
+def span_sequence() -> int:
+    """The id the *next* span will receive — a monotone clock that lets
+    external records order themselves against span openings."""
+    return _state.next_span_id
+
+
 # ---------------------------------------------------------------------------
 # reading the data out
 # ---------------------------------------------------------------------------
@@ -220,6 +346,9 @@ def snapshot() -> dict:
         "spans": {
             name: {"count": s[0], "total_s": s[1], "max_s": s[2]}
             for name, s in _state.span_stats.items()
+        },
+        "hists": {
+            name: _hist_snapshot(h) for name, h in _state.hists.items()
         },
     }
 
@@ -257,15 +386,146 @@ def _write_jsonl(handle: TextIO, lines: Iterable[dict]) -> int:
     return count
 
 
+def export_chrome(destination: str | os.PathLike | TextIO,
+                  source_events: list[dict] | None = None) -> dict:
+    """Write the span events as Chrome trace-event JSON (Perfetto/about:
+    tracing loadable).
+
+    Each closed span becomes one complete ("ph": "X") event with
+    microsecond timestamps; span start times come from the recorded wall
+    clock and duration, so nesting in the viewer matches the engine's
+    call structure exactly.  Events carrying a ``report`` tag (merged
+    batch traces) are mapped to one thread lane per report, with
+    ``thread_name`` metadata so lanes are labelled in the UI.
+
+    ``source_events`` defaults to the live buffer; pass the merged event
+    list of a batch run to export a fleet-wide trace.  Returns the
+    trace dict that was written.
+    """
+    evs = events() if source_events is None else source_events
+    pid = os.getpid()
+    lanes: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for event in evs:
+        if event.get("type") != "span":
+            continue
+        lane_key = str(event.get("report", "main"))
+        tid = lanes.get(lane_key)
+        if tid is None:
+            tid = lanes[lane_key] = len(lanes) + 1
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": lane_key},
+            })
+        entry = {
+            "ph": "X",
+            "name": event["name"],
+            "cat": "repro",
+            "pid": pid,
+            "tid": tid,
+            "ts": (event["ts"] - event["dur_s"]) * 1e6,
+            "dur": event["dur_s"] * 1e6,
+        }
+        args = dict(event.get("attrs", {}))
+        args["span_id"] = event.get("id", 0)
+        if event.get("error"):
+            args["error"] = event["error"]
+        entry["args"] = args
+        trace_events.append(entry)
+    trace = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, default=str)
+    else:
+        json.dump(trace, destination, default=str)
+    return trace
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    return "".join(out)
+
+
+def export_prometheus(destination: str | os.PathLike | TextIO | None = None,
+                      snap: dict | None = None) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``, gauges ``repro_<name>``,
+    span aggregates ``repro_span_seconds_{count,sum,max}{span="..."}``,
+    and histograms summary-style quantile series
+    ``repro_hist{name="...",quantile="0.5"}``.  ``snap`` defaults to the
+    live :func:`snapshot`; pass a merged batch snapshot for fleet-wide
+    metrics.  Returns the text; also writes it when ``destination`` is
+    given.
+    """
+    if snap is None:
+        snap = snapshot()
+    lines: list[str] = []
+    counters = snap.get("counters", {})
+    for name in sorted(counters):
+        metric = f"repro_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    gauges = snap.get("gauges", {})
+    for name in sorted(gauges):
+        metric = f"repro_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]}")
+    spans = snap.get("spans", {})
+    if spans:
+        lines.append("# TYPE repro_span_seconds summary")
+        for name in sorted(spans):
+            s = spans[name]
+            lines.append(
+                f'repro_span_seconds_count{{span="{name}"}} {s["count"]}')
+            lines.append(
+                f'repro_span_seconds_sum{{span="{name}"}} {s["total_s"]}')
+            lines.append(
+                f'repro_span_seconds_max{{span="{name}"}} {s["max_s"]}')
+    hists = snap.get("hists", {})
+    if hists:
+        lines.append("# TYPE repro_hist summary")
+        for name in sorted(hists):
+            h = hists[name]
+            for q, key in (("0.5", "p50"), ("0.95", "p95"),
+                           ("0.99", "p99")):
+                lines.append(
+                    f'repro_hist{{name="{name}",quantile="{q}"}} '
+                    f'{h.get(key, 0.0)}'
+                )
+            lines.append(f'repro_hist_count{{name="{name}"}} {h["count"]}')
+            lines.append(f'repro_hist_sum{{name="{name}"}} {h["total"]}')
+    text = "\n".join(lines) + "\n"
+    if destination is not None:
+        if isinstance(destination, (str, os.PathLike)):
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            destination.write(text)
+    return text
+
+
 def merge_snapshots(*snaps: dict | None) -> dict:
-    """Merge worker snapshots: counters and span stats sum, gauges keep
-    the last non-missing value, ``enabled`` ORs."""
+    """Merge worker snapshots: counters, span stats and histograms sum,
+    gauges keep the last non-missing value, ``enabled`` ORs.
+
+    Snapshots stamped with an ``attempt`` label (partial telemetry from
+    a failed triage attempt) contribute their label to the merged
+    ``attempts`` list, so retried/degraded reports keep per-attempt
+    provenance in the fleet-wide view.
+    """
     merged: dict = {"enabled": False, "counters": {}, "gauges": {},
-                    "spans": {}}
+                    "spans": {}, "hists": {}}
+    attempts: list[int] = []
     for snap in snaps:
         if not snap:
             continue
         merged["enabled"] = merged["enabled"] or bool(snap.get("enabled"))
+        if "attempt" in snap:
+            attempts.append(snap["attempt"])
+        attempts.extend(snap.get("attempts", ()))
         for name, value in snap.get("counters", {}).items():
             merged["counters"][name] = \
                 merged["counters"].get(name, 0) + value
@@ -278,6 +538,26 @@ def merge_snapshots(*snaps: dict | None) -> dict:
                 into["count"] += stats["count"]
                 into["total_s"] += stats["total_s"]
                 into["max_s"] = max(into["max_s"], stats["max_s"])
+        for name, h in snap.get("hists", {}).items():
+            into = merged["hists"].get(name)
+            if into is None:
+                merged["hists"][name] = dict(h)
+            else:
+                samples = into.get("samples", []) + h.get("samples", [])
+                if len(samples) > _HIST_RESERVOIR:
+                    samples = sorted(samples)[::2]
+                merged["hists"][name] = {
+                    "count": into["count"] + h["count"],
+                    "total": into["total"] + h["total"],
+                    "min": min(into["min"], h["min"]),
+                    "max": max(into["max"], h["max"]),
+                    "p50": percentile(samples, 0.50),
+                    "p95": percentile(samples, 0.95),
+                    "p99": percentile(samples, 0.99),
+                    "samples": samples,
+                }
+    if attempts:
+        merged["attempts"] = sorted(set(attempts))
     return merged
 
 
@@ -341,11 +621,38 @@ def _diff_snapshots(before: dict, after: dict) -> dict:
                                            else 0.0),
             "max_s": stats["max_s"],
         }
+    hists = {}
+    for name, h in after.get("hists", {}).items():
+        prior = before.get("hists", {}).get(name)
+        count = h["count"] - (prior["count"] if prior else 0)
+        if count <= 0:
+            continue
+        if prior is None:
+            samples = h["samples"]
+        elif prior.get("stride") == h.get("stride"):
+            # no decimation happened inside the block: the new samples
+            # are exactly the tail appended since entry
+            samples = h["samples"][len(prior["samples"]):]
+        else:
+            samples = h["samples"]  # decimated: the reservoir is the
+            #                         best remaining sketch of the block
+        hists[name] = {
+            "count": count,
+            "total": h["total"] - (prior["total"] if prior else 0.0),
+            "min": h["min"],
+            "max": h["max"],
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
+            "samples": samples,
+            "stride": h.get("stride", 1),
+        }
     return {
         "enabled": True,
         "counters": counters,
         "gauges": dict(after["gauges"]),
         "spans": spans,
+        "hists": hists,
     }
 
 
@@ -366,19 +673,22 @@ def stubbed():
 
     noop_inc = lambda name, value=1: None          # noqa: E731
     noop_gauge = lambda name, value: None          # noqa: E731
+    noop_observe = lambda name, value: None        # noqa: E731
     noop_span = lambda name, **attrs: NULL_SPAN    # noqa: E731
     targets = [sys.modules[__name__]]
     package = sys.modules.get(__name__.rsplit(".", 1)[0])
     if package is not None:
         targets.append(package)
-    saved = [(t, t.inc, t.gauge, t.span) for t in targets]
+    saved = [(t, t.inc, t.gauge, t.observe, t.span) for t in targets]
     try:
         for t in targets:
-            t.inc, t.gauge, t.span = noop_inc, noop_gauge, noop_span
+            t.inc, t.gauge, t.observe, t.span = \
+                noop_inc, noop_gauge, noop_observe, noop_span
         yield
     finally:
-        for t, inc_, gauge_, span_ in saved:
-            t.inc, t.gauge, t.span = inc_, gauge_, span_
+        for t, inc_, gauge_, observe_, span_ in saved:
+            t.inc, t.gauge, t.observe, t.span = \
+                inc_, gauge_, observe_, span_
 
 
 # honour an environment opt-in so any entry point can be traced without

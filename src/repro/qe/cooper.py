@@ -30,6 +30,7 @@ from collections import OrderedDict
 from .. import obs
 from .. import limits as _limits
 from ..limits import ResourceExhausted
+from ..obs import provenance as prov
 from ..logic.formulas import (
     FALSE,
     TRUE,
@@ -313,7 +314,21 @@ def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:
             )
             budget.charge(candidate.size())
             disjuncts.append(candidate)
-    return disj(*disjuncts)
+    result = disj(*disjuncts)
+    if obs.is_enabled():
+        before = phi.size()
+        after = result.size()
+        obs.observe("qe.result_size", after)
+        if before:
+            obs.observe("qe.blowup", after / before)
+        if prov.is_enabled():
+            prov.record(
+                "qe.eliminate", var=x.name, delta=delta, lcm=big_d,
+                lowers=len(lowers), uppers=len(uppers),
+                atoms_before=sum(1 for _ in phi.atoms()),
+                atoms_after=sum(1 for _ in result.atoms()),
+            )
+    return result
 
 
 def _unique_atoms(phi: Formula) -> list[Formula]:

@@ -77,8 +77,11 @@ class IncrementalContext:
         ``phi`` must be non-trivial (not TRUE/FALSE) and already in NNF —
         exactly the precondition of ``SmtSolver._check_lazy``.
         """
+        # NOTE: the caller (SmtSolver._check_incremental) owns the
+        # hit/miss accounting — counting here would book a check that
+        # later raises IncrementalError as both an incremental hit and
+        # (after the fallback) a fresh-solve miss.
         self.checks += 1
-        obs.inc("smt.incremental.checks")
         if self._sat.num_clauses > self._max_clauses:
             self.resets += 1
             obs.inc("smt.incremental.resets")

@@ -106,6 +106,14 @@ class SmtSolver:
         # and single-literal formulas short-circuit below, and a governed
         # deadline must still be noticed on those fast paths
         _limits.tick("smt")
+        if not obs.is_enabled():
+            return self._check(phi)
+        # span durations feed the per-stage latency histograms
+        with obs.span("smt.check"):
+            obs.observe("smt.formula_size", phi.size())
+            return self._check(phi)
+
+    def _check(self, phi: Formula) -> SmtResult:
         phi = self._prepare(phi)
         if phi.is_true:
             return SmtResult(True, Model())
@@ -184,10 +192,17 @@ class SmtSolver:
                 self._theory, max_theory_rounds=self._max_rounds
             )
         try:
-            return self._context.check(phi)
+            result = self._context.check(phi)
         except IncrementalError:
+            # one logical solve, one miss: the fresh solve that follows
+            # does the real work, so the failed incremental attempt must
+            # not also be booked as a served check
             obs.inc("smt.incremental.fallbacks")
+            obs.inc("smt.incremental.miss")
             return None
+        obs.inc("smt.incremental.checks")
+        obs.inc("smt.incremental.hit")
+        return result
 
     def _check_lazy(self, phi: Formula) -> SmtResult:
         obs.inc("smt.fresh_checks")

@@ -240,3 +240,95 @@ class TestInstrumentedPipeline:
             for o in result.outcomes
         )
         assert merged["counters"].get("engine.queries", 0) == total_queries
+
+
+class TestIncrementalFallbackCounters:
+    """The incremental context's fallback must book one miss, not a
+    hit-plus-miss — otherwise the reported hit rate is inflated."""
+
+    @staticmethod
+    def _nontrivial():
+        from repro.logic import Var, conj, ge, le
+
+        x = Var("x")
+        return conj(le(x, 10), ge(x, 0))
+
+    def test_successful_incremental_check_is_one_hit(self):
+        from repro.smt import SmtSolver
+
+        obs.enable()
+        solver = SmtSolver(incremental=True)
+        assert solver.is_sat(self._nontrivial())
+        counters = obs.snapshot()["counters"]
+        assert counters.get("smt.incremental.hit", 0) == 1
+        assert counters.get("smt.incremental.checks", 0) == 1
+        assert "smt.incremental.miss" not in counters
+        assert "smt.incremental.fallbacks" not in counters
+        assert obs.hit_rate(obs.snapshot(), "smt.incremental") == 1.0
+
+    def test_fallback_is_one_miss_not_a_hit_and_a_miss(self):
+        from repro.smt import SmtSolver
+        from repro.smt.incremental import IncrementalError
+
+        class ExplodingContext:
+            def check(self, phi):
+                raise IncrementalError("forced")
+
+            def stats(self):
+                return {}
+
+        obs.enable()
+        solver = SmtSolver(incremental=True)
+        solver._context = ExplodingContext()
+        assert solver.is_sat(self._nontrivial())  # fresh solve answers
+        counters = obs.snapshot()["counters"]
+        assert counters.get("smt.incremental.fallbacks", 0) == 1
+        assert counters.get("smt.incremental.miss", 0) == 1
+        assert "smt.incremental.hit" not in counters
+        assert "smt.incremental.checks" not in counters
+        assert counters.get("smt.fresh_checks", 0) == 1
+        assert obs.hit_rate(obs.snapshot(), "smt.incremental") == 0.0
+
+
+class TestDegradedTelemetryMerge:
+    """A quarantined report's partial telemetry must survive into the
+    fleet-wide merge, labelled with the attempt that produced it."""
+
+    def test_failed_attempts_keep_partial_telemetry(self):
+        from repro.limits import Limits
+        from repro.limits.faults import install
+
+        install("exhaust@smt@p10_toggle")
+        try:
+            result = triage_many(
+                ["d01_plus_one", "p10_toggle"], jobs=1, telemetry=True,
+                limits=Limits(deadline=5.0, retries=1),
+            )
+        finally:
+            install(None)
+
+        target = next(o for o in result.outcomes if o.name == "p10_toggle")
+        assert target.degraded and target.attempts == 2
+        # the final attempt's partial snapshot is attached and stamped
+        assert target.telemetry is not None
+        assert target.telemetry["report"] == "p10_toggle"
+        assert target.telemetry["attempt"] == 1
+        # the first attempt's snapshot rides along separately
+        assert len(target.prior_telemetry) == 1
+        assert target.prior_telemetry[0]["attempt"] == 0
+
+        # the merge sums the quarantined report's counters too: its SMT
+        # activity (cut short at the injected checkpoint) is visible
+        merged = result.telemetry
+        assert merged is not None
+        assert {0, 1} <= set(merged["attempts"])
+        bystander = next(o for o in result.outcomes
+                         if o.name == "d01_plus_one")
+        for name in ("smt.is_sat.miss",):
+            contributed = (
+                bystander.telemetry["counters"].get(name, 0)
+                + target.telemetry["counters"].get(name, 0)
+                + sum(s["counters"].get(name, 0)
+                      for s in target.prior_telemetry)
+            )
+            assert merged["counters"].get(name, 0) == contributed
