@@ -107,19 +107,43 @@ class Pipeline:
     workloads as methods.  Passing ``telemetry=True`` switches the
     process-wide obs instrumentation on, so every result produced by
     this pipeline embeds its telemetry snapshot.
+
+    ``cache_dir`` opens the persistent content-addressed store there
+    (:mod:`repro.cache`) and activates it for every workload this
+    pipeline runs: diagnosis stage artifacts and QE/SMT verdicts are
+    reused across runs and processes, and results carry a ``cache``
+    provenance block.  ``incremental=True`` (triage only) additionally
+    serves whole reports whose ``(I, phi)`` judgment digest is
+    unchanged from recorded verdicts.
     """
 
     def __init__(self, *, auto_annotate: bool = True,
                  config: EngineConfig | None = None,
                  solver: SmtSolver | None = None,
                  telemetry: bool = False,
-                 limits: Limits | None = None):
+                 limits: Limits | None = None,
+                 cache_dir: str | None = None,
+                 incremental: bool = False):
+        if incremental and cache_dir is None:
+            raise ValueError("incremental re-triage needs cache_dir")
         self._auto_annotate = auto_annotate
         self._config = config
         self._solver = solver or SmtSolver()
         self._limits = limits
+        self._cache_dir = cache_dir
+        self._incremental = incremental
         if telemetry:
             obs.enable()
+
+    def _scoped_store(self):
+        """Context manager activating this pipeline's store, if any."""
+        from contextlib import nullcontext
+
+        from .cache import open_store, use_store
+
+        if self._cache_dir is None:
+            return nullcontext()
+        return use_store(open_store(self._cache_dir))
 
     # ------------------------------------------------------------------
     def analyze(self, source: str) -> AnalysisOutcome:
@@ -149,21 +173,26 @@ class Pipeline:
         exception.
         """
         outcome = self.analyze(source)
-        return diagnose_error(outcome.analysis, oracle, self._config,
-                              limits=self._limits)
+        with self._scoped_store():
+            return diagnose_error(outcome.analysis, oracle, self._config,
+                                  limits=self._limits)
 
     def triage(self, names: list[str] | None = None, *,
                jobs: int | None = None,
                timeout: float | None = None,
-               limits: Limits | None = None) -> BatchResult:
+               limits: Limits | None = None,
+               cache_dir: str | None = None,
+               incremental: bool | None = None) -> BatchResult:
         """Batch-triage benchmark reports (all of Figure 7 by default).
 
         Fans out over ``jobs`` worker processes (CPU count by default)
         with per-report resource governance, worker recovery and
         graceful degradation to serial execution; see
         :mod:`repro.batch`.  ``limits`` overrides the pipeline-level
-        :class:`~repro.limits.Limits` for this call; ``timeout`` is a
-        deprecated alias for ``limits=Limits(deadline=timeout)``.
+        :class:`~repro.limits.Limits` for this call; ``cache_dir`` and
+        ``incremental`` likewise override the pipeline-level cache
+        settings.  ``timeout`` is a deprecated alias for
+        ``limits=Limits(deadline=timeout)``.
         """
         if timeout is not None:
             _deprecated("Pipeline.triage(timeout=...)",
@@ -174,7 +203,11 @@ class Pipeline:
                            config=self._config,
                            telemetry=obs.is_enabled(),
                            limits=limits if limits is not None
-                           else self._limits)
+                           else self._limits,
+                           cache_dir=cache_dir if cache_dir is not None
+                           else self._cache_dir,
+                           incremental=self._incremental
+                           if incremental is None else incremental)
 
     def user_study(self, *, seed: int = 2012, num_recruited: int = 56,
                    benchmarks: tuple[Benchmark, ...] | None = None,

@@ -49,11 +49,15 @@ from dataclasses import dataclass, field, replace
 from .. import limits as _limits_mod
 from .. import obs
 from ..obs import provenance as prov
+from ..cache import open_store, use_store
 from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
+from ..diagnosis.stages import STAGE_VERSION, config_fingerprint
 from ..limits import Limits, ResourceExhausted
 from ..limits import faults
+from ..logic.digest import digest, digest_many, digest_text
 from ..schema import TriageVerdict, dump_json, envelope
-from ..suite import BENCHMARKS, benchmark_by_name, load_analysis
+from .. import suite as _suite
+from ..suite import BENCHMARKS, benchmark_by_name
 
 
 @dataclass(frozen=True)
@@ -77,6 +81,7 @@ class TriageOutcome:
     attempts: int = 1              # triage attempts consumed
     degraded: bool = False         # quarantined after exhausting retries
     prior_telemetry: tuple = ()    # partial snapshots of failed attempts
+    cache: dict | None = None      # store provenance (digests, hit/miss)
 
     @property
     def correct(self) -> bool:
@@ -107,6 +112,7 @@ class TriageOutcome:
             resource_spend=self.resource_spend,
             attempts=self.attempts,
             degraded=self.degraded,
+            cache=self.cache,
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -123,6 +129,7 @@ class BatchResult:
     mode: str                      # 'serial' | 'parallel' | 'degraded'
     telemetry: dict | None = None  # merged per-worker obs snapshots
     limits: dict | None = None     # rendering of the governing Limits
+    cache: dict | None = None      # driver-side store stats, when active
     failures: list[TriageOutcome] = field(init=False)
     degraded: list[TriageOutcome] = field(init=False)
 
@@ -194,6 +201,7 @@ class BatchResult:
             outcomes=[o.to_dict() for o in self.outcomes],
             telemetry=self.telemetry,
             limits=self.limits,
+            cache=self.cache,
             resource_spend=self.resource_spend or None,
             degraded=[o.name for o in self.degraded],
         )
@@ -206,14 +214,56 @@ class BatchResult:
 # worker side
 # ---------------------------------------------------------------------------
 
+def _report_key(bench, config: EngineConfig,
+                invariants_digest: str, success_digest: str) -> str:
+    """Cache key of a whole-report triage artifact: the analysis
+    judgment digests plus everything else the verdict depends on."""
+    return digest_many(
+        "triage", STAGE_VERSION, bench.name, str(bench.oracle_radius),
+        str(config.max_rounds), config_fingerprint(config),
+        invariants_digest, success_digest,
+    )
+
+
+def _merge_cache_info(report: dict | None,
+                      engine: dict | None) -> dict | None:
+    """One ``cache`` block per outcome: the engine's store delta and
+    judgment digests, overlaid with the report-level analyze/triage
+    status (the report level is authoritative where they overlap)."""
+    if report is None and engine is None:
+        return None
+    merged = dict(engine or {})
+    merged.update(report or {})
+    return merged
+
+
+def _cacheable(outcome: TriageOutcome) -> bool:
+    """Only clean, deterministic verdicts may be served from the store:
+    crashes and resource exhaustion depend on the run, not the input."""
+    return outcome.error is None and outcome.exhausted_kind is None \
+        and outcome.verdict is not TriageVerdict.UNKNOWN_RESOURCE
+
+
 def _triage_one(name: str, config: EngineConfig | None = None,
                 telemetry: bool = False, limits: Limits | None = None,
-                attempt: int = 0, in_worker: bool = False) -> TriageOutcome:
+                attempt: int = 0, in_worker: bool = False,
+                cache_dir: str | None = None,
+                incremental: bool = False) -> TriageOutcome:
     """Triage a single benchmark report against its ground-truth oracle.
 
     Top-level so it pickles under any multiprocessing start method.  All
     process-global caches (default solver, intern tables, QE caches)
     stay warm between calls within one worker.
+
+    With ``cache_dir`` the report runs with the persistent store active:
+    the engine's stage functions and the QE/SMT caches read and write
+    content-addressed artifacts under it (workers share the directory;
+    writes are atomic).  With ``incremental`` additionally, the report
+    itself can be short-circuited: the source digest resolves to the
+    judgment digests through the ``analyze`` artifact, and an unchanged
+    judgment resolves to a recorded verdict through the ``triage``
+    artifact — reports whose ``(I, phi)`` digest is unchanged are never
+    recomputed.
 
     With ``limits`` the whole report — loading, analysis and the
     diagnosis loop — runs under one governor, so the deadline covers
@@ -264,19 +314,82 @@ def _triage_one(name: str, config: EngineConfig | None = None,
         _limits_mod.governed(effective) if effective is not None
         else nullcontext(None)
     )
+    store = open_store(cache_dir) if cache_dir is not None else None
+    scoped = use_store(store) if store is not None else nullcontext()
+    cfg = config or EngineConfig()
     cap = None
     try:
+        result = None
+        recorded = None
+        cache_info = None
+        report_key = None
         with obs.capture() as cap, \
                 obs.span("triage.report", report=name, attempt=attempt), \
-                governed as governor:
+                governed as governor, scoped:
             bench = benchmark_by_name(name)
-            program, analysis = load_analysis(bench)
-            oracle = ExhaustiveOracle(
-                program, analysis, radius=bench.oracle_radius
+            if store is not None and incremental:
+                # analyze stage: map the source digest to the judgment
+                # digests without re-running the abstract interpreter
+                source_digest = digest_text(_suite.load_source(bench))
+                analyze_key = digest_many(
+                    "analyze", STAGE_VERSION, bench.name, source_digest)
+                analyzed = store.get("analyze", analyze_key)
+                cache_info = {
+                    "store": str(store.root),
+                    "incremental": True,
+                    "source_digest": source_digest,
+                    "analyze": "hit" if analyzed is not None else "miss",
+                    "triage": "miss",
+                }
+                if analyzed is not None:
+                    cache_info["invariants_digest"] = \
+                        analyzed["invariants"]
+                    cache_info["success_digest"] = analyzed["success"]
+                    report_key = _report_key(
+                        bench, cfg,
+                        analyzed["invariants"], analyzed["success"],
+                    )
+                    recorded = store.get("triage", report_key)
+            if recorded is None:
+                program, analysis = _suite.load_analysis(bench)
+                if store is not None and incremental:
+                    invariants_digest = digest(analysis.invariants)
+                    success_digest = digest(analysis.success)
+                    cache_info["invariants_digest"] = invariants_digest
+                    cache_info["success_digest"] = success_digest
+                    if cache_info["analyze"] == "miss":
+                        store.put("analyze", analyze_key, {
+                            "invariants": invariants_digest,
+                            "success": success_digest,
+                        })
+                    # an edited source with an unchanged judgment still
+                    # resolves to the recorded verdict
+                    report_key = _report_key(
+                        bench, cfg, invariants_digest, success_digest)
+                    recorded = store.get("triage", report_key)
+            if recorded is None:
+                oracle = ExhaustiveOracle(
+                    program, analysis, radius=bench.oracle_radius
+                )
+                # the engine inherits the ambient governor installed above
+                result = diagnose_error(analysis, oracle, config)
+            else:
+                cache_info["triage"] = "hit"
+                obs.inc("batch.reports_cached")
+        if recorded is not None:
+            return TriageOutcome(
+                name=name,
+                classification=recorded["classification"],
+                expected=recorded["expected"],
+                num_queries=recorded["num_queries"],
+                rounds=recorded["rounds"],
+                elapsed_seconds=time.perf_counter() - start,
+                telemetry=stamped(cap.snapshot),
+                events=report_events(),
+                provenance=report_provenance(),
+                cache=cache_info,
             )
-            # the engine inherits the ambient governor installed above
-            result = diagnose_error(analysis, oracle, config)
-        return TriageOutcome(
+        outcome = TriageOutcome(
             name=name,
             classification=result.classification,
             expected=bench.classification,
@@ -290,7 +403,17 @@ def _triage_one(name: str, config: EngineConfig | None = None,
             exhausted_stage=result.exhausted_stage,
             exhausted_kind=result.exhausted_kind,
             resource_spend=result.resource_spend,
+            cache=_merge_cache_info(cache_info, result.cache),
         )
+        if store is not None and report_key is not None \
+                and _cacheable(outcome):
+            store.put("triage", report_key, {
+                "classification": outcome.classification,
+                "expected": outcome.expected,
+                "num_queries": outcome.num_queries,
+                "rounds": outcome.rounds,
+            })
+        return outcome
     except ResourceExhausted as exc:
         # a limit ran out before the engine's own handler could see it
         # (loading / abstract interpretation) — same verdict, same shape;
@@ -327,7 +450,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
 def _load_one(name: str):
     """Load + analyze one benchmark (worker for :func:`load_many`)."""
     bench = benchmark_by_name(name)
-    program, analysis = load_analysis(bench)
+    program, analysis = _suite.load_analysis(bench)
     return bench, program, analysis
 
 
@@ -378,6 +501,8 @@ def triage_many(
     config: EngineConfig | None = None,
     telemetry: bool = False,
     limits: Limits | None = None,
+    cache_dir: str | None = None,
+    incremental: bool = False,
 ) -> BatchResult:
     """Triage many reports, in parallel when more than one core helps.
 
@@ -391,9 +516,18 @@ def triage_many(
     per-report obs snapshots in every worker and merges them into
     ``BatchResult.telemetry``.
 
+    ``cache_dir`` activates the persistent content-addressed store for
+    every report (stage artifacts, QE/SMT verdicts), shared across
+    workers and across runs.  ``incremental`` additionally serves whole
+    reports from recorded verdicts when their ``(I, phi)`` judgment
+    digest is unchanged — re-triaging an edited suite recomputes only
+    the reports the edit actually touched.
+
     ``timeout`` is a deprecated alias for
     ``limits=Limits(deadline=timeout)``.
     """
+    if incremental and cache_dir is None:
+        raise ValueError("incremental re-triage needs cache_dir")
     if timeout is not None:
         warnings.warn(
             "triage_many(timeout=...) is deprecated; pass "
@@ -416,7 +550,9 @@ def triage_many(
     start = time.perf_counter()
     if jobs <= 1 or len(names) <= 1:
         outcomes = [
-            _triage_with_retries(name, config, telemetry, limits)
+            _triage_with_retries(name, config, telemetry, limits,
+                                 cache_dir=cache_dir,
+                                 incremental=incremental)
             for name in names
         ]
         return BatchResult(
@@ -426,10 +562,12 @@ def triage_many(
             mode="serial",
             telemetry=_merged_telemetry(outcomes, telemetry),
             limits=limits_payload,
+            cache=_store_stats(cache_dir),
         )
 
     outcomes, pool_broke = _triage_parallel(
-        names, jobs, limits, config, telemetry
+        names, jobs, limits, config, telemetry,
+        cache_dir=cache_dir, incremental=incremental,
     )
     return BatchResult(
         outcomes=outcomes,
@@ -438,7 +576,16 @@ def triage_many(
         mode="degraded" if pool_broke else "parallel",
         telemetry=_merged_telemetry(outcomes, telemetry),
         limits=limits_payload,
+        cache=_store_stats(cache_dir),
     )
+
+
+def _store_stats(cache_dir: str | None) -> dict | None:
+    """Driver-side store statistics for the batch envelope (entry count
+    reflects the shared directory; counters are this process's)."""
+    if cache_dir is None:
+        return None
+    return open_store(cache_dir).stats()
 
 
 def _merged_telemetry(outcomes: list[TriageOutcome],
@@ -464,7 +611,9 @@ def _max_attempts(limits: Limits | None) -> int:
 
 def _triage_with_retries(name: str, config: EngineConfig | None,
                          telemetry: bool,
-                         limits: Limits | None) -> TriageOutcome:
+                         limits: Limits | None,
+                         cache_dir: str | None = None,
+                         incremental: bool = False) -> TriageOutcome:
     """The serial-mode retry loop (mirrors the parallel driver's)."""
     attempts = _max_attempts(limits)
     outcome = None
@@ -472,7 +621,9 @@ def _triage_with_retries(name: str, config: EngineConfig | None,
     for attempt in range(attempts):
         tightened = limits.tightened(attempt) if limits is not None else None
         outcome = _triage_one(name, config, telemetry,
-                              limits=tightened, attempt=attempt)
+                              limits=tightened, attempt=attempt,
+                              cache_dir=cache_dir,
+                              incremental=incremental)
         if prior:
             outcome = replace(outcome, prior_telemetry=tuple(prior))
         if not _is_retryable(outcome):
@@ -493,6 +644,9 @@ def _triage_parallel(
     limits: Limits | None,
     config: EngineConfig | None,
     telemetry: bool = False,
+    *,
+    cache_dir: str | None = None,
+    incremental: bool = False,
 ) -> tuple[list[TriageOutcome], bool]:
     """Fan out over a process pool with worker recovery.
 
@@ -555,7 +709,8 @@ def _triage_parallel(
                 handle = pool.apply_async(
                     _triage_one, (name, config, telemetry),
                     {"limits": tightened, "attempt": attempt,
-                     "in_worker": True},
+                     "in_worker": True, "cache_dir": cache_dir,
+                     "incremental": incremental},
                 )
                 grace_at = None
                 if tightened is not None and tightened.deadline is not None:
@@ -622,7 +777,8 @@ def _triage_parallel(
         for name in names:
             if name not in results:
                 results[name] = _triage_with_retries(
-                    name, config, telemetry, limits
+                    name, config, telemetry, limits,
+                    cache_dir=cache_dir, incremental=incremental,
                 )
 
     return [results[name] for name in names], pool_broke

@@ -1,0 +1,75 @@
+"""Persistent content-addressed caching for the staged triage pipeline.
+
+PR 1's speedups — hash-consing, QE memo tables, incremental SMT — are
+all process-lifetime and keyed by in-process object identity or salted
+Python hashes, so nothing survives a restart and nothing is shared
+between the batch driver's workers beyond fork-time state.  This package
+converts those in-process wins into cross-run, cross-worker wins:
+
+* :class:`CacheStore` (:mod:`repro.cache.store`) is a small on-disk
+  store mapping ``stage/content-digest`` to a JSON artifact, with
+  versioned keys, LRU eviction and corruption-tolerant reads;
+* the *active store* (:func:`use_store` / :func:`current_store`) is how
+  the solver stack finds it: the QE elimination and clause caches and
+  the SMT verdict cache consult the active store on a memory miss, and
+  the diagnosis engine's stage functions (:mod:`repro.diagnosis.stages`)
+  persist whole stage artifacts through it.
+
+Opening a store is idempotent per path (:func:`open_store` memoizes), so
+the batch driver and its forked workers can all "open" the same
+directory cheaply.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from .store import STORE_VERSION, CacheStore
+
+__all__ = [
+    "CacheStore",
+    "STORE_VERSION",
+    "current_store",
+    "open_store",
+    "set_store",
+    "use_store",
+]
+
+_active: CacheStore | None = None
+_opened: dict[str, CacheStore] = {}
+
+
+def open_store(root: str | os.PathLike,
+               *, max_entries: int = 8_192) -> CacheStore:
+    """Open (and memoize per path) the store rooted at ``root``."""
+    key = os.path.abspath(os.fspath(root))
+    store = _opened.get(key)
+    if store is None or store.max_entries != max_entries:
+        store = CacheStore(key, max_entries=max_entries)
+        _opened[key] = store
+    return store
+
+
+def current_store() -> CacheStore | None:
+    """The process-wide active store (None when caching is off)."""
+    return _active
+
+
+def set_store(store: CacheStore | None) -> CacheStore | None:
+    """Install ``store`` as the active store; returns the previous one."""
+    global _active
+    previous = _active
+    _active = store
+    return previous
+
+
+@contextmanager
+def use_store(store: CacheStore | None) -> Iterator[CacheStore | None]:
+    """Scope the active store to a ``with`` block."""
+    previous = set_store(store)
+    try:
+        yield store
+    finally:
+        set_store(previous)

@@ -1,0 +1,179 @@
+"""A persistent, content-addressed artifact store.
+
+Every entry is one JSON file at ``root/<format-version>/<stage>/<k[:2]>/
+<k>.json``, where ``k`` is a content digest (see
+:mod:`repro.logic.digest`) of everything the artifact is a pure function
+of.  Properties the rest of the system relies on:
+
+* **versioned keys** — the store format version and the digest scheme
+  version are both part of the path, so either can be bumped without
+  serving stale artifacts to new code;
+* **corruption tolerance** — a truncated, garbled or non-JSON entry
+  reads as a *miss* (and is deleted), never as an exception: a cache
+  must not be able to break a triage run;
+* **concurrency tolerance** — writes are atomic (temp file + rename), so
+  the batch driver's forked workers can share one store; duplicate
+  writes of the same key are idempotent by construction (same content
+  address, same content);
+* **LRU eviction** — reads refresh an entry's mtime and eviction drops
+  the oldest entries once the store exceeds ``max_entries``, so a
+  long-lived cache directory stays bounded.
+
+Counters (hits/misses/puts/evictions/corrupt drops, per stage and
+overall) stream into :mod:`repro.obs` as ``cache.store.*`` /
+``cache.<stage>.*``, so they travel with the existing telemetry
+snapshots across worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .. import obs
+from ..logic.digest import DIGEST_VERSION
+
+__all__ = ["CacheStore", "STORE_VERSION"]
+
+#: Store layout version; part of every entry path.
+STORE_VERSION = "v1"
+
+
+class CacheStore:
+    """A small on-disk content-addressed store of JSON artifacts."""
+
+    def __init__(self, root: str | os.PathLike,
+                 *, max_entries: int = 8_192):
+        self.root = Path(root)
+        self._base = self.root / f"{STORE_VERSION}-{DIGEST_VERSION}"
+        self._base.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._counts: dict[str, dict[str, int]] = {}
+        # entry count is maintained incrementally and re-synced from a
+        # directory scan whenever eviction runs
+        self._entries = sum(1 for _ in self._iter_entries())
+
+    # ------------------------------------------------------------------
+    def _path(self, stage: str, key: str) -> Path:
+        return self._base / stage / key[:2] / f"{key}.json"
+
+    def _iter_entries(self):
+        yield from self._base.glob("*/*/*.json")
+
+    def _count(self, stage: str, event: str) -> None:
+        per = self._counts.setdefault(
+            stage, {"hits": 0, "misses": 0, "puts": 0,
+                    "evictions": 0, "corrupt": 0})
+        per[event] += 1
+        short = {"hits": "hit", "misses": "miss", "puts": "put",
+                 "evictions": "eviction", "corrupt": "corrupt"}[event]
+        obs.inc(f"cache.store.{short}")
+        obs.inc(f"cache.{stage}.{short}")
+
+    # ------------------------------------------------------------------
+    def get(self, stage: str, key: str) -> dict | None:
+        """The artifact stored under ``stage/key``, or None.
+
+        Any read problem — missing file, partial write from a crashed
+        process, hand-edited garbage — is a miss; undecodable entries
+        are deleted so they cannot poison later runs.
+        """
+        path = self._path(stage, key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self._count(stage, "misses")
+            return None
+        try:
+            artifact = json.loads(data)
+            if not isinstance(artifact, dict):
+                raise ValueError("artifact is not an object")
+        except (ValueError, UnicodeDecodeError):
+            self._count(stage, "corrupt")
+            self._count(stage, "misses")
+            try:
+                path.unlink()
+                self._entries = max(0, self._entries - 1)
+            except OSError:
+                pass
+            return None
+        self._count(stage, "hits")
+        try:
+            os.utime(path)  # refresh recency for LRU eviction
+        except OSError:
+            pass
+        return artifact
+
+    def put(self, stage: str, key: str, artifact: dict) -> None:
+        """Store ``artifact`` under ``stage/key`` (atomic, best-effort).
+
+        A full disk or permission problem is swallowed: failing to cache
+        must never fail the computation that produced the artifact.
+        """
+        path = self._path(stage, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not path.exists()
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(artifact, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._count(stage, "puts")
+        if fresh:
+            self._entries += 1
+            if self._entries > self.max_entries:
+                self._evict()
+
+    def _evict(self) -> None:
+        """Drop oldest entries down to 90% of capacity (re-scans, so the
+        incremental count is also corrected for concurrent writers)."""
+        entries = sorted(
+            self._iter_entries(),
+            key=lambda p: p.stat().st_mtime if p.exists() else 0.0,
+        )
+        self._entries = len(entries)
+        target = max(1, (self.max_entries * 9) // 10)
+        for path in entries[: max(0, self._entries - target)]:
+            stage = path.parent.parent.name
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._entries -= 1
+            self._count(stage, "evictions")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters per stage plus totals and the store location."""
+        totals = {"hits": 0, "misses": 0, "puts": 0,
+                  "evictions": 0, "corrupt": 0}
+        for per in self._counts.values():
+            for name in totals:
+                totals[name] += per[name]
+        return {
+            "path": str(self.root),
+            "entries": self._entries,
+            "max_entries": self.max_entries,
+            "stages": {s: dict(c) for s, c in sorted(self._counts.items())},
+            **totals,
+        }
+
+    def clear(self) -> None:
+        """Delete every entry (the layout directories stay)."""
+        for path in list(self._iter_entries()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._entries = 0

@@ -199,10 +199,23 @@ def _write_batch_trace(result, path: str) -> int:
     )
 
 
+def _cache_from_args(args: argparse.Namespace) -> tuple[str | None, bool]:
+    cache_dir = getattr(args, "cache_dir", None)
+    incremental = getattr(args, "incremental", False)
+    if incremental and cache_dir is None:
+        print("error: --incremental requires --cache-dir",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return cache_dir, incremental
+
+
 def _run_triage(args: argparse.Namespace):
     names = args.names or None
+    cache_dir, incremental = _cache_from_args(args)
     result = Pipeline().triage(names, jobs=args.jobs,
-                               limits=_limits_from_args(args))
+                               limits=_limits_from_args(args),
+                               cache_dir=cache_dir,
+                               incremental=incremental)
     if args.trace is not None:
         _write_batch_trace(result, args.trace)
         print(f"telemetry trace written to {args.trace}",
@@ -268,7 +281,8 @@ def _print_hit_rates(snap: dict) -> None:
     for label, prefix in (("qe-elim", "qe.elim"),
                           ("qe-clause-sat", "qe.clause_sat"),
                           ("smt-is-sat", "smt.is_sat"),
-                          ("smt-incremental", "smt.incremental")):
+                          ("smt-incremental", "smt.incremental"),
+                          ("store", "cache.store")):
         rate = obs.hit_rate(snap, prefix)
         if rate is not None:
             parts.append(f"{label} {100.0 * rate:.0f}%")
@@ -311,10 +325,37 @@ def _format_stats(snap: dict) -> str:
     for label, prefix in (("qe.elim", "qe.elim"),
                           ("qe.clause_sat", "qe.clause_sat"),
                           ("smt.is_sat", "smt.is_sat"),
-                          ("smt.incremental", "smt.incremental")):
+                          ("smt.incremental", "smt.incremental"),
+                          ("cache.store", "cache.store")):
         rate = obs.hit_rate(snap, prefix)
         if rate is not None:
             lines.append(f"hit rate {label:33s} {100.0 * rate:9.1f}%")
+    return "\n".join(lines)
+
+
+def _format_cache_stats(result) -> str:
+    """Intern-table sizes and persistent-store counters for ``stats``.
+
+    The intern tables are this process's (workers keep their own); the
+    store entry count reflects the shared directory, and the hit/miss/
+    eviction counters merge every worker's via the telemetry snapshot.
+    """
+    from .logic.intern import intern_stats
+
+    lines = ["intern tables (driver process):"]
+    for table, entries in sorted(intern_stats().items()):
+        lines.append(f"  {table:42s} {entries:>10d}")
+    store = result.cache
+    if store is not None:
+        lines.append(f"persistent store ({store['path']}):")
+        lines.append(f"  {'entries':42s} {store['entries']:>10d}")
+        counters = (result.telemetry or {}).get("counters", {})
+        for event, total in (("hit", "hits"), ("miss", "misses"),
+                             ("put", "puts"), ("eviction", "evictions"),
+                             ("corrupt", "corrupt")):
+            count = counters.get(f"cache.store.{event}",
+                                 store.get(total, 0))
+            lines.append(f"  {total:42s} {count:>10d}")
     return "\n".join(lines)
 
 
@@ -365,6 +406,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     _print_triage_table(result)
     print()
     print(_format_stats(result.telemetry or {}))
+    print()
+    print(_format_cache_stats(result))
     history_status = _handle_history(args, result) if args.history else 0
     return history_status or _triage_exit_code(result)
 
@@ -490,6 +533,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float, default=None,
                        help=argparse.SUPPRESS)  # deprecated: --deadline
 
+    def add_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent content-addressed artifact store; "
+                            "stage/QE/SMT results are reused across runs")
+        p.add_argument("--incremental", action="store_true",
+                       help="serve reports whose (I, phi) digest is "
+                            "unchanged from recorded verdicts "
+                            "(requires --cache-dir)")
+
     p_triage = sub.add_parser(
         "triage", help="batch-triage benchmark reports across cores"
     )
@@ -498,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_triage.add_argument("--jobs", "-j", type=int, default=None,
                           help="worker processes (default: CPU count)")
     add_limit_flags(p_triage)
+    add_cache_flags(p_triage)
     add_output_flags(p_triage)
     p_triage.set_defaults(fn=_cmd_triage)
 
@@ -524,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit 1 when a stage regresses beyond the "
                               "threshold")
     add_limit_flags(p_stats)
+    add_cache_flags(p_stats)
     add_output_flags(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
 

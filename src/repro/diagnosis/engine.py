@@ -30,13 +30,14 @@ from .. import obs
 from ..obs import provenance as prov
 from ..analysis import AnalysisResult
 from ..limits import Limits, ResourceExhausted
-from ..logic.formulas import Formula, conj, implies, neg
+from ..logic.digest import digest
+from ..logic.formulas import Formula, conj, neg
 from ..schema import TriageVerdict, dump_json, envelope
-from .abduction import Abducer, Abduction
-from .cost import pi_p, pi_w, uniform
+from .abduction import Abducer
 from .oracles import Oracle
-from .queries import Answer, Query, QueryRenderer, decompose_invariant, \
-    decompose_witness
+from .queries import Answer, Query, QueryRenderer
+from .stages import abduce_stage, choose_stage, decompose_stage, \
+    entail_stage
 
 
 class Verdict(Enum):
@@ -69,6 +70,7 @@ class DiagnosisResult:
     resource_spend: dict | None = None   # per-stage spend (governed runs)
     exhausted_stage: str | None = None   # stage whose checkpoint fired
     exhausted_kind: str | None = None    # steps | nodes | deadline | ...
+    cache: dict | None = None            # store provenance, when active
 
     @property
     def classification(self) -> str:
@@ -114,6 +116,7 @@ class DiagnosisResult:
             resource_spend=self.resource_spend,
             exhausted_stage=self.exhausted_stage,
             exhausted_kind=self.exhausted_kind,
+            cache=self.cache,
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -154,6 +157,10 @@ class DiagnosisEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> DiagnosisResult:
+        from ..cache import current_store
+
+        store = current_store()
+        before = store.stats() if store is not None else None
         with obs.capture() as cap, obs.span("engine.session"):
             if self._limits is not None:
                 with _limits_mod.governed(self._limits) as governor:
@@ -168,13 +175,31 @@ class DiagnosisEngine:
                 result.resource_spend = governor.spend_snapshot()
         if cap.snapshot is not None:
             result.telemetry = cap.snapshot
+        if store is not None:
+            result.cache = self._cache_provenance(store, before)
         return result
 
+    def _cache_provenance(self, store, before: dict) -> dict:
+        """Store path, judgment digests and this run's hit/miss delta —
+        the ``cache`` block of the result envelope."""
+        after = store.stats()
+        return {
+            "store": after["path"],
+            "invariants_digest": digest(self._analysis.invariants),
+            "success_digest": digest(self._analysis.success),
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+            "puts": after["puts"] - before["puts"],
+        }
+
     def _run(self) -> DiagnosisResult:
+        from ..cache import current_store
+
         start = time.perf_counter()
         invariants = self._analysis.invariants
         success = self._analysis.success
         solver = self._abducer.solver
+        store = current_store()
 
         witnesses: list[Formula] = []
         potential_invariants: list[Formula] = []
@@ -203,67 +228,39 @@ class DiagnosisEngine:
         try:
             for round_index in range(self._config.max_rounds):
                 obs.inc("engine.rounds")
-                # Inconsistent knowledge would make every check below
-                # vacuous; bail out before trusting it (only reachable
-                # via an oracle that contradicted itself).
-                consistent = solver.is_sat(invariants)
-                if prov.is_enabled():
-                    prov.record(
-                        "entailment", lemma="consistency",
-                        check=f"SAT({prov.fmla(invariants)})",
-                        verdict=consistent, round=round_index,
-                    )
-                if not consistent:
+                # entail stage: consistency, Lemma 1, Lemma 2, and the
+                # learned-witness closure — possibly replayed from the
+                # persistent store (see repro.diagnosis.stages).
+                entail = entail_stage(
+                    solver, invariants, success, tuple(witnesses),
+                    round_index=round_index, store=store,
+                )
+                if not entail.consistent:
                     return finish(Verdict.UNRESOLVED, round_index,
                                   reason="knowledge base inconsistent")
-                # Figure 6, lines 3-4: try to close the report outright.
-                discharged = solver.is_valid(implies(invariants, success))
-                if prov.is_enabled():
-                    prov.record(
-                        "entailment", lemma="lemma-1",
-                        check=f"I |= {prov.fmla(success)}",
-                        verdict=discharged, round=round_index,
-                    )
-                if discharged:
+                if entail.discharged:
                     return finish(Verdict.DISCHARGED, round_index,
                                   reason="I entails the success condition"
                                          " (Lemma 1)")
-                # Lemma 2: I |= !phi — every execution fails the check
-                validated = not solver.is_sat(conj(invariants, success))
-                if prov.is_enabled():
-                    prov.record(
-                        "entailment", lemma="lemma-2",
-                        check=f"UNSAT(I and {prov.fmla(success)})",
-                        verdict=validated, round=round_index,
-                    )
-                if validated:
+                if entail.validated:
                     return finish(Verdict.VALIDATED, round_index,
                                   reason="I contradicts the success"
                                          " condition (Lemma 2)")
-                confirmed_witness = None
-                for psi in witnesses:
-                    closes = not solver.is_sat(
-                        conj(invariants, psi, success))
-                    if prov.is_enabled():
-                        prov.record(
-                            "entailment", lemma="lemma-2",
-                            check=f"UNSAT(I and {prov.fmla(psi)} and phi)",
-                            verdict=closes, round=round_index,
-                        )
-                    if closes:
-                        confirmed_witness = psi
-                        break
-                if confirmed_witness is not None:
+                if entail.witness_index is not None:
+                    confirmed = witnesses[entail.witness_index]
                     return finish(
                         Verdict.VALIDATED, round_index,
                         reason="learned witness "
-                               f"{prov.fmla(confirmed_witness)} rules out"
+                               f"{prov.fmla(confirmed)} rules out"
                                " success (Lemma 2)")
 
                 with obs.span("engine.abduce", round=round_index):
-                    gamma, upsilon = self._abduce(
-                        invariants, success, witnesses,
-                        potential_invariants, potential_witnesses,
+                    gamma, upsilon = abduce_stage(
+                        self._abducer, self._config, invariants, success,
+                        tuple(witnesses),
+                        tuple(potential_invariants),
+                        tuple(potential_witnesses),
+                        store=store,
                     )
                 if gamma is not None:
                     obs.gauge("engine.obligation_cost", gamma.cost)
@@ -274,25 +271,16 @@ class DiagnosisEngine:
                                   reason="no abducible proof obligation"
                                          " or failure witness")
 
-                # Figure 6, line 9: ask the cheaper side first.
-                ask_invariant = upsilon is None or (
-                    gamma is not None and gamma.cost <= upsilon.cost
+                ask_invariant = choose_stage(
+                    gamma, upsilon, round_index=round_index
                 )
-                if prov.is_enabled():
-                    prov.record(
-                        "choice",
-                        chosen="invariant" if ask_invariant else "witness",
-                        gamma_cost=None if gamma is None else gamma.cost,
-                        upsilon_cost=(None if upsilon is None
-                                      else upsilon.cost),
-                        round=round_index,
-                    )
 
                 if ask_invariant:
                     assert gamma is not None
                     yes_clauses = self._ask_invariant(
                         gamma.formula, interactions, witnesses,
                         potential_invariants, potential_witnesses,
+                        store=store,
                     )
                     # every affirmed clause is a learned invariant, even
                     # when the query as a whole was not (Section 4.4)
@@ -302,6 +290,7 @@ class DiagnosisEngine:
                     validated, refuted = self._ask_witness(
                         upsilon.formula, interactions, witnesses,
                         potential_invariants, potential_witnesses,
+                        store=store,
                     )
                     if validated:
                         return finish(Verdict.VALIDATED, round_index + 1,
@@ -323,60 +312,6 @@ class DiagnosisEngine:
 
         return finish(Verdict.UNRESOLVED, self._config.max_rounds,
                       reason="round budget exhausted")
-
-    # ------------------------------------------------------------------
-    def _abduce(
-        self,
-        invariants: Formula,
-        success: Formula,
-        witnesses: list[Formula],
-        potential_invariants: list[Formula],
-        potential_witnesses: list[Formula],
-    ) -> tuple[Abduction | None, Abduction | None]:
-        if self._config.cost_model == "uniform":
-            cost_p = uniform(invariants, success)
-            cost_w = uniform(invariants, success)
-        else:
-            cost_p = pi_p(invariants, success)
-            cost_w = pi_w(invariants, success)
-
-        if not self._config.use_abduction:
-            # Ablation A2: the trivial proof obligation Gamma = phi and
-            # trivial witness Upsilon = not phi (when consistent).
-            from ..msa import MsaResult
-            from .cost import formula_cost
-
-            solver = self._abducer.solver
-            gamma = None
-            if solver.is_sat(conj(success, invariants)):
-                gamma = Abduction(
-                    formula=success,
-                    cost=formula_cost(success, cost_p),
-                    kind="proof_obligation",
-                    msa=MsaResult((), 0),
-                    unsimplified=success,
-                )
-            upsilon = None
-            if solver.is_sat(conj(neg(success), invariants)):
-                upsilon = Abduction(
-                    formula=neg(success),
-                    cost=formula_cost(neg(success), cost_w),
-                    kind="failure_witness",
-                    msa=MsaResult((), 0),
-                    unsimplified=neg(success),
-                )
-            return gamma, upsilon
-
-        gamma = self._abducer.proof_obligation(
-            invariants, success, cost_p,
-            witnesses=witnesses,
-            extra_consistency=potential_witnesses,
-        )
-        upsilon = self._abducer.failure_witness(
-            invariants, success, cost_w,
-            extra_consistency=potential_invariants,
-        )
-        return gamma, upsilon
 
     # ------------------------------------------------------------------
     def _ask(self, query: Query) -> Answer:
@@ -405,6 +340,7 @@ class DiagnosisEngine:
         witnesses: list[Formula],
         potential_invariants: list[Formula],
         potential_witnesses: list[Formula],
+        store=None,
     ) -> list[Formula]:
         """Ask the CNF clauses of an invariant query.
 
@@ -412,10 +348,7 @@ class DiagnosisEngine:
         Refuted clauses are appended to ``witnesses``; unanswerable ones
         are recorded as potential invariants/witnesses (Section 5).
         """
-        clauses = decompose_invariant(gamma)
-        if prov.is_enabled():
-            prov.record("decompose", query_kind="invariant", mode="cnf",
-                        clauses=len(clauses), formula=prov.fmla(gamma))
+        clauses = decompose_stage("invariant", gamma, store=store)
         yes_clauses: list[Formula] = []
         for clause in clauses:
             query = self._renderer.invariant_query(clause)
@@ -437,6 +370,7 @@ class DiagnosisEngine:
         witnesses: list[Formula],
         potential_invariants: list[Formula],
         potential_witnesses: list[Formula],
+        store=None,
     ) -> tuple[bool, list[Formula]]:
         """Ask the DNF clauses of a witness query.
 
@@ -444,10 +378,7 @@ class DiagnosisEngine:
         the moment a clause is affirmed; negations of refuted clauses are
         learned invariants.
         """
-        clauses = decompose_witness(upsilon)
-        if prov.is_enabled():
-            prov.record("decompose", query_kind="witness", mode="dnf",
-                        clauses=len(clauses), formula=prov.fmla(upsilon))
+        clauses = decompose_stage("witness", upsilon, store=store)
         refuted: list[Formula] = []
         for clause in clauses:
             query = self._renderer.witness_query(clause)

@@ -37,7 +37,14 @@ from .formulas import (
     rename_vars,
     unique_atoms,
 )
+from .digest import DIGEST_VERSION, digest, digest_many, digest_text
 from .normal_forms import cnf_clauses, dnf_clauses, from_cnf, from_dnf, nnf
+from .serialize import (
+    formula_from_obj,
+    formula_to_obj,
+    term_from_obj,
+    term_to_obj,
+)
 from .parser import FormulaParseError, parse_formula, parse_term
 from .printer import term_to_source, to_source
 from .smtlib import to_smtlib
@@ -59,6 +66,8 @@ __all__ = [
     "forall", "ge", "gt", "implies", "is_quantifier_free", "le", "lt",
     "map_atoms", "ne", "neg", "rename_vars", "unique_atoms",
     "cnf_clauses", "dnf_clauses", "from_cnf", "from_dnf", "nnf",
+    "DIGEST_VERSION", "digest", "digest_many", "digest_text",
+    "formula_from_obj", "formula_to_obj", "term_from_obj", "term_to_obj",
     "FormulaParseError", "parse_formula", "parse_term",
     "term_to_source", "to_source", "to_smtlib",
     "LinTerm", "Var", "VarKind", "VarSupply", "abstraction_var", "gcd_all",

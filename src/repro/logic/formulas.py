@@ -174,7 +174,7 @@ class Atom(Formula):
     normalization the rest of the system relies on.
     """
 
-    __slots__ = ("rel", "term", "_hc", "_neg")
+    __slots__ = ("rel", "term", "_hc", "_neg", "_dg")
 
     _intern: ClassVar[dict] = register_table("Atom", {})
 
@@ -255,7 +255,7 @@ class Dvd(Formula):
     always >= 2 after normalization.
     """
 
-    __slots__ = ("divisor", "term", "negated_flag", "_hc", "_neg")
+    __slots__ = ("divisor", "term", "negated_flag", "_hc", "_neg", "_dg")
 
     _intern: ClassVar[dict] = register_table("Dvd", {})
 
@@ -328,7 +328,7 @@ class Not(Formula):
     """Negation.  Smart constructors push ``Not`` onto atoms eagerly, so a
     ``Not`` node in a normalized formula always wraps a quantifier."""
 
-    __slots__ = ("arg", "_hc", "_neg")
+    __slots__ = ("arg", "_hc", "_neg", "_dg")
 
     _intern: ClassVar[dict] = register_table("Not", {})
 
@@ -382,7 +382,7 @@ class Not(Formula):
 
 class And(Formula):
 
-    __slots__ = ("args", "_hc", "_neg", "_fv")
+    __slots__ = ("args", "_hc", "_neg", "_fv", "_dg")
 
     _intern: ClassVar[dict] = register_table("And", {})
 
@@ -445,7 +445,7 @@ class And(Formula):
 
 class Or(Formula):
 
-    __slots__ = ("args", "_hc", "_neg", "_fv")
+    __slots__ = ("args", "_hc", "_neg", "_fv", "_dg")
 
     _intern: ClassVar[dict] = register_table("Or", {})
 
@@ -508,7 +508,7 @@ class Or(Formula):
 
 class Exists(Formula):
 
-    __slots__ = ("variables", "body", "_hc", "_neg")
+    __slots__ = ("variables", "body", "_hc", "_neg", "_dg")
 
     _intern: ClassVar[dict] = register_table("Exists", {})
 
@@ -573,7 +573,7 @@ class Exists(Formula):
 
 class Forall(Formula):
 
-    __slots__ = ("variables", "body", "_hc", "_neg")
+    __slots__ = ("variables", "body", "_hc", "_neg", "_dg")
 
     _intern: ClassVar[dict] = register_table("Forall", {})
 

@@ -116,7 +116,7 @@ class LinTerm:
     check and ``__hash__`` a precomputed field.
     """
 
-    __slots__ = ("coeffs", "const", "_hc")
+    __slots__ = ("coeffs", "const", "_hc", "_dg")
 
     _intern: ClassVar[dict] = register_table("LinTerm", {})
 

@@ -52,7 +52,9 @@ from ..logic.formulas import (
     map_atoms,
     neg,
 )
+from ..logic.digest import digest, digest_many
 from ..logic.normal_forms import dnf_clauses, nnf
+from ..logic.serialize import formula_from_obj, formula_to_obj
 from ..logic.terms import LinTerm, Var, lcm, lcm_all
 
 
@@ -62,14 +64,24 @@ from ..logic.terms import LinTerm, Var, lcm, lcm_all
 QeBudgetExceeded = ResourceExhausted
 
 
-# Persistent, bounded caches over hash-consed keys.  Elimination results
-# and clause-satisfiability verdicts are pure functions of their inputs,
-# so both survive across calls (the abduction loop re-eliminates the same
-# variable from near-identical clause sets round after round).
+# Persistent, bounded caches keyed by *content digest*.  Elimination
+# results and clause-satisfiability verdicts are pure functions of their
+# inputs, so both survive across calls (the abduction loop re-eliminates
+# the same variable from near-identical clause sets round after round).
+# Digest keys — unlike the identity/salted-hash keys they replaced —
+# also survive ``clear_intern_tables()``, pickle round-trips and (via
+# the optional on-disk store, see :mod:`repro.cache`) process restarts.
 _ELIM_CACHE_SIZE = 8_192
-_elim_cache: OrderedDict[tuple[Var, Formula], Formula] = OrderedDict()
+_elim_cache: OrderedDict[str, Formula] = OrderedDict()
 _CLAUSE_SAT_CACHE_SIZE = 65_536
-_clause_sat_cache: OrderedDict[frozenset[Formula], bool] = OrderedDict()
+_clause_sat_cache: OrderedDict[str, bool] = OrderedDict()
+
+
+def _store():
+    """The active persistent store, if any (lazy import: layering)."""
+    from ..cache import current_store
+
+    return current_store()
 
 
 def clear_qe_caches() -> None:
@@ -218,15 +230,25 @@ def _prune_clauses(clauses: list[list[Formula]],
     kept: list[list[Formula]] = []
     seen: set[frozenset[Formula]] = set()
     for clause in clauses:
-        key = frozenset(clause)
-        if key in seen:
+        dedup = frozenset(clause)
+        if dedup in seen:
             continue
-        seen.add(key)
+        seen.add(dedup)
         budget.charge(len(clause) + 1)
+        key = digest_many("clause_sat", *sorted(digest(a) for a in dedup))
         sat = cache.get(key)
         if sat is None:
-            obs.inc("qe.clause_sat.miss")
-            sat = solver.is_sat_literals(clause)
+            store = _store()
+            artifact = store.get("qe-clause-sat", key) \
+                if store is not None else None
+            if artifact is not None:
+                obs.inc("qe.clause_sat.hit")
+                sat = bool(artifact["sat"])
+            else:
+                obs.inc("qe.clause_sat.miss")
+                sat = solver.is_sat_literals(clause)
+                if store is not None:
+                    store.put("qe-clause-sat", key, {"sat": sat})
             cache[key] = sat
             if len(cache) > _CLAUSE_SAT_CACHE_SIZE:
                 cache.popitem(last=False)
@@ -239,20 +261,41 @@ def _prune_clauses(clauses: list[list[Formula]],
 
 
 def _eliminate_one(x: Var, phi: Formula, budget: _Budget) -> Formula:
-    """Cooper elimination of ``exists x`` from QF NNF ``phi`` (cached)."""
-    key = (x, phi)
+    """Cooper elimination of ``exists x`` from QF NNF ``phi`` (cached).
+
+    The memo key is the content digest of ``(x, phi)``, so structurally
+    equal inputs hit even when the nodes were rebuilt after a
+    ``clear_intern_tables()`` or arrived through a pickle; when a
+    persistent store is active, results also survive process restarts.
+    """
+    key = digest_many("elim", x, phi)
     cached = _elim_cache.get(key)
     if cached is not None:
         obs.inc("qe.elim.hit")
         _elim_cache.move_to_end(key)
         budget.charge(cached.size())
         return cached
+    store = _store()
+    if store is not None:
+        artifact = store.get("qe-elim", key)
+        if artifact is not None:
+            obs.inc("qe.elim.hit")
+            result = formula_from_obj(artifact["f"])
+            budget.charge(result.size())
+            _remember_elim(key, result)
+            return result
     obs.inc("qe.elim.miss")
     result = _eliminate_one_uncached(x, phi, budget)
+    _remember_elim(key, result)
+    if store is not None:
+        store.put("qe-elim", key, {"f": formula_to_obj(result)})
+    return result
+
+
+def _remember_elim(key: str, result: Formula) -> None:
     _elim_cache[key] = result
     if len(_elim_cache) > _ELIM_CACHE_SIZE:
         _elim_cache.popitem(last=False)
-    return result
 
 
 def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:

@@ -25,6 +25,10 @@ Version history.  ``repro.result/2`` (current) added the
 (``limits``, ``resource_spend``, ``degraded``, ``exhausted_stage``,
 ``attempts``) on top of ``repro.result/1``; the change is purely
 additive, and :func:`read_envelope` upgrades ``/1`` payloads in place.
+The optional ``cache`` block (content digests, persistent-store path,
+per-run hit/miss counts — see :mod:`repro.cache`) was likewise added
+within ``/2``: it appears only when a store was active, so no version
+bump was needed.
 
 This module sits below every other layer (it imports nothing from the
 package) so any result type can use it without layering cycles.

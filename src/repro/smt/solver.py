@@ -23,6 +23,7 @@ from collections import OrderedDict
 from .. import obs
 from .. import limits as _limits
 from ..lia import Model, OmegaSolver
+from ..logic.digest import digest
 from ..limits import ResourceExhausted
 from ..logic.formulas import (
     And,
@@ -88,8 +89,10 @@ class SmtSolver:
                  cache_size: int = 50_000, incremental: bool = False):
         self._theory = OmegaSolver()
         self._max_rounds = max_theory_rounds
-        # bounded LRU over is_sat verdicts (access order = recency)
-        self._cache: OrderedDict[Formula, bool] = OrderedDict()
+        # bounded LRU over is_sat verdicts (access order = recency),
+        # keyed by content digest so structurally equal formulas hit
+        # even after an intern-table clear or a pickle round-trip
+        self._cache: OrderedDict[str, bool] = OrderedDict()
         self._cache_size = cache_size
         self._hits = 0
         self._misses = 0
@@ -129,22 +132,44 @@ class SmtSolver:
         return self._check_lazy(phi)
 
     def is_sat(self, phi: Formula) -> bool:
-        cached = self._cache.get(phi)
+        key = digest(phi)
+        cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
             _limits.tick("smt")  # cache hits skip check(); keep the deadline live
             obs.inc("smt.is_sat.hit")
-            self._cache.move_to_end(phi)
+            self._cache.move_to_end(key)
             return cached
+        store = self._persistent_store()
+        if store is not None:
+            artifact = store.get("smt-sat", key)
+            if artifact is not None:
+                self._hits += 1
+                _limits.tick("smt")
+                obs.inc("smt.is_sat.hit")
+                self._remember(key, bool(artifact["sat"]))
+                return bool(artifact["sat"])
         self._misses += 1
         obs.inc("smt.is_sat.miss")
         result = self.check(phi).sat
-        self._cache[phi] = result
+        self._remember(key, result)
+        if store is not None:
+            store.put("smt-sat", key, {"sat": result})
+        return result
+
+    @staticmethod
+    def _persistent_store():
+        """The active on-disk store, if any (lazy import: layering)."""
+        from ..cache import current_store
+
+        return current_store()
+
+    def _remember(self, key: str, result: bool) -> None:
+        self._cache[key] = result
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
             self._evictions += 1
             obs.inc("smt.is_sat.evictions")
-        return result
 
     def cache_stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters of the is_sat verdict cache."""

@@ -71,3 +71,28 @@ def literal_lists(draw, variables=None, min_size: int = 1, max_size: int = 6,
     """Random conjunctions of literals for the Omega-test tests."""
     size = draw(st.integers(min_size, max_size))
     return [draw(atoms(variables, with_dvd=with_dvd)) for _ in range(size)]
+
+
+@st.composite
+def deep_formulas(draw, variables=None, max_depth: int = 7,
+                  with_dvd: bool = True):
+    """Deeply nested formulas with deliberately *shared* subformulas.
+
+    Each step either wraps the running formula or combines it with a
+    copy of itself under the opposite connective, so the hash-consed
+    result is a DAG whose printed tree is much larger than its node
+    count — the shape that stresses normalization and digest traversal.
+    """
+    phi = draw(atoms(variables, with_dvd=with_dvd))
+    for _ in range(draw(st.integers(3, max_depth))):
+        op = draw(st.integers(0, 3))
+        fresh = draw(atoms(variables, with_dvd=with_dvd))
+        if op == 0:
+            phi = neg(phi)
+        elif op == 1:
+            phi = conj(disj(phi, fresh), disj(phi, neg(fresh)))
+        elif op == 2:
+            phi = disj(conj(phi, fresh), conj(phi, neg(fresh)))
+        else:
+            phi = conj(phi, disj(fresh, phi))
+    return phi

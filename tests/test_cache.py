@@ -1,0 +1,263 @@
+"""The persistent content-addressed store and warm/incremental
+re-triage.
+
+The acceptance bar for the caching layer: a warm-cache re-triage of the
+full Figure 7 suite must perform **zero** MSA and QE recomputation —
+observable as obs counters — while producing byte-identical verdicts to
+the cold run; ``incremental`` mode must recompute only reports whose
+``(I, phi)`` judgment digest changed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.batch import triage_many
+from repro.cache import (
+    STORE_VERSION,
+    CacheStore,
+    current_store,
+    open_store,
+    use_store,
+)
+from repro.logic.digest import DIGEST_VERSION
+from repro.qe.cooper import clear_qe_caches
+from repro.suite import BENCHMARKS
+
+ALL_NAMES = [b.name for b in BENCHMARKS]
+
+
+# ---------------------------------------------------------------------------
+# store unit tests
+# ---------------------------------------------------------------------------
+
+class TestCacheStore:
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        assert store.get("entail", "aa" * 16) is None           # miss
+        store.put("entail", "aa" * 16, {"consistent": True})
+        assert store.get("entail", "aa" * 16) == {"consistent": True}
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["puts"] == 1 and stats["entries"] == 1
+        assert stats["stages"]["entail"]["hits"] == 1
+
+    def test_layout_is_versioned(self, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        store.put("abduce", "bb" * 16, {"feasible": False})
+        entry = tmp_path / "cache" / f"{STORE_VERSION}-{DIGEST_VERSION}" \
+            / "abduce" / "bb" / (("bb" * 16) + ".json")
+        assert entry.is_file()
+
+    def test_corrupt_entry_is_a_miss_and_gets_deleted(self, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        store.put("entail", "cc" * 16, {"ok": 1})
+        path = tmp_path / "cache" / f"{STORE_VERSION}-{DIGEST_VERSION}" \
+            / "entail" / "cc" / (("cc" * 16) + ".json")
+        path.write_bytes(b'{"truncated": ')          # crashed writer
+        assert store.get("entail", "cc" * 16) is None
+        assert not path.exists()                      # cannot poison later runs
+        assert store.stats()["corrupt"] == 1
+        # non-object JSON is corruption too
+        store.put("entail", "dd" * 16, {"ok": 1})
+        bad = path.parent.parent / "dd" / (("dd" * 16) + ".json")
+        bad.write_text("[1, 2, 3]")
+        assert store.get("entail", "dd" * 16) is None
+        assert store.stats()["corrupt"] == 2
+
+    def test_reopening_sees_previous_entries(self, tmp_path):
+        CacheStore(tmp_path / "cache").put("smt-sat", "ee" * 16,
+                                           {"sat": True})
+        reopened = CacheStore(tmp_path / "cache")
+        assert reopened.stats()["entries"] == 1
+        assert reopened.get("smt-sat", "ee" * 16) == {"sat": True}
+
+    def test_lru_eviction_keeps_recently_read_entries(self, tmp_path):
+        store = CacheStore(tmp_path / "cache", max_entries=10)
+        keys = [f"{i:02d}" * 16 for i in range(10)]
+        for i, key in enumerate(keys):
+            store.put("entail", key, {"i": i})
+            # explicit, strictly increasing mtimes: the filesystem clock
+            # is too coarse to order a tight loop by itself
+            os.utime(store._path("entail", key), (1000.0 + i, 1000.0 + i))
+        # refresh the oldest entry well past every other mtime...
+        store.get("entail", keys[0])
+        os.utime(store._path("entail", keys[0]), (2000.0, 2000.0))
+        # ...then overflow: eviction drops to 90% by recency
+        store.put("entail", "ff" * 16, {"i": 99})
+        stats = store.stats()
+        assert stats["entries"] <= 10
+        assert stats["evictions"] >= 1
+        assert store.get("entail", keys[0]) is not None   # refreshed: kept
+        assert store.get("entail", keys[1]) is None       # oldest: evicted
+
+    def test_clear_removes_entries_not_layout(self, tmp_path):
+        store = CacheStore(tmp_path / "cache")
+        store.put("entail", "aa" * 16, {"x": 1})
+        store.clear()
+        assert store.stats()["entries"] == 0
+        assert store.get("entail", "aa" * 16) is None
+
+    def test_counters_stream_into_obs(self, tmp_path):
+        obs.reset()
+        obs.enable()
+        try:
+            store = CacheStore(tmp_path / "cache")
+            store.put("entail", "aa" * 16, {"x": 1})
+            store.get("entail", "aa" * 16)
+            store.get("entail", "bb" * 16)
+            counters = obs.snapshot()["counters"]
+            assert counters["cache.store.put"] == 1
+            assert counters["cache.store.hit"] == 1
+            assert counters["cache.store.miss"] == 1
+            assert counters["cache.entail.hit"] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestActiveStore:
+    def test_use_store_scopes_the_active_store(self, tmp_path):
+        assert current_store() is None
+        store = open_store(tmp_path / "cache")
+        with use_store(store):
+            assert current_store() is store
+        assert current_store() is None
+
+    def test_open_store_memoizes_per_path(self, tmp_path):
+        first = open_store(tmp_path / "cache")
+        assert open_store(tmp_path / "cache") is first
+        assert open_store(tmp_path / "other") is not first
+
+
+# ---------------------------------------------------------------------------
+# warm re-triage of the full Figure 7 suite
+# ---------------------------------------------------------------------------
+
+def _verdict_bytes(result) -> bytes:
+    """The verdict-bearing content of a batch, serialized canonically."""
+    return json.dumps(
+        [[o.name, o.classification, o.expected, o.num_queries, o.rounds]
+         for o in result.outcomes],
+        separators=(",", ":"),
+    ).encode()
+
+
+def _counter(result, name: str) -> int:
+    return (result.telemetry or {}).get("counters", {}).get(name, 0)
+
+
+class TestWarmRetriage:
+    def test_warm_run_skips_all_msa_and_qe_work(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = triage_many(ALL_NAMES, jobs=1, telemetry=True,
+                           cache_dir=cache_dir)
+        assert cold.accuracy == 1.0
+        assert _counter(cold, "msa.candidates") > 0       # real work happened
+        assert _counter(cold, "qe.elim.miss") > 0
+
+        # drop every in-process memo so only the disk store can answer
+        clear_qe_caches()
+        warm = triage_many(ALL_NAMES, jobs=1, telemetry=True,
+                           cache_dir=cache_dir)
+        assert _verdict_bytes(warm) == _verdict_bytes(cold)
+        assert _counter(warm, "msa.candidates") == 0      # zero MSA recompute
+        assert _counter(warm, "qe.elim.miss") == 0        # zero QE recompute
+        assert _counter(warm, "cache.store.hit") > 0
+        assert warm.cache is not None
+        assert warm.cache["path"] == os.path.abspath(cache_dir)
+
+    def test_outcomes_carry_cache_provenance(self, tmp_path):
+        result = triage_many([ALL_NAMES[0]], jobs=1,
+                             cache_dir=str(tmp_path / "cache"))
+        block = result.outcomes[0].cache
+        assert block is not None
+        assert block["store"] == os.path.abspath(str(tmp_path / "cache"))
+        assert set(block) >= {"invariants_digest", "success_digest",
+                              "hits", "misses", "puts"}
+        payload = result.outcomes[0].to_dict()
+        assert payload["cache"]["invariants_digest"] == \
+            block["invariants_digest"]
+
+
+# ---------------------------------------------------------------------------
+# incremental re-triage
+# ---------------------------------------------------------------------------
+
+class TestIncremental:
+    def test_incremental_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            triage_many(ALL_NAMES[:1], jobs=1, incremental=True)
+
+    def test_second_run_serves_every_report_from_records(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        names = ALL_NAMES[:4]
+        first = triage_many(names, jobs=1, telemetry=True,
+                            cache_dir=cache_dir, incremental=True)
+        second = triage_many(names, jobs=1, telemetry=True,
+                             cache_dir=cache_dir, incremental=True)
+        assert _verdict_bytes(second) == _verdict_bytes(first)
+        assert _counter(second, "batch.reports_cached") == len(names)
+        assert _counter(second, "smt.fresh_checks") == 0
+        for outcome in second.outcomes:
+            assert outcome.cache["analyze"] == "hit"
+            assert outcome.cache["triage"] == "hit"
+
+    def test_edited_benchmark_recomputes_only_itself(self, tmp_path,
+                                                     monkeypatch):
+        import repro.suite as suite_mod
+
+        cache_dir = str(tmp_path / "cache")
+        edited = "p03_square"
+        names = ALL_NAMES
+        baseline = triage_many(names, jobs=1, cache_dir=cache_dir,
+                               incremental=True)
+        assert baseline.accuracy == 1.0
+
+        original = suite_mod.load_source
+
+        def edited_source(bench):
+            text = original(bench)
+            if bench.name == edited:
+                # a *semantic* edit: weaken the asserted bound, so the
+                # judgment digest (not just the source digest) changes
+                assert "assert(slack + 1 > 0)" in text
+                text = text.replace("assert(slack + 1 > 0)",
+                                    "assert(slack + 2 > 0)")
+            return text
+
+        monkeypatch.setattr(suite_mod, "load_source", edited_source)
+        result = triage_many(names, jobs=1, telemetry=True,
+                             cache_dir=cache_dir, incremental=True)
+        assert _counter(result, "batch.reports_cached") == len(names) - 1
+        by_name = {o.name: o for o in result.outcomes}
+        assert by_name[edited].cache["triage"] == "miss"
+        assert by_name[edited].cache["analyze"] == "miss"
+        for name in names:
+            if name != edited:
+                assert by_name[name].cache["triage"] == "hit"
+
+    def test_whitespace_edit_still_hits_via_judgment_digest(self, tmp_path,
+                                                            monkeypatch):
+        """An edit that does not change the judgment (I, phi) — e.g.
+        reformatting — misses the ``analyze`` artifact but still resolves
+        to the recorded verdict once the digests come back unchanged."""
+        import repro.suite as suite_mod
+
+        cache_dir = str(tmp_path / "cache")
+        name = ALL_NAMES[0]
+        triage_many([name], jobs=1, cache_dir=cache_dir, incremental=True)
+
+        original = suite_mod.load_source
+        monkeypatch.setattr(suite_mod, "load_source",
+                            lambda bench: original(bench) + "\n\n")
+        result = triage_many([name], jobs=1, telemetry=True,
+                             cache_dir=cache_dir, incremental=True)
+        block = result.outcomes[0].cache
+        assert block["analyze"] == "miss"      # source digest changed...
+        assert block["triage"] == "hit"        # ...but (I, phi) did not
+        assert _counter(result, "batch.reports_cached") == 1

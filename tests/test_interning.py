@@ -24,8 +24,11 @@ from repro.logic import (
     dvd,
     neg,
 )
+from repro import obs
 from repro.logic.formulas import And, Atom, Dvd, Not, Or, exists, forall
 from repro.logic.intern import clear_intern_tables, intern_stats
+from repro.qe.cooper import clear_qe_caches, eliminate_exists
+from repro.smt import SmtSolver
 
 from .strategies import VARS, atoms, formulas, lin_terms
 
@@ -162,3 +165,59 @@ class TestInternTables:
         assert len({a, b}) == 1
         # and new constructions re-intern
         assert atom(Rel.LE, LinTerm.make([(X, 1)], -3)) is b
+
+
+class TestDigestKeyedCaches:
+    """Regression: the QE elimination cache and the SMT verdict cache
+    are keyed by *content digest*, so structurally equal formulas built
+    after ``clear_intern_tables()`` — or resurrected through a pickle
+    round-trip, as the batch driver's forked workers do — must hit the
+    caches instead of recomputing."""
+
+    def setup_method(self):
+        obs.reset()
+        obs.enable()
+        clear_qe_caches()
+
+    def teardown_method(self):
+        obs.disable()
+        obs.reset()
+        clear_qe_caches()
+
+    @staticmethod
+    def _phi():
+        x, y, z = VARS
+        return disj(
+            atom(Rel.LE, LinTerm.make([(x, 1), (y, -2)], 3)),
+            conj(atom(Rel.EQ, LinTerm.make([(y, 1), (z, 1)], -1)),
+                 neg(atom(Rel.LE, LinTerm.make([(z, 1)], 0)))),
+        )
+
+    def test_smt_verdicts_hit_across_clear_and_pickle(self):
+        solver = SmtSolver()
+        verdict = solver.is_sat(self._phi())
+        blob = pickle.dumps(self._phi())
+        baseline = solver.cache_stats()
+
+        clear_intern_tables()
+        rebuilt = self._phi()            # fresh nodes, same content
+        resurrected = pickle.loads(blob)
+        assert solver.is_sat(rebuilt) is verdict
+        assert solver.is_sat(resurrected) is verdict
+        stats = solver.cache_stats()
+        assert stats["misses"] == baseline["misses"]   # nothing recomputed
+        assert stats["hits"] == baseline["hits"] + 2
+
+    def test_qe_elimination_hits_across_clear_and_pickle(self):
+        x = VARS[0]
+        first = eliminate_exists([x], self._phi())
+        blob = pickle.dumps(self._phi())
+        before = dict(obs.snapshot().get("counters", {}))
+
+        clear_intern_tables()
+        again = eliminate_exists([x], self._phi())
+        resurrected = eliminate_exists([x], pickle.loads(blob))
+        after = obs.snapshot().get("counters", {})
+        assert again == first and resurrected == first
+        assert after.get("qe.elim.miss", 0) == before.get("qe.elim.miss", 0)
+        assert after.get("qe.elim.hit", 0) > before.get("qe.elim.hit", 0)

@@ -1,5 +1,7 @@
 """Tests for NNF/CNF/DNF, including hypothesis equivalence properties."""
 
+import pickle
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -14,8 +16,11 @@ from repro.logic import (
     nnf,
     parse_formula,
 )
+from repro.logic.digest import digest
+from repro.logic.intern import clear_intern_tables
+
 from .helpers import enumerate_box
-from .strategies import formulas, VARS
+from .strategies import deep_formulas, formulas, VARS
 
 
 class TestNNF:
@@ -92,6 +97,49 @@ def test_cnf_preserves_semantics(phi):
         pytest.skip("formula too large for CNF")
     for env in enumerate_box(VARS, 2):
         assert phi.evaluate(env) == rebuilt.evaluate(env)
+
+
+def _normal_form_digests(phi, limit=50_000):
+    """Content digests of the normalized forms (None when too large)."""
+    try:
+        return (digest(nnf(phi)),
+                digest(from_cnf(cnf_clauses(phi, limit=limit))),
+                digest(from_dnf(dnf_clauses(phi, limit=limit))))
+    except MemoryError:
+        return None
+
+
+@settings(max_examples=50, deadline=None)
+@given(deep_formulas())
+def test_deep_shared_normal_forms_preserve_semantics(phi):
+    """CNF/DNF stay correct on deeply nested, heavily shared DAGs."""
+    digests = _normal_form_digests(phi)
+    if digests is None:
+        pytest.skip("formula too large for normal forms")
+    cnf = from_cnf(cnf_clauses(phi, limit=50_000))
+    dnf = from_dnf(dnf_clauses(phi, limit=50_000))
+    for env in enumerate_box(VARS, 2):
+        want = phi.evaluate(env)
+        assert cnf.evaluate(env) == want
+        assert dnf.evaluate(env) == want
+
+
+@settings(max_examples=50, deadline=None)
+@given(deep_formulas())
+def test_normal_form_digests_survive_intern_state(phi):
+    """Normalization is a pure function of formula *content*: the
+    digests of the normalized output must not depend on intern-table
+    state (cleared tables) or on which process built the input (pickle
+    round-trip) — that is what makes them usable as persistent cache
+    keys."""
+    baseline = _normal_form_digests(phi)
+    if baseline is None:
+        pytest.skip("formula too large for normal forms")
+    clone = pickle.loads(pickle.dumps(phi))
+    clear_intern_tables()
+    resurrected = pickle.loads(pickle.dumps(clone))
+    assert _normal_form_digests(clone) == baseline
+    assert _normal_form_digests(resurrected) == baseline
 
 
 def _walk(phi):
