@@ -106,9 +106,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     _begin_trace(args)
     source = Path(args.file).read_text()
+    config = EngineConfig(max_rounds=args.max_rounds,
+                          solver_portfolio=args.solver_portfolio)
     pipeline = Pipeline(
         auto_annotate=not args.no_annotate,
-        config=EngineConfig(max_rounds=args.max_rounds),
+        config=config,
     )
     outcome = pipeline.analyze(source)
     if outcome.verdict is not InitialVerdict.UNCERTAIN:
@@ -126,8 +128,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         oracle = InteractiveOracle()
     else:
         oracle = SamplingOracle(outcome.program, outcome.analysis)
-    result = diagnose_error(outcome.analysis, oracle,
-                            EngineConfig(max_rounds=args.max_rounds))
+    result = diagnose_error(outcome.analysis, oracle, config)
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -212,7 +213,9 @@ def _cache_from_args(args: argparse.Namespace) -> tuple[str | None, bool]:
 def _run_triage(args: argparse.Namespace):
     names = args.names or None
     cache_dir, incremental = _cache_from_args(args)
-    result = Pipeline().triage(names, jobs=args.jobs,
+    config = EngineConfig(solver_portfolio=True) \
+        if getattr(args, "solver_portfolio", False) else None
+    result = Pipeline(config=config).triage(names, jobs=args.jobs,
                                limits=_limits_from_args(args),
                                cache_dir=cache_dir,
                                incremental=incremental)
@@ -510,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("--no-annotate", action="store_true")
     p_diag.add_argument("--report", default=None, metavar="PATH",
                         help="write a session report (.md for Markdown)")
+    p_diag.add_argument("--solver-portfolio", action="store_true",
+                        help="race incremental/fresh/QE-first solver "
+                             "strategies per boolean query (first sound "
+                             "answer wins; verdicts are unchanged)")
     add_output_flags(p_diag)
     p_diag.set_defaults(fn=_cmd_diagnose)
 
@@ -549,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="benchmark names (default: all of Figure 7)")
     p_triage.add_argument("--jobs", "-j", type=int, default=None,
                           help="worker processes (default: CPU count)")
+    p_triage.add_argument("--solver-portfolio", action="store_true",
+                          help="race incremental/fresh/QE-first solver "
+                               "strategies per boolean query")
     add_limit_flags(p_triage)
     add_cache_flags(p_triage)
     add_output_flags(p_triage)

@@ -1,0 +1,197 @@
+"""Selectable arithmetic backend for the Omega test's elimination steps.
+
+The Omega solver works on *dense rows*: a constraint ``c0*x0 + ... +
+c_{n-1}*x_{n-1} + const (<= 0 | = 0)`` is the list ``[c0, ..., c_{n-1},
+const]`` over a fixed variable order.  The two batch kernels here are the
+inner loops of inequality and equality elimination:
+
+* :func:`shadow_rows` — the Fourier–Motzkin pair products
+  ``alpha*b - beta*a (+ dark-shadow slack)`` for every lower/upper bound
+  pair, emitted lower-major / upper-minor;
+* :func:`substitute_rows` — Gaussian-style elimination of one column by
+  an affine replacement row (``row + row[j] * repl``, column j zeroed).
+
+Two implementations produce bit-identical rows:
+
+* ``python`` — list arithmetic over Python's arbitrary-precision ints;
+* ``numpy`` — the same products on int64 matrices.  Batches too small to
+  amortize array construction (fewer than :data:`MIN_CELLS` output
+  cells) and batches whose worst-case magnitude could overflow int64
+  fall back to the bigint row path *per call*, so results never depend
+  on the backend.
+
+The backend is chosen once at import: numpy when importable, else
+python.  Set ``REPRO_LIA_BACKEND=numpy|python|auto`` to override
+(``numpy`` raises if numpy is unavailable rather than silently
+degrading).  Tests may swap backends at runtime via :func:`use`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+Row = list  # list[int]: coefficients then the constant in the last slot
+
+#: Smallest output size (cells = rows x width) worth routing through
+#: numpy; below this the array construction overhead dominates.  Tests
+#: set this to 0 to force the numpy arithmetic on tiny systems.
+MIN_CELLS = 256
+
+#: Worst-case result magnitude must stay below this for the int64 path;
+#: the margin below 2**63 - 1 keeps the pre-check simple and safe.
+INT64_SAFE = 2 ** 62
+
+
+# ---------------------------------------------------------------------------
+# pure-Python kernels (also the bigint fallback of the numpy backend)
+# ---------------------------------------------------------------------------
+
+def _shadow_rows_py(
+    lowers: list[Row], betas: list[int],
+    uppers: list[Row], alphas: list[int], exact: bool,
+) -> list[Row]:
+    out: list[Row] = []
+    for b, beta in zip(lowers, betas):
+        for a, alpha in zip(uppers, alphas):
+            row = [alpha * x - beta * y for x, y in zip(b, a)]
+            if not exact:
+                row[-1] += (alpha - 1) * (beta - 1)
+            out.append(row)
+    return out
+
+
+def _substitute_rows_py(rows: list[Row], j: int, repl: Row) -> list[Row]:
+    out: list[Row] = []
+    for row in rows:
+        c = row[j]
+        if c == 0:
+            out.append(row)
+            continue
+        new = [x + c * y for x, y in zip(row, repl)]
+        new[j] = 0
+        out.append(new)
+    return out
+
+
+class _PythonBackend:
+    name = "python"
+
+    shadow_rows = staticmethod(_shadow_rows_py)
+    substitute_rows = staticmethod(_substitute_rows_py)
+
+
+# ---------------------------------------------------------------------------
+# numpy kernels
+# ---------------------------------------------------------------------------
+
+def _abs_max(rows: list[Row]) -> int:
+    peak = 0
+    for row in rows:
+        for x in row:
+            if x < 0:
+                x = -x
+            if x > peak:
+                peak = x
+    return peak
+
+
+class _NumpyBackend:
+    name = "numpy"
+
+    def __init__(self, np: Any):
+        self._np = np
+
+    def shadow_rows(
+        self, lowers: list[Row], betas: list[int],
+        uppers: list[Row], alphas: list[int], exact: bool,
+    ) -> list[Row]:
+        if not lowers or not uppers:
+            return []
+        width = len(lowers[0])
+        if len(lowers) * len(uppers) * width < MIN_CELLS:
+            return _shadow_rows_py(lowers, betas, uppers, alphas, exact)
+        ma, mb = max(alphas), max(betas)
+        bound = ma * _abs_max(lowers) + mb * _abs_max(uppers)
+        if not exact:
+            bound += (ma - 1) * (mb - 1)
+        if bound >= INT64_SAFE:
+            return _shadow_rows_py(lowers, betas, uppers, alphas, exact)
+        np = self._np
+        lo = np.asarray(lowers, dtype=np.int64)
+        up = np.asarray(uppers, dtype=np.int64)
+        al = np.asarray(alphas, dtype=np.int64)
+        be = np.asarray(betas, dtype=np.int64)
+        # result[i, j] = alphas[j] * lowers[i] - betas[i] * uppers[j]
+        prod = (lo[:, None, :] * al[None, :, None]
+                - up[None, :, :] * be[:, None, None])
+        if not exact:
+            prod[:, :, -1] += (al[None, :] - 1) * (be[:, None] - 1)
+        return prod.reshape(-1, width).tolist()
+
+    def substitute_rows(self, rows: list[Row], j: int, repl: Row) -> list[Row]:
+        if not rows:
+            return []
+        width = len(repl)
+        if len(rows) * width < MIN_CELLS:
+            return _substitute_rows_py(rows, j, repl)
+        bound = _abs_max(rows) * (1 + _abs_max([repl]))
+        if bound >= INT64_SAFE:
+            return _substitute_rows_py(rows, j, repl)
+        np = self._np
+        mat = np.asarray(rows, dtype=np.int64)
+        rep = np.asarray(repl, dtype=np.int64)
+        mat = mat + mat[:, j, None] * rep[None, :]
+        mat[:, j] = 0
+        return mat.tolist()
+
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+
+def _load(choice: str) -> Any:
+    choice = choice.lower().strip() or "auto"
+    if choice not in ("auto", "numpy", "python"):
+        raise ValueError(
+            f"REPRO_LIA_BACKEND must be auto|numpy|python, got {choice!r}"
+        )
+    if choice == "python":
+        return _PythonBackend()
+    try:
+        import numpy as np
+    except ImportError:
+        if choice == "numpy":
+            raise RuntimeError(
+                "REPRO_LIA_BACKEND=numpy but numpy is not importable"
+            ) from None
+        return _PythonBackend()
+    return _NumpyBackend(np)
+
+
+_ACTIVE = _load(os.environ.get("REPRO_LIA_BACKEND", "auto"))
+
+
+def name() -> str:
+    """Name of the active backend: ``"numpy"`` or ``"python"``."""
+    return _ACTIVE.name
+
+
+def use(choice: str = "auto") -> str:
+    """Re-select the backend at runtime (tests); returns the active name."""
+    global _ACTIVE
+    _ACTIVE = _load(choice)
+    return _ACTIVE.name
+
+
+def shadow_rows(
+    lowers: list[Row], betas: list[int],
+    uppers: list[Row], alphas: list[int], exact: bool,
+) -> list[Row]:
+    """All Fourier–Motzkin pair rows, lower-major / upper-minor order."""
+    return _ACTIVE.shadow_rows(lowers, betas, uppers, alphas, exact)
+
+
+def substitute_rows(rows: list[Row], j: int, repl: Row) -> list[Row]:
+    """Eliminate column ``j`` from every row via the replacement row."""
+    return _ACTIVE.substitute_rows(rows, j, repl)

@@ -1,0 +1,26 @@
+"""Exact integer arithmetic helpers shared across the LIA stack.
+
+These used to live as private near-copies in :mod:`repro.lia.omega` and
+the QE layer; they are the primitive operations both Pugh's Omega test
+and Cooper elimination build on, so they live here once.  All functions
+are exact over arbitrary-precision ints.
+"""
+
+from __future__ import annotations
+
+
+def floor_div(a: int, b: int) -> int:
+    """floor(a / b) for b > 0."""
+    return a // b
+
+
+def ceil_div(a: int, b: int) -> int:
+    """ceil(a / b) for b > 0."""
+    return -((-a) // b)
+
+
+def mod_hat(a: int, m: int) -> int:
+    """Pugh's symmetric residue: a modulo m, shifted into [-m/2, m/2)."""
+    r = a - m * ((2 * a + m) // (2 * m))
+    assert (r - a) % m == 0 and -m <= 2 * r < m
+    return r

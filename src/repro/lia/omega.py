@@ -19,19 +19,39 @@ Disequalities and (negated) divisibility literals are lowered at the entry
 point (:func:`solve_literals`):  ``t != 0`` case-splits into ``t <= -1`` or
 ``t >= 1``;  ``d | t`` introduces a fresh quotient variable;  ``d !| t``
 introduces a quotient and a bounded nonzero remainder.
+
+Internally the solver runs on *dense rows* — each constraint is a plain
+list ``[c0, ..., c_{n-1}, const]`` over a fixed variable order — so the
+elimination inner loops are integer array arithmetic instead of sparse
+term manipulation.  The batch kernels (Fourier–Motzkin pair products,
+equality substitution) are provided by :mod:`repro.lia.backend`, which
+selects a numpy int64 implementation when available and falls back to
+pure-Python bigint rows; both emit bit-identical rows.  ``LinTerm`` is
+still the public interface; conversion happens once per ``_solve`` call.
 """
 
 from __future__ import annotations
 
 import warnings
+from math import gcd
 from typing import Iterable, Sequence
 
 from .. import limits as _limits
 from ..limits import ResourceExhausted
 from ..logic.formulas import Atom, Dvd, Formula, Rel
 from ..logic.terms import LinTerm, Var, VarSupply
+from . import backend as _backend
+from .intmath import ceil_div, floor_div, mod_hat
 
 _DEFAULT_BUDGET = 5_000_000
+
+#: Cap on entries in the per-instance ``solve_literals`` verdict memo.
+_MEMO_LIMIT = 1 << 14
+
+#: Resource ticks are counted exactly but reported to the governor in
+#: batches, so the per-tick cost is an integer add instead of a clock
+#: read (mirrors the deadline amortization inside :mod:`repro.limits`).
+_TICK_FLUSH = 64
 
 
 class Model(dict):
@@ -50,22 +70,11 @@ class Model(dict):
 #: so existing ``except BudgetExceeded`` handlers keep working.
 BudgetExceeded = ResourceExhausted
 
-
-def _ceil_div(a: int, b: int) -> int:
-    """ceil(a / b) for b > 0."""
-    return -((-a) // b)
-
-
-def _floor_div(a: int, b: int) -> int:
-    """floor(a / b) for b > 0."""
-    return a // b
-
-
-def _mod_hat(a: int, m: int) -> int:
-    """Pugh's symmetric residue: a modulo m, shifted into [-m/2, m/2)."""
-    r = a - m * _floor_div(2 * a + m, 2 * m)
-    assert (r - a) % m == 0 and -m <= 2 * r < m
-    return r
+# Backwards-compatible aliases; the shared definitions live in
+# :mod:`repro.lia.intmath` now.
+_ceil_div = ceil_div
+_floor_div = floor_div
+_mod_hat = mod_hat
 
 
 def _normalize_le(term: LinTerm) -> LinTerm | None | bool:
@@ -79,7 +88,7 @@ def _normalize_le(term: LinTerm) -> LinTerm | None | bool:
     g = term.content()
     if g > 1:
         coeffs = [(v, c // g) for v, c in term.coeffs]
-        bound = _floor_div(-term.const, g)
+        bound = floor_div(-term.const, g)
         term = LinTerm.make(coeffs, -bound)
     return term
 
@@ -96,6 +105,75 @@ def _normalize_eq(term: LinTerm) -> LinTerm | None | bool:
     return term
 
 
+# ---------------------------------------------------------------------------
+# dense-row helpers: a row is [c0, ..., c_{n-1}, const] over a var order
+# ---------------------------------------------------------------------------
+
+def _term_to_row(term: LinTerm, col: dict[Var, int], width: int) -> list[int]:
+    row = [0] * width
+    for v, c in term.coeffs:
+        row[col[v]] = c
+    row[-1] = term.const
+    return row
+
+
+def _row_to_term(row: list[int], order: list[Var]) -> LinTerm:
+    return LinTerm.make(
+        [(order[k], row[k]) for k in range(len(row) - 1) if row[k]], row[-1]
+    )
+
+
+def _normalize_le_row(row: list[int]) -> list[int] | None | bool:
+    """Row form of :func:`_normalize_le` (may return the input row)."""
+    g = 0
+    for k in range(len(row) - 1):
+        c = row[k]
+        if c:
+            g = gcd(g, c)
+    if g == 0:
+        return None if row[-1] <= 0 else False
+    if g == 1:
+        return row
+    new = [c // g for c in row]
+    new[-1] = ceil_div(row[-1], g)
+    return new
+
+
+def _normalize_eq_row(row: list[int]) -> list[int] | None | bool:
+    """Row form of :func:`_normalize_eq` (may return the input row)."""
+    g = 0
+    for k in range(len(row) - 1):
+        c = row[k]
+        if c:
+            g = gcd(g, c)
+    if g == 0:
+        return None if row[-1] == 0 else False
+    if g == 1:
+        return row
+    if row[-1] % g != 0:
+        return False
+    return [c // g for c in row]
+
+
+def _subst_row(row: list[int], j: int, repl: list[int]) -> list[int]:
+    """``row`` with variable ``j`` replaced by the affine row ``repl``."""
+    c = row[j]
+    if c == 0:
+        return row
+    new = [x + c * y for x, y in zip(row, repl)]
+    new[j] = 0
+    return new
+
+
+def _eval_row(row: list[int], order: list[Var], env) -> int:
+    total = row[-1]
+    for k in range(len(row) - 1):
+        c = row[k]
+        if c:
+            total += c * env[order[k]]
+    return total
+
+
 class OmegaSolver:
     """Exact integer linear arithmetic solver for conjunctions of literals."""
 
@@ -109,6 +187,13 @@ class OmegaSolver:
             )
         self._budget = _DEFAULT_BUDGET if budget is None else budget
         self._steps = 0
+        self._pending = 0
+        # per-instance verdict memo keyed on the literal tuple.  The SMT
+        # layer's deletion-based unsat_core re-solves the full literal
+        # set its caller just proved unsatisfiable, and overlapping
+        # subsets recur across theory rounds — both hit here.  Bounded;
+        # results are pure functions of the (hash-consed) literals.
+        self._memo: dict[tuple, Model | None] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -120,7 +205,22 @@ class OmegaSolver:
         the constants TRUE (ignored) / FALSE (unsat).
         """
         literals = list(literals)
+        key = tuple(literals)
+        try:
+            cached = self._memo[key]
+        except (KeyError, TypeError):  # TypeError: unhashable literal
+            pass
+        else:
+            _limits.tick("omega")  # cached answers keep the deadline live
+            return cached
+        result = self._solve_literals_uncached(literals)
+        if len(self._memo) < _MEMO_LIMIT:
+            self._memo[key] = result
+        return result
+
+    def _solve_literals_uncached(self, literals: list) -> Model | None:
         self._steps = 0
+        self._pending = 0
         les: list[LinTerm] = []
         eqs: list[LinTerm] = []
         nes: list[LinTerm] = []
@@ -164,7 +264,10 @@ class OmegaSolver:
             else:
                 raise TypeError(f"not an atom literal: {lit!r}")
 
-        model = self._solve_with_nes(les, eqs, nes)
+        try:
+            model = self._solve_with_nes(les, eqs, nes)
+        finally:
+            self._flush_ticks()
         if model is None:
             return None
         # keep only the caller's variables (internal $q/$r/$s vars drop out)
@@ -228,158 +331,229 @@ class OmegaSolver:
     # ------------------------------------------------------------------
     # core solver: returns a model covering every variable of the system
     # ------------------------------------------------------------------
-    def _tick(self) -> None:
-        _limits.tick("omega")
-        self._steps += 1
+    def _tick(self, amount: int = 1) -> None:
+        self._steps += amount
+        pending = self._pending + amount
+        if pending >= _TICK_FLUSH:
+            self._pending = 0
+            _limits.tick("omega", pending)
+        else:
+            self._pending = pending
         if self._steps > self._budget:
             raise ResourceExhausted("omega", self._steps, self._budget)
+
+    def _flush_ticks(self) -> None:
+        if self._pending:
+            pending, self._pending = self._pending, 0
+            _limits.tick("omega", pending)
 
     def _solve(
         self, les: list[LinTerm], eqs: list[LinTerm]
     ) -> dict[Var, int] | None:
         """Solve ``les <= 0  and  eqs = 0``; model covers all variables."""
-        substitutions: list[tuple[Var, LinTerm]] = []
-        supply = VarSupply(
-            (v for t in les + eqs for v in t.variables), prefix="$s"
-        )
+        variables: set[Var] = set()
+        for t in les:
+            variables |= t.variables
+        for t in eqs:
+            variables |= t.variables
+        order = sorted(variables, key=lambda v: v.name)
+        col = {v: k for k, v in enumerate(order)}
+        width = len(order) + 1
+        le_rows = [_term_to_row(t, col, width) for t in les]
+        eq_rows = [_term_to_row(t, col, width) for t in eqs]
+        return self._solve_rows(le_rows, eq_rows, order)
+
+    def _solve_rows(
+        self,
+        le_rows: list[list[int]],
+        eq_rows: list[list[int]],
+        order: list[Var],
+    ) -> dict[Var, int] | None:
+        """Row-level core; ``order`` maps columns to variables.
+
+        The order list is copied (equality elimination may append fresh
+        ``$s`` columns); rows are copied too, since elimination widens
+        them in place while callers (splinters) reuse their row lists.
+        """
+        order = list(order)
+        le_rows = [r[:] for r in le_rows]
+        eq_rows = [r[:] for r in eq_rows]
+        occurring = {
+            order[k]
+            for rows in (le_rows, eq_rows)
+            for row in rows
+            for k in range(len(row) - 1)
+            if row[k]
+        }
+        supply = VarSupply(occurring, prefix="$s")
+        # scan visits columns in variable-name order, matching the sorted
+        # coefficient order the sparse-term implementation iterated in
+        scan = sorted(range(len(order)), key=lambda k: order[k].name)
+        substitutions: list[tuple[int, list[int]]] = []
 
         # ---- phase 1: equality elimination -----------------------------
-        while eqs:
+        while eq_rows:
             self._tick()
-            normalized = _normalize_eq(eqs.pop())
+            normalized = _normalize_eq_row(eq_rows.pop())
             if normalized is None:
                 continue
             if normalized is False:
                 return None
             eq = normalized
 
-            unit = next(
-                ((v, c) for v, c in eq.coeffs if abs(c) == 1), None
-            )
-            if unit is not None:
-                v, c = unit
-                rest = eq - LinTerm.var(v, c)
-                replacement = rest.scale(-1) if c == 1 else rest
+            j = -1
+            c = 0
+            for k in scan:
+                ck = eq[k]
+                if ck == 1 or ck == -1:
+                    j = k
+                    c = ck
+                    break
+            if j >= 0:
+                repl = eq[:]
+                repl[j] = 0
+                if c == 1:
+                    repl = [-x for x in repl]
             else:
                 # Pugh's mod-hat reduction: no unit coefficient available.
-                v, c = min(eq.coeffs, key=lambda item: abs(item[1]))
-                m = abs(c) + 1
+                best = 0
+                for k in scan:
+                    ck = eq[k]
+                    if ck and (best == 0 or abs(ck) < best):
+                        best = abs(ck)
+                        j = k
+                m = best + 1
                 sigma = supply.fresh("$s")
-                reduced = LinTerm.make(
-                    [(var, _mod_hat(coeff, m)) for var, coeff in eq.coeffs]
-                    + [(sigma, -m)],
-                    _mod_hat(eq.const, m),
-                )
-                cv = reduced.coeff(v)
+                order.append(sigma)
+                for row in le_rows:
+                    row.insert(-1, 0)
+                for row in eq_rows:
+                    row.insert(-1, 0)
+                eq.insert(-1, 0)
+                scan = sorted(range(len(order)), key=lambda k: order[k].name)
+                reduced = [mod_hat(x, m) for x in eq]
+                reduced[-2] = -m          # the fresh sigma column
+                cv = reduced[j]
                 assert abs(cv) == 1, "mod-hat must give v a unit coefficient"
-                rest = reduced - LinTerm.var(v, cv)
-                replacement = rest.scale(-1) if cv == 1 else rest
+                repl = reduced[:]
+                repl[j] = 0
+                if cv == 1:
+                    repl = [-x for x in repl]
                 # the original equality, rewritten, shrinks and goes back in
-                eqs.append(eq.substitute({v: replacement}))
+                eq_rows.append(_subst_row(eq, j, repl))
 
-            les = [t.substitute({v: replacement}) for t in les]
-            eqs = [t.substitute({v: replacement}) for t in eqs]
-            substitutions.append((v, replacement))
+            le_rows = _backend.substitute_rows(le_rows, j, repl)
+            eq_rows = _backend.substitute_rows(eq_rows, j, repl)
+            substitutions.append((j, repl))
 
         # ---- phase 2: inequality elimination ----------------------------
-        model = self._solve_inequalities(les)
+        model = self._solve_ineq_rows(le_rows, order)
         if model is None:
             return None
 
         # ---- back-substitute eliminated variables -----------------------
-        for v, replacement in reversed(substitutions):
-            model[v] = replacement.evaluate(_Defaulting(model))
+        for j, repl in reversed(substitutions):
+            model[order[j]] = _eval_row(repl, order, _Defaulting(model))
         return model
 
-    def _solve_inequalities(
-        self, raw: list[LinTerm]
+    def _solve_ineq_rows(
+        self, raw: list[list[int]], order: list[Var]
     ) -> dict[Var, int] | None:
         """Solve a pure inequality system; model covers all its variables."""
         # normalize, then drop dominated constraints: for identical
         # coefficient vectors keep only the tightest bound.  Without this
         # the Fourier-Motzkin shadows accumulate quadratically many
         # redundant copies and elimination blows up.
-        tightest: dict[tuple, int] = {}
-        for term in raw:
-            tightened = _normalize_le(term)
+        tightest: dict[tuple[int, ...], int] = {}
+        rows: list[list[int]] = []
+        for row in raw:
+            tightened = _normalize_le_row(row)
             if tightened is False:
                 return None
             if tightened is None:
                 continue
-            key = tightened.coeffs
+            key = tuple(tightened[:-1])
             prior = tightest.get(key)
-            if prior is None or tightened.const > prior:
-                tightest[key] = tightened.const
-        les = [LinTerm(coeffs, const)
-               for coeffs, const in tightest.items()]
-
-        variables: set[Var] = set()
-        for term in les:
-            variables |= term.variables
-        if not variables:
+            if prior is None:
+                tightest[key] = len(rows)
+                rows.append(tightened)
+            elif tightened[-1] > rows[prior][-1]:
+                rows[prior] = tightened
+        if not rows:
             return {}
 
-        v = self._pick_variable(les, variables)
-        lowers: list[tuple[LinTerm, int]] = []  # (b, beta): b <= beta*v
-        uppers: list[tuple[LinTerm, int]] = []  # (a, alpha): alpha*v <= a
-        others: list[LinTerm] = []
-        for term in les:
-            c = term.coeff(v)
+        ncols = len(order)
+        active = [k for k in range(ncols) if any(row[k] for row in rows)]
+        j = self._pick_column(rows, active, order)
+
+        lowers: list[list[int]] = []   # (b, beta): b <= beta*v
+        betas: list[int] = []
+        uppers: list[list[int]] = []   # (a, alpha): alpha*v <= a
+        alphas: list[int] = []
+        others: list[list[int]] = []
+        for row in rows:
+            c = row[j]
             if c == 0:
-                others.append(term)
+                others.append(row)
             elif c > 0:
                 # c*v + rest <= 0  =>  c*v <= -rest
-                uppers.append((-(term - LinTerm.var(v, c)), c))
+                a = [-x for x in row]
+                a[j] = 0
+                uppers.append(a)
+                alphas.append(c)
             else:
                 # c*v + rest <= 0  =>  (-c)*v >= rest
-                lowers.append((term - LinTerm.var(v, c), -c))
+                b = row[:]
+                b[j] = 0
+                lowers.append(b)
+                betas.append(-c)
 
         if not lowers or not uppers:
             # one-sided: v can always be chosen once the rest is solved
-            model = self._solve_inequalities(others)
+            model = self._solve_ineq_rows(others, order)
             if model is None:
                 return None
-            self._assign_within_bounds(model, v, lowers, uppers)
+            self._assign_within_bounds(
+                model, j, lowers, betas, uppers, alphas, order
+            )
             return model
 
-        exact = all(
-            beta == 1 or alpha == 1
-            for _, beta in lowers
-            for _, alpha in uppers
-        )
+        # every bound pair needs beta == 1 or alpha == 1 for exactness
+        exact = all(b == 1 for b in betas) or all(a == 1 for a in alphas)
 
-        shadow: list[LinTerm] = []
-        for b, beta in lowers:
-            for a, alpha in uppers:
-                self._tick()
-                # real shadow: alpha*b - beta*a <= 0; dark shadow adds slack
-                slack = 0 if exact else (alpha - 1) * (beta - 1)
-                shadow.append(b.scale(alpha) - a.scale(beta) + slack)
+        # real shadow: alpha*b - beta*a <= 0; dark shadow adds slack
+        self._tick(len(lowers) * len(uppers))
+        shadow = _backend.shadow_rows(lowers, betas, uppers, alphas, exact)
 
-        model = self._solve_inequalities(others + shadow)
+        model = self._solve_ineq_rows(others + shadow, order)
         if model is not None:
-            self._assign_within_bounds(model, v, lowers, uppers)
+            self._assign_within_bounds(
+                model, j, lowers, betas, uppers, alphas, order
+            )
             return model
         if exact:
             return None
 
         # dark shadow infeasible: splinter on beta*v = b + i for completeness
-        alpha_max = max(alpha for _, alpha in uppers)
-        for b, beta in lowers:
+        alpha_max = max(alphas)
+        for b, beta in zip(lowers, betas):
             if beta == 1:
                 continue
-            limit = _floor_div(beta * alpha_max - alpha_max - beta, alpha_max)
+            limit = floor_div(beta * alpha_max - alpha_max - beta, alpha_max)
             for i in range(limit + 1):
                 self._tick()
-                model = self._solve(
-                    list(les), [LinTerm.var(v, beta) - b - i]
-                )
+                eq = [-x for x in b]
+                eq[j] = beta
+                eq[-1] = -b[-1] - i
+                model = self._solve_rows(rows, [eq], order)
                 if model is not None:
                     return model
         return None
 
     @staticmethod
-    def _pick_variable(les: list[LinTerm], variables: set[Var]) -> Var:
+    def _pick_column(
+        rows: list[list[int]], active: list[int], order: list[Var]
+    ) -> int:
         """Prefer variables whose elimination is exact and cheap.
 
         The dominant cost driver is the number of shadow constraints a
@@ -387,55 +561,62 @@ class OmegaSolver:
         minimized first among exact candidates.
         """
         best_key: tuple[int, int, int, str] | None = None
-        best_var: Var | None = None
-        for v in variables:
+        best = -1
+        for k in active:
             lowers = uppers = non_unit = 0
             max_coeff = 1
-            for t in les:
-                c = t.coeff(v)
+            for row in rows:
+                c = row[k]
                 if c == 0:
                     continue
                 if c > 0:
                     uppers += 1
                 else:
                     lowers += 1
-                if abs(c) != 1:
+                if c != 1 and c != -1:
                     non_unit += 1
-                    max_coeff = max(max_coeff, abs(c))
+                    a = -c if c < 0 else c
+                    if a > max_coeff:
+                        max_coeff = a
             growth = lowers * uppers - (lowers + uppers)
-            key = (non_unit, growth, max_coeff, v.name)
+            key = (non_unit, growth, max_coeff, order[k].name)
             if best_key is None or key < best_key:
                 best_key = key
-                best_var = v
-        assert best_var is not None
-        return best_var
+                best = k
+        assert best >= 0
+        return best
 
     @staticmethod
     def _assign_within_bounds(
         model: dict[Var, int],
-        v: Var,
-        lowers: list[tuple[LinTerm, int]],
-        uppers: list[tuple[LinTerm, int]],
+        j: int,
+        lowers: list[list[int]],
+        betas: list[int],
+        uppers: list[list[int]],
+        alphas: list[int],
+        order: list[Var],
     ) -> None:
-        """Pick a value for ``v`` between its bounds under ``model``."""
+        """Pick a value for column ``j`` between its bounds under ``model``."""
         env = _Defaulting(model)
         lo = (
-            max(_ceil_div(b.evaluate(env), beta) for b, beta in lowers)
+            max(ceil_div(_eval_row(b, order, env), beta)
+                for b, beta in zip(lowers, betas))
             if lowers else None
         )
         hi = (
-            min(_floor_div(a.evaluate(env), alpha) for a, alpha in uppers)
+            min(floor_div(_eval_row(a, order, env), alpha)
+                for a, alpha in zip(uppers, alphas))
             if uppers else None
         )
         if lo is not None and hi is not None:
             assert lo <= hi, "shadow guaranteed an integer solution"
-            model[v] = lo
+            model[order[j]] = lo
         elif lo is not None:
-            model[v] = lo
+            model[order[j]] = lo
         elif hi is not None:
-            model[v] = hi
+            model[order[j]] = hi
         else:
-            model[v] = 0
+            model[order[j]] = 0
 
 
 class _Defaulting(dict):

@@ -43,6 +43,7 @@ can use it without cycles.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -59,6 +60,7 @@ __all__ = [
     "STAGES",
     "current_governor",
     "governed",
+    "governed_here",
     "tick",
 ]
 
@@ -295,18 +297,42 @@ class Governor:
 
 _active: Governor | None = None
 
+# Thread-local governor overrides.  The solver portfolio races strategy
+# threads, each governed by its own deadline/budget/cancellation token;
+# a process-global slot cannot express that.  ``_tl_installs`` counts
+# live thread-local installs so the ubiquitous ungoverned ``tick`` stays
+# one global load plus a falsy check — the ``threading.local`` lookup
+# only happens while a portfolio race is actually in flight.
+_tl = threading.local()
+_tl_installs = 0
+_tl_lock = threading.Lock()
+
+
+def _resolve() -> Governor | None:
+    if _tl_installs:
+        governor = getattr(_tl, "governor", None)
+        if governor is not None:
+            return governor
+    return _active
+
 
 def tick(stage: str, amount: int = 1) -> None:
     """The checkpoint every solver loop head calls.  Near-free while no
     governor is active: one global load and a ``None`` check."""
-    governor = _active
+    if _tl_installs:
+        governor = getattr(_tl, "governor", None)
+        if governor is None:
+            governor = _active
+    else:
+        governor = _active
     if governor is not None:
         governor.tick(stage, amount)
 
 
 def current_governor() -> Governor | None:
-    """The governor installed by the innermost :func:`governed` block."""
-    return _active
+    """The governor installed by the innermost :func:`governed` block
+    (a thread-local :func:`governed_here` install shadows the global)."""
+    return _resolve()
 
 
 @contextmanager
@@ -327,3 +353,28 @@ def governed(limits: Limits) -> Iterator[Governor]:
         _active = previous
         for stage, n in governor.spend.items():
             obs.inc(f"limits.spend.{stage}", n)
+
+
+@contextmanager
+def governed_here(limits: Limits) -> Iterator[Governor]:
+    """Install a :class:`Governor` for the *current thread* only.
+
+    Other threads keep seeing the process-global governor.  Used by the
+    solver portfolio to give each racing strategy its own deadline and
+    cancellation token.  Unlike :func:`governed`, spend is *not* folded
+    into the obs counters on exit — the portfolio folds the winning
+    strategy's spend into the ambient governor itself, so a race books
+    the same cost a sequential solve would have.
+    """
+    global _tl_installs
+    previous = getattr(_tl, "governor", None)
+    governor = Governor(limits)
+    with _tl_lock:
+        _tl_installs += 1
+    _tl.governor = governor
+    try:
+        yield governor
+    finally:
+        _tl.governor = previous
+        with _tl_lock:
+            _tl_installs -= 1

@@ -328,7 +328,7 @@ class Not(Formula):
     """Negation.  Smart constructors push ``Not`` onto atoms eagerly, so a
     ``Not`` node in a normalized formula always wraps a quantifier."""
 
-    __slots__ = ("arg", "_hc", "_neg", "_dg")
+    __slots__ = ("arg", "_hc", "_neg", "_dg", "_sz")
 
     _intern: ClassVar[dict] = register_table("Not", {})
 
@@ -342,6 +342,7 @@ class Not(Formula):
         _set(self, "arg", arg)
         _set(self, "_hc", hash(("Not", arg)))
         _set(self, "_neg", arg)
+        _set(self, "_sz", None)
         if len(table) < INTERN_LIMIT:
             table[arg] = self
         return self
@@ -372,7 +373,11 @@ class Not(Formula):
         return not self.arg.evaluate(env)
 
     def size(self) -> int:
-        return 1 + self.arg.size()
+        cached = self._sz
+        if cached is None:
+            cached = 1 + self.arg.size()
+            object.__setattr__(self, "_sz", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"!({self.arg})"
@@ -382,7 +387,7 @@ class Not(Formula):
 
 class And(Formula):
 
-    __slots__ = ("args", "_hc", "_neg", "_fv", "_dg")
+    __slots__ = ("args", "_hc", "_neg", "_fv", "_dg", "_sz")
 
     _intern: ClassVar[dict] = register_table("And", {})
 
@@ -397,6 +402,7 @@ class And(Formula):
         _set(self, "_hc", hash(("And", args)))
         _set(self, "_neg", None)
         _set(self, "_fv", None)
+        _set(self, "_sz", None)
         if len(table) < INTERN_LIMIT:
             table[args] = self
         return self
@@ -435,7 +441,11 @@ class And(Formula):
         return all(arg.evaluate(env) for arg in self.args)
 
     def size(self) -> int:
-        return 1 + sum(arg.size() for arg in self.args)
+        cached = self._sz
+        if cached is None:
+            cached = 1 + sum(arg.size() for arg in self.args)
+            object.__setattr__(self, "_sz", cached)
+        return cached
 
     def __str__(self) -> str:
         return "(" + " & ".join(str(a) for a in self.args) + ")"
@@ -445,7 +455,7 @@ class And(Formula):
 
 class Or(Formula):
 
-    __slots__ = ("args", "_hc", "_neg", "_fv", "_dg")
+    __slots__ = ("args", "_hc", "_neg", "_fv", "_dg", "_sz")
 
     _intern: ClassVar[dict] = register_table("Or", {})
 
@@ -460,6 +470,7 @@ class Or(Formula):
         _set(self, "_hc", hash(("Or", args)))
         _set(self, "_neg", None)
         _set(self, "_fv", None)
+        _set(self, "_sz", None)
         if len(table) < INTERN_LIMIT:
             table[args] = self
         return self
@@ -498,7 +509,11 @@ class Or(Formula):
         return any(arg.evaluate(env) for arg in self.args)
 
     def size(self) -> int:
-        return 1 + sum(arg.size() for arg in self.args)
+        cached = self._sz
+        if cached is None:
+            cached = 1 + sum(arg.size() for arg in self.args)
+            object.__setattr__(self, "_sz", cached)
+        return cached
 
     def __str__(self) -> str:
         return "(" + " | ".join(str(a) for a in self.args) + ")"
@@ -508,7 +523,7 @@ class Or(Formula):
 
 class Exists(Formula):
 
-    __slots__ = ("variables", "body", "_hc", "_neg", "_dg")
+    __slots__ = ("variables", "body", "_hc", "_neg", "_dg", "_sz")
 
     _intern: ClassVar[dict] = register_table("Exists", {})
 
@@ -524,6 +539,7 @@ class Exists(Formula):
         _set(self, "body", body)
         _set(self, "_hc", hash(("Exists", variables, body)))
         _set(self, "_neg", None)
+        _set(self, "_sz", None)
         if len(table) < INTERN_LIMIT:
             table[key] = self
         return self
@@ -562,7 +578,11 @@ class Exists(Formula):
         raise ValueError("cannot evaluate a quantified formula directly")
 
     def size(self) -> int:
-        return 1 + self.body.size()
+        cached = self._sz
+        if cached is None:
+            cached = 1 + self.body.size()
+            object.__setattr__(self, "_sz", cached)
+        return cached
 
     def __str__(self) -> str:
         names = ", ".join(str(v) for v in self.variables)
@@ -573,7 +593,7 @@ class Exists(Formula):
 
 class Forall(Formula):
 
-    __slots__ = ("variables", "body", "_hc", "_neg", "_dg")
+    __slots__ = ("variables", "body", "_hc", "_neg", "_dg", "_sz")
 
     _intern: ClassVar[dict] = register_table("Forall", {})
 
@@ -589,6 +609,7 @@ class Forall(Formula):
         _set(self, "body", body)
         _set(self, "_hc", hash(("Forall", variables, body)))
         _set(self, "_neg", None)
+        _set(self, "_sz", None)
         if len(table) < INTERN_LIMIT:
             table[key] = self
         return self
@@ -627,7 +648,11 @@ class Forall(Formula):
         raise ValueError("cannot evaluate a quantified formula directly")
 
     def size(self) -> int:
-        return 1 + self.body.size()
+        cached = self._sz
+        if cached is None:
+            cached = 1 + self.body.size()
+            object.__setattr__(self, "_sz", cached)
+        return cached
 
     def __str__(self) -> str:
         names = ", ".join(str(v) for v in self.variables)
@@ -699,23 +724,47 @@ def dvd(divisor: int, term: LinTerm, negated: bool = False) -> Formula:
     return Dvd(divisor, term, negated)
 
 
+# The smart constructors are pure functions of their argument tuples,
+# and the QE/abduction loops rebuild the same conjunctions round after
+# round; a bounded result cache turns those rebuilds into one dict hit.
+# Registered as intern tables so the memory valve clears them too.
+_CONNECTIVE_CACHE_LIMIT = 1 << 15
+_conj_cache: dict = register_table("conj()", {})
+_disj_cache: dict = register_table("disj()", {})
+
+
 def conj(*parts: Formula) -> Formula:
-    """N-ary conjunction with flattening, deduplication and folding."""
+    """N-ary conjunction with flattening, deduplication and folding.
+
+    TRUE/FALSE are singletons, so the constant checks are identity
+    tests, and the complement check only materializes a negation for
+    literal-shaped parts (it can never fold on And/Or anyway).
+    """
+    cached = _conj_cache.get(parts)
+    if cached is not None:
+        return cached
+    result = _conj_uncached(parts)
+    if len(_conj_cache) < _CONNECTIVE_CACHE_LIMIT:
+        _conj_cache[parts] = result
+    return result
+
+
+def _conj_uncached(parts: tuple[Formula, ...]) -> Formula:
     flat: list[Formula] = []
     seen: set[Formula] = set()
     stack = list(reversed(parts))
     while stack:
         part = stack.pop()
-        if part.is_true:
+        if part is TRUE:
             continue
-        if part.is_false:
+        if part is FALSE:
             return FALSE
         if isinstance(part, And):
             stack.extend(reversed(part.args))
             continue
         if part in seen:
             continue
-        if neg(part) in seen and isinstance(part, (Atom, Dvd, Not)):
+        if isinstance(part, (Atom, Dvd, Not)) and neg(part) in seen:
             return FALSE
         seen.add(part)
         flat.append(part)
@@ -728,21 +777,31 @@ def conj(*parts: Formula) -> Formula:
 
 def disj(*parts: Formula) -> Formula:
     """N-ary disjunction with flattening, deduplication and folding."""
+    cached = _disj_cache.get(parts)
+    if cached is not None:
+        return cached
+    result = _disj_uncached(parts)
+    if len(_disj_cache) < _CONNECTIVE_CACHE_LIMIT:
+        _disj_cache[parts] = result
+    return result
+
+
+def _disj_uncached(parts: tuple[Formula, ...]) -> Formula:
     flat: list[Formula] = []
     seen: set[Formula] = set()
     stack = list(reversed(parts))
     while stack:
         part = stack.pop()
-        if part.is_false:
+        if part is FALSE:
             continue
-        if part.is_true:
+        if part is TRUE:
             return TRUE
         if isinstance(part, Or):
             stack.extend(reversed(part.args))
             continue
         if part in seen:
             continue
-        if neg(part) in seen and isinstance(part, (Atom, Dvd, Not)):
+        if isinstance(part, (Atom, Dvd, Not)) and neg(part) in seen:
             return TRUE
         seen.add(part)
         flat.append(part)
@@ -760,9 +819,9 @@ def neg(phi: Formula) -> Formula:
     negation caches the original), so repeated negation — ubiquitous in
     DNF/CNF conversion and QE — costs one attribute read.
     """
-    if phi.is_true:
+    if phi is TRUE:
         return FALSE
-    if phi.is_false:
+    if phi is FALSE:
         return TRUE
     cached = phi._neg
     if cached is not None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from .intern import register_table
 from .formulas import (
     FALSE,
     TRUE,
@@ -29,6 +30,17 @@ from .formulas import (
 )
 
 
+# Cross-call result caches.  Both conversions are pure functions of the
+# (hash-consed) input formula, and the abduction loop converts the same
+# guard formulas round after round.  Registered as intern tables so the
+# memory valve (:func:`repro.logic.intern.clear_intern_tables`) clears
+# them alongside the node tables.
+_NNF_CACHE_LIMIT = 1 << 15
+_nnf_cache: dict[Formula, Formula] = register_table("nnf()", {})
+_DNF_CACHE_LIMIT = 1 << 13
+_dnf_cache: dict = register_table("dnf_clauses()", {})
+
+
 def nnf(phi: Formula) -> Formula:
     """Negation normal form: negations pushed onto atoms and eliminated.
 
@@ -39,7 +51,12 @@ def nnf(phi: Formula) -> Formula:
     guard subtrees heavily, and a structural recursion would revisit them
     exponentially often.
     """
-    return _nnf(phi, {})
+    cached = _nnf_cache.get(phi)
+    if cached is None:
+        cached = _nnf(phi, {})
+        if len(_nnf_cache) < _NNF_CACHE_LIMIT:
+            _nnf_cache[phi] = cached
+    return cached
 
 
 def _nnf(phi: Formula, memo: dict[Formula, Formula]) -> Formula:
@@ -52,7 +69,7 @@ def _nnf(phi: Formula, memo: dict[Formula, Formula]) -> Formula:
 
 
 def _nnf_raw(phi: Formula, memo: dict[Formula, Formula]) -> Formula:
-    if isinstance(phi, (Atom, Dvd)) or phi.is_true or phi.is_false:
+    if isinstance(phi, (Atom, Dvd)) or phi is TRUE or phi is FALSE:
         return phi
     if isinstance(phi, And):
         return conj(*(_nnf(a, memo) for a in phi.args))
@@ -66,9 +83,9 @@ def _nnf_raw(phi: Formula, memo: dict[Formula, Formula]) -> Formula:
         inner = phi.arg
         if isinstance(inner, (Atom, Dvd)):
             return inner.negated()
-        if inner.is_true:
+        if inner is TRUE:
             return FALSE
-        if inner.is_false:
+        if inner is FALSE:
             return TRUE
         if isinstance(inner, Not):
             return _nnf(inner.arg, memo)
@@ -97,45 +114,82 @@ def dnf_clauses(phi: Formula, *, limit: int = 200_000) -> list[list[Formula]]:
     clauses are dropped, and clauses containing complementary literals are
     removed.  ``limit`` guards against exponential blowup.
     """
-    phi = nnf(phi)
-    budget = [limit]
-    clauses = _dnf(phi, budget)
-    return [list(clause) for clause in clauses]
+    key = (phi, limit)
+    cached = _dnf_cache.get(key)
+    if cached is None:
+        budget = [limit]
+        cached = tuple(
+            tuple(clause)
+            for clause, _negs in _dnf(nnf(phi), budget, {})
+        )
+        if len(_dnf_cache) < _DNF_CACHE_LIMIT:
+            _dnf_cache[key] = cached
+    return [list(clause) for clause in cached]
 
 
-def _dnf(phi: Formula, budget: list[int]) -> list[frozenset[Formula]]:
-    if phi.is_true:
-        return [frozenset()]
-    if phi.is_false:
+# a clause paired with the set of negations of its literals, so the
+# contradiction test during an And-merge is one frozenset.isdisjoint
+# call instead of a scan of the merged clause
+_Clause = tuple[frozenset[Formula], frozenset[Formula]]
+
+
+def _dnf(phi: Formula, budget: list[int],
+         memo: dict[Formula, list[_Clause]]) -> list[_Clause]:
+    """DNF over the shared-subformula DAG, memoized per top-level call.
+
+    Guard formulas from the symbolic analysis share subtrees heavily; a
+    plain structural recursion re-walks each shared node once per path
+    to it (30x+ on the Figure-7 workloads).  The memo makes each node
+    convert exactly once.  Clauses carry their negation sets: both sides
+    of a merge are contradiction-free by induction, so the merged clause
+    is contradictory iff a literal of one side appears negated in the
+    other — literal negation is an involution on hash-consed atoms, so
+    checking one direction (``left`` against ``right``'s negations)
+    covers both.
+    """
+    cached = memo.get(phi)
+    if cached is not None:
+        return cached
+    result = _dnf_raw(phi, budget, memo)
+    memo[phi] = result
+    return result
+
+
+def _dnf_raw(phi: Formula, budget: list[int],
+             memo: dict[Formula, list[_Clause]]) -> list[_Clause]:
+    if phi is TRUE:
+        return [(frozenset(), frozenset())]
+    if phi is FALSE:
         return []
     if _literals(phi):
-        return [frozenset([phi])]
+        assert isinstance(phi, (Atom, Dvd))
+        return [(frozenset([phi]), frozenset([phi.negated()]))]
     if isinstance(phi, Or):
-        result: list[frozenset[Formula]] = []
+        result: list[_Clause] = []
         seen: set[frozenset[Formula]] = set()
         for arg in phi.args:
-            for clause in _dnf(arg, budget):
-                if clause not in seen:
-                    seen.add(clause)
-                    result.append(clause)
+            for pair in _dnf(arg, budget, memo):
+                if pair[0] not in seen:
+                    seen.add(pair[0])
+                    result.append(pair)
         return result
     if isinstance(phi, And):
-        acc: list[frozenset[Formula]] = [frozenset()]
+        acc: list[_Clause] = [(frozenset(), frozenset())]
         for arg in phi.args:
-            sub = _dnf(arg, budget)
-            merged: list[frozenset[Formula]] = []
-            seen: set[frozenset[Formula]] = set()
-            for left in acc:
-                for right in sub:
+            sub = _dnf(arg, budget, memo)
+            merged: list[_Clause] = []
+            seen = set()
+            for left, left_negs in acc:
+                for right, right_negs in sub:
                     budget[0] -= 1
                     if budget[0] < 0:
                         raise MemoryError("DNF conversion exceeded size limit")
+                    if not left.isdisjoint(right_negs):
+                        continue  # complementary pair: drop the clause
                     clause = left | right
-                    if _clause_contradictory(clause):
-                        continue
                     if clause not in seen:
                         seen.add(clause)
-                        merged.append(clause)
+                        merged.append((clause, left_negs | right_negs))
             acc = merged
             if not acc:
                 return []
@@ -157,13 +211,6 @@ def cnf_clauses(phi: Formula, *, limit: int = 200_000) -> list[list[Formula]]:
             lits.append(lit.negated())
         clauses.append(lits)
     return clauses
-
-
-def _clause_contradictory(clause: frozenset[Formula]) -> bool:
-    for lit in clause:
-        if isinstance(lit, (Atom, Dvd)) and lit.negated() in clause:
-            return True
-    return False
 
 
 def from_dnf(clauses: Iterable[Iterable[Formula]]) -> Formula:

@@ -116,7 +116,7 @@ class LinTerm:
     check and ``__hash__`` a precomputed field.
     """
 
-    __slots__ = ("coeffs", "const", "_hc", "_dg")
+    __slots__ = ("coeffs", "const", "_hc", "_dg", "_vars")
 
     _intern: ClassVar[dict] = register_table("LinTerm", {})
 
@@ -131,6 +131,7 @@ class LinTerm:
         object.__setattr__(self, "coeffs", coeffs)
         object.__setattr__(self, "const", const)
         object.__setattr__(self, "_hc", hash(("LinTerm", coeffs, const)))
+        object.__setattr__(self, "_vars", None)
         if len(table) < INTERN_LIMIT:
             table[key] = self
         return self
@@ -201,7 +202,14 @@ class LinTerm:
 
     @property
     def variables(self) -> frozenset[Var]:
-        return frozenset(v for v, _ in self.coeffs)
+        # cached: terms are hash-consed, and the Omega test asks for the
+        # variable set of the same terms over and over while partitioning
+        # constraints by eliminated variable
+        cached = self._vars
+        if cached is None:
+            cached = frozenset(v for v, _ in self.coeffs)
+            object.__setattr__(self, "_vars", cached)
+        return cached
 
     @property
     def is_constant(self) -> bool:

@@ -53,6 +53,7 @@ from ..logic.formulas import (
     neg,
 )
 from ..logic.digest import digest, digest_many
+from ..logic.intern import register_table
 from ..logic.normal_forms import dnf_clauses, nnf
 from ..logic.serialize import formula_from_obj, formula_to_obj
 from ..logic.terms import LinTerm, Var, lcm, lcm_all
@@ -76,6 +77,16 @@ _elim_cache: OrderedDict[str, Formula] = OrderedDict()
 _CLAUSE_SAT_CACHE_SIZE = 65_536
 _clause_sat_cache: OrderedDict[str, bool] = OrderedDict()
 
+# First-level caches keyed on the hash-consed nodes themselves.  They
+# answer repeat queries within one intern-table generation without
+# computing a content digest (the digest walk is pure overhead once the
+# result is in memory).  Registered as intern tables so the memory valve
+# clears them together with the nodes they key on.
+_elim_fast: dict[tuple[Var, Formula], Formula] = \
+    register_table("qe.elim_fast", {})
+_clause_sat_fast: dict[frozenset, bool] = \
+    register_table("qe.clause_sat_fast", {})
+
 
 def _store():
     """The active persistent store, if any (lazy import: layering)."""
@@ -88,6 +99,8 @@ def clear_qe_caches() -> None:
     """Drop the persistent QE caches (a memory valve; purely optional)."""
     _elim_cache.clear()
     _clause_sat_cache.clear()
+    _elim_fast.clear()
+    _clause_sat_fast.clear()
 
 
 def eliminate_quantifiers(phi: Formula, *, size_budget: int = 2_000_000) -> Formula:
@@ -190,15 +203,19 @@ def _eliminate_block(variables: list[Var], body: Formula,
     clauses = _prune_clauses(clauses, budget)
 
     while remaining:
-        def occurrences(v: Var) -> int:
-            return sum(
-                1
-                for clause in clauses
-                for a in clause
-                if v in a.free_vars()
-            )
-
-        v = min(remaining, key=lambda u: (occurrences(u), u.name))
+        # count every remaining variable's literal occurrences in one
+        # pass over the clauses (per-variable passes were the hottest
+        # spot of the whole elimination on the Figure-7 workloads)
+        if len(remaining) == 1:
+            v = remaining[0]
+        else:
+            counts = dict.fromkeys(remaining, 0)
+            for clause in clauses:
+                for a in clause:
+                    for u in a.free_vars():
+                        if u in counts:
+                            counts[u] += 1
+            v = min(remaining, key=lambda u: (counts[u], u.name))
         remaining.remove(v)
         new_clauses: list[list[Formula]] = []
         for clause in clauses:
@@ -213,11 +230,47 @@ def _eliminate_block(variables: list[Var], body: Formula,
                     "qe", kind="nodes", message="DNF overflow in QE"
                 ) from exc
         clauses = _prune_clauses(new_clauses, budget)
-        remaining = [
-            u for u in remaining
-            if any(u in a.free_vars() for clause in clauses for a in clause)
-        ]
+        if remaining:
+            occurring: set[Var] = set()
+            for clause in clauses:
+                for a in clause:
+                    occurring |= a.free_vars()
+            remaining = [u for u in remaining if u in occurring]
     return disj(*(conj(*clause) for clause in clauses))
+
+
+def _clause_satisfied(clause: list[Formula], model: dict) -> bool:
+    """Does ``model`` (missing variables read as 0) satisfy every literal?"""
+    for a in clause:
+        term = a.term
+        value = term.const
+        for v, c in term.coeffs:
+            mv = model.get(v)
+            if mv:
+                value += c * mv
+        if isinstance(a, Atom):
+            rel = a.rel
+            if rel is Rel.LE:
+                if value > 0:
+                    return False
+            elif rel is Rel.EQ:
+                if value != 0:
+                    return False
+            elif value == 0:
+                return False
+        else:
+            assert isinstance(a, Dvd)
+            if (value % a.divisor == 0) == a.negated_flag:
+                return False
+    return True
+
+
+#: Recent witness models found while pruning; a handful suffices because
+#: sibling clauses of one elimination round mostly agree on a satisfying
+#: assignment (often all-zeros).  Trying them first skips both the digest
+#: computation and the Omega call for the common satisfiable clause.
+_RECENT_MODELS_MAX = 4
+_recent_models: list[dict] = [{}]
 
 
 def _prune_clauses(clauses: list[list[Formula]],
@@ -235,6 +288,16 @@ def _prune_clauses(clauses: list[list[Formula]],
             continue
         seen.add(dedup)
         budget.charge(len(clause) + 1)
+        if any(_clause_satisfied(clause, m) for m in _recent_models):
+            obs.inc("qe.clause_sat.model_hit")
+            kept.append(clause)
+            continue
+        fast = _clause_sat_fast.get(dedup)
+        if fast is not None:
+            obs.inc("qe.clause_sat.hit")
+            if fast:
+                kept.append(clause)
+            continue
         key = digest_many("clause_sat", *sorted(digest(a) for a in dedup))
         sat = cache.get(key)
         if sat is None:
@@ -246,7 +309,11 @@ def _prune_clauses(clauses: list[list[Formula]],
                 sat = bool(artifact["sat"])
             else:
                 obs.inc("qe.clause_sat.miss")
-                sat = solver.is_sat_literals(clause)
+                model = solver.solve_literals(clause)
+                sat = model is not None
+                if sat and dict(model) not in _recent_models:
+                    _recent_models.insert(0, dict(model))
+                    del _recent_models[_RECENT_MODELS_MAX:]
                 if store is not None:
                     store.put("qe-clause-sat", key, {"sat": sat})
             cache[key] = sat
@@ -255,6 +322,8 @@ def _prune_clauses(clauses: list[list[Formula]],
         else:
             obs.inc("qe.clause_sat.hit")
             cache.move_to_end(key)
+        if len(_clause_sat_fast) < _CLAUSE_SAT_CACHE_SIZE:
+            _clause_sat_fast[dedup] = sat
         if sat:
             kept.append(clause)
     return kept
@@ -267,7 +336,22 @@ def _eliminate_one(x: Var, phi: Formula, budget: _Budget) -> Formula:
     equal inputs hit even when the nodes were rebuilt after a
     ``clear_intern_tables()`` or arrived through a pickle; when a
     persistent store is active, results also survive process restarts.
+    A first-level identity cache short-circuits repeats of the same
+    hash-consed node without the digest walk.
     """
+    fast_key = (x, phi)
+    fast = _elim_fast.get(fast_key)
+    if fast is not None:
+        obs.inc("qe.elim.hit")
+        budget.charge(fast.size())
+        return fast
+    result = _eliminate_one_digested(x, phi, budget)
+    if len(_elim_fast) < _ELIM_CACHE_SIZE:
+        _elim_fast[fast_key] = result
+    return result
+
+
+def _eliminate_one_digested(x: Var, phi: Formula, budget: _Budget) -> Formula:
     key = digest_many("elim", x, phi)
     cached = _elim_cache.get(key)
     if cached is not None:
@@ -311,6 +395,25 @@ def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:
     ]
     delta = lcm_all(coeffs)
 
+    # Per-atom values that are invariant across the residue loops below
+    # (coefficient of x, scale factor, sign, scaled term without x);
+    # recomputing them per residue j was a hot spot.
+    info: dict[Formula, tuple[int, int, int, LinTerm | None]] = {}
+
+    def atom_info(a: Formula) -> tuple[int, int, int, LinTerm | None]:
+        got = info.get(a)
+        if got is None:
+            c = a.term.coeff(x)
+            if c == 0:
+                got = (0, 0, 0, None)
+            else:
+                m = delta // abs(c)
+                sign = 1 if c > 0 else -1
+                rest = (a.term - LinTerm.var(x, c)).scale(m)
+                got = (c, m, sign, rest)
+            info[a] = got
+        return got
+
     # D: lcm of the scaled divisors (and delta itself, for delta | x')
     big_d = delta
     lowers: list[LinTerm] = []
@@ -318,14 +421,13 @@ def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:
     seen_lower: set[LinTerm] = set()
     seen_upper: set[LinTerm] = set()
     for a in _unique_atoms(phi):
-        c = a.term.coeff(x)
+        c, m, _sign, rest = atom_info(a)
         if c == 0:
             continue
-        m = delta // abs(c)
         if isinstance(a, Dvd):
             big_d = lcm(big_d, a.divisor * m)
         else:
-            rest = (a.term - LinTerm.var(x, c)).scale(m)
+            assert rest is not None
             if c > 0:
                 bound = -rest          # x' <= -m*rest
                 if bound not in seen_upper:
@@ -343,7 +445,7 @@ def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:
     disjuncts: list[Formula] = []
     for j in range(big_d):
         inf = _substitute_infinite(
-            x, phi, delta, from_below=use_lower, j=j
+            phi, atom_info, from_below=use_lower, j=j
         )
         inf = conj(inf, dvd(delta, LinTerm.constant(j)))
         budget.charge(inf.size())
@@ -352,7 +454,7 @@ def _eliminate_one_uncached(x: Var, phi: Formula, budget: _Budget) -> Formula:
         for j in range(big_d):
             tau = b + j if use_lower else b - j
             candidate = conj(
-                _substitute_scaled(x, phi, delta, tau),
+                _substitute_scaled(phi, atom_info, tau),
                 dvd(delta, tau),
             )
             budget.charge(candidate.size())
@@ -400,21 +502,18 @@ def _strip_eq_ne(x: Var, phi: Formula) -> Formula:
     return map_atoms(phi, rewrite)
 
 
-def _substitute_scaled(x: Var, phi: Formula, delta: int,
-                       tau: LinTerm) -> Formula:
+def _substitute_scaled(phi: Formula, atom_info, tau: LinTerm) -> Formula:
     """phi with the (scaled) variable ``x' = delta*x`` replaced by ``tau``.
 
     Each atom is individually rescaled so x's coefficient becomes +-delta,
-    then ``+-x'`` is replaced by ``+-tau``.
+    then ``+-x'`` is replaced by ``+-tau``.  ``atom_info`` supplies the
+    precomputed per-atom ``(c, m, sign, rest)`` tuple.
     """
 
     def rewrite(a: Formula) -> Formula:
-        c = a.term.coeff(x)
+        c, m, sign, rest = atom_info(a)
         if c == 0:
             return a
-        m = delta // abs(c)
-        sign = 1 if c > 0 else -1
-        rest = (a.term - LinTerm.var(x, c)).scale(m)
         new_term = tau.scale(sign) + rest
         if isinstance(a, Dvd):
             return dvd(a.divisor * m, new_term, a.negated_flag)
@@ -424,7 +523,7 @@ def _substitute_scaled(x: Var, phi: Formula, delta: int,
     return map_atoms(phi, rewrite)
 
 
-def _substitute_infinite(x: Var, phi: Formula, delta: int,
+def _substitute_infinite(phi: Formula, atom_info,
                          *, from_below: bool, j: int) -> Formula:
     """The ``phi_{-inf}`` (or ``phi_{+inf}``) formula evaluated at residue j.
 
@@ -433,12 +532,9 @@ def _substitute_infinite(x: Var, phi: Formula, delta: int,
     """
 
     def rewrite(a: Formula) -> Formula:
-        c = a.term.coeff(x)
+        c, m, sign, rest = atom_info(a)
         if c == 0:
             return a
-        m = delta // abs(c)
-        sign = 1 if c > 0 else -1
-        rest = (a.term - LinTerm.var(x, c)).scale(m)
         if isinstance(a, Dvd):
             new_term = LinTerm.constant(sign * j) + rest
             return dvd(a.divisor * m, new_term, a.negated_flag)

@@ -1,0 +1,218 @@
+"""A racing solver portfolio for boolean (is-sat) queries.
+
+Different queries favour different decision strategies: the lazy
+SAT + Omega loop shines on wide propositional structure, the
+incremental context wins on long runs of near-identical queries, and
+straight Cooper elimination beats both on small dense arithmetic.  The
+portfolio runs all three concurrently and takes the first answer.
+
+Every strategy is a sound and complete decision procedure for
+Presburger arithmetic, so they agree on every verdict — racing them
+changes latency, never answers.  That is what keeps portfolio runs
+byte-identical to sequential ones at the verdict level.
+
+Resource governance composes with the existing :mod:`repro.limits`
+machinery: each strategy thread installs its *own* governor via
+:func:`repro.limits.governed_here`, carrying the ambient run's
+remaining deadline and per-stage budgets plus a private
+:class:`~repro.limits.CancellationToken`.  The first strategy to finish
+cancels the others, which then abort at their next solver-loop tick.
+Only the winning strategy's spend is folded back into the ambient
+governor, so a governed run books the same cost a sequential solve
+would have; the losers' partial spend is surfaced separately through
+the ``smt.portfolio.wasted.<stage>`` counters.
+
+The winner is recorded in obs counters (``smt.portfolio.win.<name>``)
+and, when provenance tracing is on, as a ``portfolio`` derivation node.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from .. import obs
+from .. import limits as _limits
+from ..limits import (
+    CancellationToken,
+    Limits,
+    ResourceExhausted,
+    STAGES,
+)
+from ..logic.formulas import Formula, exists
+from ..obs import provenance as prov
+
+__all__ = ["PortfolioSolver", "STRATEGIES"]
+
+#: Strategy names in deterministic priority order (used to break ties
+#: when every strategy fails: the first listed failure is re-raised).
+STRATEGIES = ("incremental", "fresh", "qe")
+
+#: How long to wait for cancelled losers to notice their token, per
+#: thread.  Losers abort at their next solver-loop tick, so this only
+#: guards against a pathological strategy that stopped ticking.
+_LOSER_JOIN_SECONDS = 1.0
+
+
+def _qe_first(phi: Formula) -> bool:
+    """Decide satisfiability by quantifier elimination alone: close the
+    formula existentially and Cooper-eliminate down to a constant."""
+    from ..qe import eliminate_quantifiers  # lazy: layering
+
+    free = sorted(phi.free_vars(), key=lambda v: v.name)
+    closed = exists(free, phi) if free else phi
+    result = eliminate_quantifiers(closed)
+    if result.is_true:
+        return True
+    if result.is_false:
+        return False
+    # a ground residue the smart constructors did not fold (rare);
+    # evaluating it under the empty environment decides it
+    return result.evaluate({})
+
+
+class PortfolioSolver:
+    """Races strategy threads per query; first sound answer wins.
+
+    Holds one child solver per strategy so the incremental strategy
+    keeps its persistent context across queries.  Not itself
+    thread-safe: one portfolio belongs to one (sequential) caller, the
+    concurrency lives *inside* :meth:`is_sat`.
+    """
+
+    def __init__(self, *, strategies: tuple[str, ...] = STRATEGIES):
+        from .solver import SmtSolver  # deferred: solver imports us lazily
+
+        unknown = [s for s in strategies if s not in STRATEGIES]
+        if unknown:
+            raise ValueError(f"unknown portfolio strategies: {unknown}")
+        if not strategies:
+            raise ValueError("portfolio needs at least one strategy")
+        self._strategies = tuple(strategies)
+        self._runners: dict[str, Callable[[Formula], bool]] = {}
+        if "incremental" in strategies:
+            solver = SmtSolver(incremental=True)
+            self._runners["incremental"] = \
+                lambda phi: solver.check(phi).sat
+        if "fresh" in strategies:
+            fresh = SmtSolver(incremental=False)
+            self._runners["fresh"] = lambda phi: fresh.check(phi).sat
+        if "qe" in strategies:
+            self._runners["qe"] = _qe_first
+        self.wins: dict[str, int] = {name: 0 for name in self._strategies}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _child_limits(ambient: "_limits.Governor | None",
+                      token: CancellationToken) -> Limits:
+        """The limits for one strategy thread: whatever remains of the
+        ambient run's deadline and stage budgets, plus a private
+        cancellation token."""
+        if ambient is None:
+            return Limits(token=token)
+        base = ambient.limits
+        kwargs: dict = {"token": token}
+        if base.deadline is not None:
+            kwargs["deadline"] = max(
+                base.deadline - ambient.elapsed(), 0.05
+            )
+        for stage in STAGES:
+            limit = base.step_limit(stage)
+            if limit is not None:
+                spent = ambient.spend.get(stage, 0)
+                kwargs[f"{stage}_steps"] = max(limit - spent, 1)
+        return Limits(**kwargs)
+
+    # ------------------------------------------------------------------
+    def is_sat(self, phi: Formula) -> bool:
+        """Race every strategy on ``phi``; return the first verdict.
+
+        Raises the (deterministically chosen) first strategy failure
+        only when *every* strategy fails — one surviving strategy is
+        enough for an answer.
+        """
+        obs.inc("smt.portfolio.races")
+        ambient = _limits.current_governor()
+        tokens = {name: CancellationToken()
+                  for name in self._strategies}
+        lock = threading.Lock()
+        answered = threading.Event()
+        results: dict[str, tuple[bool, dict[str, int]]] = {}
+        errors: dict[str, BaseException] = {}
+        winner: list[str] = []
+
+        def run(name: str) -> None:
+            runner = self._runners[name]
+            limits = self._child_limits(ambient, tokens[name])
+            try:
+                with _limits.governed_here(limits) as governor:
+                    verdict = runner(phi)
+                spend = governor.spend_snapshot()
+            except BaseException as exc:  # noqa: BLE001 — reported below
+                with lock:
+                    errors[name] = exc
+                    if len(results) + len(errors) == len(self._strategies):
+                        answered.set()
+                return
+            with lock:
+                results[name] = (verdict, spend)
+                if not winner:
+                    winner.append(name)
+                    for other, tok in tokens.items():
+                        if other != name:
+                            tok.cancel()
+                answered.set()
+
+        threads = [
+            threading.Thread(
+                target=run, args=(name,), daemon=True,
+                name=f"portfolio-{name}",
+            )
+            for name in self._strategies
+        ]
+        for thread in threads:
+            thread.start()
+        answered.wait()
+        for thread in threads:
+            thread.join(timeout=_LOSER_JOIN_SECONDS)
+
+        with lock:
+            if not winner:
+                # every strategy failed: re-raise deterministically, and
+                # prefer a real resource verdict over a cancellation echo
+                for name in self._strategies:
+                    exc = errors.get(name)
+                    if isinstance(exc, ResourceExhausted) \
+                            and exc.kind != "cancelled":
+                        raise exc
+                raise errors[self._strategies[0]]
+            name = winner[0]
+            verdict, spend = results[name]
+            # snapshots: a cancelled straggler may still be writing
+            seen_errors = dict(errors)
+            seen_results = dict(results)
+
+        self.wins[name] += 1
+        obs.inc(f"smt.portfolio.win.{name}")
+        for loser, exc in seen_errors.items():
+            if isinstance(exc, ResourceExhausted) \
+                    and exc.kind == "cancelled":
+                obs.inc(f"smt.portfolio.cancelled.{loser}")
+            else:
+                obs.inc(f"smt.portfolio.failed.{loser}")
+        if ambient is not None:
+            # fold the winner's spend into the ambient governor without
+            # re-checking bounds: the next natural tick enforces them
+            for stage, n in spend.items():
+                ambient.spend[stage] = ambient.spend.get(stage, 0) + n
+        for loser, (_, lost) in seen_results.items():
+            if loser == name:
+                continue
+            for stage, n in lost.items():
+                obs.inc(f"smt.portfolio.wasted.{stage}", n)
+        if prov.is_enabled():
+            prov.record(
+                "portfolio", strategy=name, sat=verdict,
+                formula=prov.fmla(phi),
+            )
+        return verdict

@@ -86,7 +86,8 @@ class SmtSolver:
     quantifier elimination, full Presburger arithmetic)."""
 
     def __init__(self, *, max_theory_rounds: int = 200_000,
-                 cache_size: int = 50_000, incremental: bool = False):
+                 cache_size: int = 50_000, incremental: bool = False,
+                 portfolio: bool = False):
         self._theory = OmegaSolver()
         self._max_rounds = max_theory_rounds
         # bounded LRU over is_sat verdicts (access order = recency),
@@ -99,6 +100,8 @@ class SmtSolver:
         self._evictions = 0
         self._incremental = incremental
         self._context = None  # built lazily on the first incremental check
+        self._portfolio = None  # built lazily on the first boolean query
+        self._want_portfolio = portfolio
 
     # ------------------------------------------------------------------
     # public API
@@ -151,7 +154,16 @@ class SmtSolver:
                 return bool(artifact["sat"])
         self._misses += 1
         obs.inc("smt.is_sat.miss")
-        result = self.check(phi).sat
+        if self._want_portfolio:
+            # boolean queries race the strategy portfolio; model-producing
+            # queries (check/get_model) always take the sequential path
+            if self._portfolio is None:
+                from .portfolio import PortfolioSolver  # lazy: layering
+
+                self._portfolio = PortfolioSolver()
+            result = self._portfolio.is_sat(phi)
+        else:
+            result = self.check(phi).sat
         self._remember(key, result)
         if store is not None:
             store.put("smt-sat", key, {"sat": result})

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from scipy import stats as scipy_stats
+try:
+    from scipy import stats as scipy_stats
+except ImportError:  # no scipy/numpy: use the pure-Python t-test below
+    scipy_stats = None
 
 from .study import StudyResult
 
@@ -18,13 +22,93 @@ class TTestResult:
     n_right: int
 
 
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the regularized incomplete beta (Lentz)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 3e-15:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_bt = (math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+             + a * math.log(x) + b * math.log1p(-x))
+    bt = math.exp(ln_bt)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return bt * _betacf(a, b, x) / a
+    return 1.0 - bt * _betacf(b, a, 1.0 - x) / b
+
+
+def _student_t_two_sided(t: float, df: float) -> float:
+    """P(|T| >= |t|) for Student's t with ``df`` degrees of freedom."""
+    return _betainc(df / 2.0, 0.5, df / (df + t * t))
+
+
+def _welch_py(left: Sequence[float],
+              right: Sequence[float]) -> tuple[float, float]:
+    n1, n2 = len(left), len(right)
+    m1, m2 = sum(left) / n1, sum(right) / n2
+    v1 = sum((v - m1) ** 2 for v in left) / (n1 - 1)
+    v2 = sum((v - m2) ** 2 for v in right) / (n2 - 1)
+    se2 = v1 / n1 + v2 / n2
+    if se2 == 0.0:
+        return (0.0, 1.0) if m1 == m2 else (math.inf, 0.0)
+    t = (m1 - m2) / math.sqrt(se2)
+    df = se2 * se2 / ((v1 / n1) ** 2 / (n1 - 1)
+                      + (v2 / n2) ** 2 / (n2 - 1))
+    return t, _student_t_two_sided(t, df)
+
+
 def welch_ttest(left: Sequence[float],
                 right: Sequence[float]) -> TTestResult:
-    """Two-tailed Welch t-test (unequal variances), as in the paper."""
-    result = scipy_stats.ttest_ind(left, right, equal_var=False)
+    """Two-tailed Welch t-test (unequal variances), as in the paper.
+
+    Uses scipy when available; otherwise an equivalent pure-Python
+    implementation (same statistic, p-value via the incomplete-beta
+    continued fraction, accurate to ~1e-14) keeps the user study
+    runnable in scipy-free environments.
+    """
+    if scipy_stats is not None:
+        result = scipy_stats.ttest_ind(left, right, equal_var=False)
+        statistic, p_value = float(result.statistic), float(result.pvalue)
+    else:
+        statistic, p_value = _welch_py(left, right)
     return TTestResult(
-        statistic=float(result.statistic),
-        p_value=float(result.pvalue),
+        statistic=statistic,
+        p_value=p_value,
         n_left=len(left),
         n_right=len(right),
     )

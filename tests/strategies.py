@@ -96,3 +96,52 @@ def deep_formulas(draw, variables=None, max_depth: int = 7,
         else:
             phi = conj(phi, disj(fresh, phi))
     return phi
+
+
+@st.composite
+def cnf_instances(draw, max_vars: int = 8, max_clauses: int = 30,
+                  max_width: int = 4):
+    """Random propositional CNF instances as ``(num_vars, clauses)``.
+
+    Clauses are lists of nonzero signed ints in DIMACS convention.
+    Small enough for a brute-force enumerator to decide, wide enough to
+    reach conflicts, restarts and clause learning in the CDCL solver.
+    """
+    num_vars = draw(st.integers(1, max_vars))
+    num_clauses = draw(st.integers(1, max_clauses))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, max_width))
+        clauses.append([
+            draw(st.integers(1, num_vars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(width)
+        ])
+    return num_vars, clauses
+
+
+@st.composite
+def linear_systems(draw, max_vars: int = 5, max_atoms: int = 8,
+                   max_coeff: int = 4, max_const: int = 12):
+    """Random inequality/equality systems as lists of LE/EQ atoms.
+
+    Denser and wider than :func:`literal_lists` (several variables per
+    atom, all atoms linear), so the Omega test's elimination steps run
+    real Gaussian/Fourier–Motzkin batches — the differential workload
+    for the numpy versus pure-Python arithmetic backends.
+    """
+    variables = VARS + [Var("u"), Var("w")]
+    count = draw(st.integers(2, max_atoms))
+    num_vars = draw(st.integers(2, max_vars))
+    chosen = variables[:num_vars]
+    system = []
+    for _ in range(count):
+        coeffs = [
+            (v, draw(st.integers(-max_coeff, max_coeff))) for v in chosen
+        ]
+        term = LinTerm.make(
+            coeffs, draw(st.integers(-max_const, max_const))
+        )
+        rel = draw(st.sampled_from([Rel.LE, Rel.LE, Rel.LE, Rel.EQ]))
+        system.append(atom(rel, term))
+    return system

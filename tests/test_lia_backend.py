@@ -1,0 +1,181 @@
+"""Differential tests for the Omega arithmetic backends.
+
+The numpy and pure-Python kernels must produce *identical* rows — and
+therefore identical verdicts and models — on every input, including the
+tiny-batch and potential-overflow inputs where the numpy backend
+internally routes back through the bigint row path.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lia import OmegaSolver, backend
+from repro.logic import LinTerm, Var, le
+
+from .strategies import linear_systems
+
+numpy = pytest.importorskip("numpy", exc_type=ImportError)
+
+
+@pytest.fixture
+def numpy_backend(monkeypatch):
+    """Force the numpy kernels even on tiny systems, restore after."""
+    monkeypatch.setattr(backend, "MIN_CELLS", 0)
+    backend.use("numpy")
+    yield
+    backend.use("auto")
+
+
+def _solve_both(system):
+    backend.use("python")
+    try:
+        py = OmegaSolver().solve_literals(system)
+    finally:
+        backend.use("auto")
+    backend.use("numpy")
+    try:
+        np_result = OmegaSolver().solve_literals(system)
+    finally:
+        backend.use("auto")
+    return py, np_result
+
+
+@settings(max_examples=120, deadline=None)
+@given(linear_systems())
+def test_backends_agree_on_random_systems(system):
+    # MIN_CELLS=0 pushes even tiny batches through the numpy arithmetic
+    saved = backend.MIN_CELLS
+    backend.MIN_CELLS = 0
+    try:
+        py, np_result = _solve_both(system)
+    finally:
+        backend.MIN_CELLS = saved
+    assert (py is None) == (np_result is None), system
+    if py is not None:
+        assert dict(py) == dict(np_result), system
+
+
+def test_backends_agree_under_overflow(numpy_backend):
+    """Coefficients near 2**40 overflow int64 products; the numpy
+    backend must detect that and fall back to bigint rows per call."""
+    x, y = Var("x"), Var("y")
+    big = 1 << 40
+    system = [
+        le(LinTerm.make([(x, big), (y, -3)]), big * 5),
+        le(LinTerm.make([(x, -big), (y, 2)]), big * 7),
+        le(LinTerm.make([(y, 5)]), 40),
+        le(LinTerm.make([(y, -5)]), 40),
+    ]
+    model = OmegaSolver().solve_literals(system)
+    backend.use("python")
+    try:
+        expected = OmegaSolver().solve_literals(system)
+    finally:
+        backend.use("auto")
+    assert (model is None) == (expected is None)
+    if model is not None:
+        assert dict(model) == dict(expected)
+
+
+def test_shadow_rows_kernel_identical(numpy_backend):
+    lowers = [[2, 0, -1, 4], [1, 1, 0, -2], [0, 3, 2, 5]]
+    betas = [2, 1, 3]
+    uppers = [[-1, 2, 0, 3], [0, -2, 1, 1]]
+    alphas = [1, 2]
+    for exact in (False, True):
+        got = backend.shadow_rows(lowers, betas, uppers, alphas, exact)
+        want = backend._shadow_rows_py(lowers, betas, uppers, alphas,
+                                       exact)
+        assert got == want
+        assert all(isinstance(x, int) and not isinstance(x, bool)
+                   for row in got for x in row)
+
+
+def test_substitute_rows_kernel_identical(numpy_backend):
+    rows = [[2, 3, -1, 7], [0, 1, 4, -2], [5, 0, 0, 1]]
+    repl = [0, -2, 1, 3]
+    got = backend.substitute_rows(rows, 0, repl)
+    want = backend._substitute_rows_py(rows, 0, repl)
+    assert got == want
+    assert got[0][0] == 0 and got[2][0] == 0
+    assert got[1] == rows[1]
+
+
+def test_env_selection_validates():
+    with pytest.raises(ValueError):
+        backend._load("fortran")
+    assert backend._load("python").name == "python"
+    assert backend._load("auto").name in ("numpy", "python")
+
+
+def test_use_returns_active_name():
+    assert backend.use("python") == "python"
+    assert backend.name() == "python"
+    assert backend.use("auto") == backend.name()
+
+
+_NO_NUMPY_PROBE = r"""
+import sys
+
+class _Block:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy blocked for test")
+
+sys.meta_path.insert(0, _Block())
+sys.modules.pop("numpy", None)
+
+from repro.lia import OmegaSolver, backend
+from repro.logic import LinTerm, Var, le
+
+assert backend.name() == "python", backend.name()
+x = Var("x")
+model = OmegaSolver().solve_literals(
+    [le(LinTerm.var(x, 2), 10), le(LinTerm.var(x, -2), -4)]
+)
+assert model is not None and 2 <= model[x] <= 5
+print("fallback-ok")
+"""
+
+
+def test_python_fallback_without_numpy():
+    """With numpy unimportable, the auto backend quietly degrades to
+    the pure-Python rows and still solves."""
+    env = dict(os.environ, REPRO_LIA_BACKEND="auto")
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", _NO_NUMPY_PROBE],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "fallback-ok" in proc.stdout
+
+
+def test_forced_numpy_without_numpy_raises():
+    probe = (
+        "import sys\n"
+        + _NO_NUMPY_PROBE.split("from repro")[0]
+        + "try:\n"
+        "    from repro.lia import backend\n"
+        "except RuntimeError as exc:\n"
+        "    assert 'numpy' in str(exc)\n"
+        "    print('raised-ok')\n"
+        "else:\n"
+        "    raise SystemExit('expected RuntimeError')\n"
+    )
+    env = dict(os.environ, REPRO_LIA_BACKEND="numpy")
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "raised-ok" in proc.stdout

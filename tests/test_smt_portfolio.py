@@ -1,0 +1,128 @@
+"""Tests for the racing solver portfolio.
+
+Every strategy is a complete decision procedure, so the portfolio must
+agree with the plain sequential solver on every formula — the race is a
+latency optimisation, never a verdict change.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import limits as _limits
+from repro import obs
+from repro.limits import Limits, ResourceExhausted, governed
+from repro.logic import LinTerm, Var, conj, disj, le, neg
+from repro.smt import SmtSolver
+from repro.smt.portfolio import STRATEGIES, PortfolioSolver
+
+from .strategies import formulas
+
+x, y = Var("x"), Var("y")
+
+
+def _fixture_formulas():
+    return [
+        le(LinTerm.var(x), 5),
+        conj(le(LinTerm.var(x), 3), le(LinTerm.var(x, -1), -7)),  # unsat
+        disj(le(LinTerm.var(x), 0), le(LinTerm.var(y), 0)),
+        conj(le(LinTerm.make([(x, 2), (y, 3)]), 12),
+             le(LinTerm.make([(x, -1), (y, -1)]), -2)),
+        neg(disj(le(LinTerm.var(x), 10), le(LinTerm.var(x, -1), 0))),
+    ]
+
+
+class TestVerdicts:
+    def test_agrees_with_plain_solver_on_fixtures(self):
+        portfolio = PortfolioSolver()
+        plain = SmtSolver()
+        for phi in _fixture_formulas():
+            assert portfolio.is_sat(phi) == plain.is_sat(phi), phi
+
+    @settings(max_examples=40, deadline=None)
+    @given(formulas())
+    def test_agrees_with_plain_solver_on_random(self, phi):
+        assert PortfolioSolver().is_sat(phi) == SmtSolver().is_sat(phi)
+
+    def test_subset_portfolios_agree(self):
+        plain = SmtSolver()
+        for subset in (("qe",), ("fresh",), ("incremental", "qe")):
+            portfolio = PortfolioSolver(strategies=subset)
+            for phi in _fixture_formulas():
+                assert portfolio.is_sat(phi) == plain.is_sat(phi)
+
+
+class TestConstruction:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioSolver(strategies=("qe", "oracle"))
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioSolver(strategies=())
+
+    def test_default_strategy_order(self):
+        assert STRATEGIES == ("incremental", "fresh", "qe")
+
+
+class TestAccounting:
+    def test_wins_and_counters_recorded(self):
+        portfolio = PortfolioSolver()
+        queries = _fixture_formulas()
+        obs.enable()
+        try:
+            with obs.capture() as cap:
+                for phi in queries:
+                    portfolio.is_sat(phi)
+        finally:
+            obs.disable()
+        counters = cap.snapshot["counters"]
+        assert counters["smt.portfolio.races"] == len(queries)
+        wins = {k: v for k, v in counters.items()
+                if k.startswith("smt.portfolio.win.")}
+        assert sum(wins.values()) == len(queries)
+        assert sum(portfolio.wins.values()) == len(queries)
+
+    def test_winner_spend_folds_into_ambient_governor(self):
+        phi = conj(le(LinTerm.make([(x, 2), (y, 3)]), 12),
+                   le(LinTerm.make([(x, -1), (y, -1)]), -2))
+        with governed(Limits(deadline=30.0)) as governor:
+            assert PortfolioSolver().is_sat(phi)
+            assert sum(governor.spend.values()) > 0
+
+    def test_main_thread_stays_on_ambient_governor(self):
+        with governed(Limits(deadline=30.0)) as governor:
+            PortfolioSolver().is_sat(le(LinTerm.var(x), 5))
+            assert _limits.current_governor() is governor
+
+
+class TestGoverned:
+    def test_all_strategies_exhausted_raises(self):
+        phi = conj(*[
+            disj(le(LinTerm.make([(x, i), (y, 1)]), 7 * i),
+                 le(LinTerm.make([(x, -1), (y, i)]), i))
+            for i in range(1, 6)
+        ])
+        with governed(Limits(max_steps=1)):
+            with pytest.raises(ResourceExhausted) as info:
+                PortfolioSolver().is_sat(phi)
+        assert info.value.kind != "cancelled"
+
+    def test_ungoverned_query_needs_no_governor(self):
+        assert _limits.current_governor() is None
+        assert PortfolioSolver().is_sat(le(LinTerm.var(x), 5))
+
+
+class TestWiring:
+    def test_smt_solver_portfolio_flag(self):
+        racing = SmtSolver(portfolio=True)
+        plain = SmtSolver()
+        for phi in _fixture_formulas():
+            assert racing.is_sat(phi) == plain.is_sat(phi)
+
+    def test_engine_config_exposes_flag(self):
+        from repro.diagnosis.engine import EngineConfig
+
+        assert EngineConfig().solver_portfolio is False
+        assert EngineConfig(solver_portfolio=True).solver_portfolio

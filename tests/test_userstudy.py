@@ -135,6 +135,21 @@ class TestStats:
         result = welch_ttest(data, list(data))
         assert result.p_value > 0.9
 
+    def test_pure_python_fallback_agrees(self):
+        """The scipy-free Welch implementation (used when scipy is not
+        installed) must match the scipy path to float precision."""
+        from repro.userstudy.stats import _welch_py, scipy_stats
+
+        left = [1.0, 2.0, 3.0, 4.0]
+        right = [10.0, 11.0, 12.0, 13.0]
+        t, p = _welch_py(left, right)
+        assert t < 0 and p < 1e-4
+        assert _welch_py(left, list(left)) == (0.0, 1.0)
+        if scipy_stats is not None:
+            ref = scipy_stats.ttest_ind(left, right, equal_var=False)
+            assert abs(t - float(ref.statistic)) < 1e-10
+            assert abs(p - float(ref.pvalue)) < 1e-10
+
 
 class TestSmallStudy:
     """A scaled-down study over a 3-problem subset: fast enough for the
