@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import analyze_source
+from repro.api import Pipeline
 from repro.bmc import UnrollingOracle, unroll_program
 from repro.diagnosis import EngineConfig, Verdict, diagnose_error
 
@@ -26,7 +26,7 @@ program offbyone(unsigned n) {
 
 
 def test_bmc_validates_without_human(benchmark):
-    outcome = analyze_source(OFF_BY_ONE, auto_annotate=False)
+    outcome = Pipeline(auto_annotate=False).analyze(OFF_BY_ONE)
 
     def run():
         oracle = UnrollingOracle(outcome.program, outcome.analysis,
@@ -45,6 +45,6 @@ def test_bmc_validates_without_human(benchmark):
 
 @pytest.mark.parametrize("bound", [2, 4, 8])
 def test_unrolling_cost(benchmark, bound):
-    outcome = analyze_source(OFF_BY_ONE, auto_annotate=False)
+    outcome = Pipeline(auto_annotate=False).analyze(OFF_BY_ONE)
     unrolled, info = benchmark(unroll_program, outcome.program, bound)
     assert info.bound == bound

@@ -11,7 +11,7 @@ discharging witness queries dynamically.
 
 import sys
 
-from repro.api import analyze_source
+from repro.api import Pipeline
 from repro.diagnosis import (
     EngineConfig,
     InteractiveOracle,
@@ -39,7 +39,7 @@ program ring_fill(unsigned capacity, unsigned stride) {
 
 def main() -> None:
     auto = "--auto" in sys.argv or not sys.stdin.isatty()
-    outcome = analyze_source(SOURCE)
+    outcome = Pipeline().analyze(SOURCE)
     print("analysis verdict:", outcome.verdict.value)
     print()
     if auto:

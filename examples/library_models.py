@@ -10,7 +10,7 @@ future-work idea) answers part of the interaction before a human is
 consulted.
 """
 
-from repro.api import analyze_source
+from repro.api import Pipeline
 from repro.bmc import UnrollingOracle
 from repro.diagnosis import (
     ChainOracle,
@@ -50,7 +50,7 @@ program retry_budget(unsigned max_tries) {
 
 
 def main() -> None:
-    outcome = analyze_source(SOURCE)
+    outcome = Pipeline().analyze(SOURCE)
     print("program (after inlining):", outcome.program.name)
     print("locals:", ", ".join(outcome.program.locals))
     print("initial verdict:", outcome.verdict.value)

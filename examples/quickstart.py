@@ -14,8 +14,7 @@ pipeline:
 4. one "yes" discharges the report: it was a false alarm.
 """
 
-from repro import ScriptedOracle, diagnose_source
-from repro.api import analyze_source
+from repro import Pipeline, ScriptedOracle
 
 SOURCE = """
 program foo(flag, unsigned n) {
@@ -32,8 +31,9 @@ program foo(flag, unsigned n) {
 
 
 def main() -> None:
+    pipeline = Pipeline()
     print("=== the analysis judgment (Section 3) ===")
-    outcome = analyze_source(SOURCE)
+    outcome = pipeline.analyze(SOURCE)
     print(f"I   = {outcome.invariants}")
     print(f"phi = {outcome.success}")
     print(f"initial verdict: {outcome.verdict.value}")
@@ -43,7 +43,7 @@ def main() -> None:
     # a real session would use InteractiveOracle(); here we script the
     # answer a programmer would give after a glance at the loop
     oracle = ScriptedOracle(["yes"])
-    result = diagnose_source(SOURCE, oracle)
+    result = pipeline.diagnose(SOURCE, oracle)
 
     for interaction in result.interactions:
         print("tool asks:")

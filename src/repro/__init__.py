@@ -17,7 +17,7 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro import diagnose_source, ScriptedOracle
+    from repro import Pipeline, ScriptedOracle
 
     SRC = '''
     program foo(flag, unsigned n) {
@@ -28,8 +28,11 @@ Quickstart::
       assert(z > 2 * n);
     }
     '''
-    result = diagnose_source(SRC, oracle=ScriptedOracle(["yes"]))
+    result = Pipeline().diagnose(SRC, ScriptedOracle(["yes"]))
     print(result.verdict)
+
+Or run it as a service (``python -m repro serve --port 8184``) and
+``POST {"source": ...}`` to ``/v1/triage`` — see docs/API.md.
 """
 
 __version__ = "1.0.0"
@@ -42,9 +45,6 @@ _EXPORTS = {
     "AnalysisOutcome": ("repro.api", "AnalysisOutcome"),
     "Pipeline": ("repro.api", "Pipeline"),
     "InitialVerdict": ("repro.api", "InitialVerdict"),
-    "analyze_source": ("repro.api", "analyze_source"),
-    "diagnose_source": ("repro.api", "diagnose_source"),
-    "triage_suite": ("repro.api", "triage_suite"),
     "load_benchmark": ("repro.api", "load_benchmark"),
     "run_user_study": ("repro.api", "run_user_study"),
     "TriageVerdict": ("repro.schema", "TriageVerdict"),

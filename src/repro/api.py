@@ -20,9 +20,9 @@ Every result type shares the same protocol (see :mod:`repro.schema` and
 * ``to_dict()`` / ``to_json()`` — the stable, versioned JSON payload,
   with an obs telemetry snapshot embedded when instrumentation is on.
 
-The pre-redesign entry points (:func:`analyze_source`,
-:func:`diagnose_source`, :func:`triage_suite`) remain as thin
-deprecated aliases of the facade.
+The pre-redesign entry points (``analyze_source``, ``diagnose_source``,
+``triage_suite``) were deprecated in the facade release and are now
+removed; construct a :class:`Pipeline` instead.
 """
 
 from __future__ import annotations
@@ -271,7 +271,8 @@ def run_user_study(*, seed: int = 2012, num_recruited: int = 56,
 
 
 # ---------------------------------------------------------------------------
-# deprecated aliases of the facade
+# deprecation machinery (the v2 module aliases are gone; only the
+# Pipeline.triage(timeout=) parameter still warns, one more release)
 # ---------------------------------------------------------------------------
 
 def _deprecated(old: str, new: str) -> None:
@@ -280,30 +281,3 @@ def _deprecated(old: str, new: str) -> None:
         DeprecationWarning,
         stacklevel=3,
     )
-
-
-def analyze_source(source: str, *, auto_annotate: bool = True,
-                   solver: SmtSolver | None = None) -> AnalysisOutcome:
-    """Deprecated alias of :meth:`Pipeline.analyze`."""
-    _deprecated("analyze_source", "Pipeline(...).analyze")
-    return Pipeline(auto_annotate=auto_annotate,
-                    solver=solver).analyze(source)
-
-
-def diagnose_source(source: str, oracle: Oracle, *,
-                    auto_annotate: bool = True,
-                    config: EngineConfig | None = None) -> DiagnosisResult:
-    """Deprecated alias of :meth:`Pipeline.diagnose`."""
-    _deprecated("diagnose_source", "Pipeline(...).diagnose")
-    return Pipeline(auto_annotate=auto_annotate,
-                    config=config).diagnose(source, oracle)
-
-
-def triage_suite(names: list[str] | None = None, *,
-                 jobs: int | None = None,
-                 timeout: float | None = None,
-                 config: EngineConfig | None = None) -> BatchResult:
-    """Deprecated alias of :meth:`Pipeline.triage`."""
-    _deprecated("triage_suite", "Pipeline(...).triage")
-    return Pipeline(config=config).triage(names, jobs=jobs,
-                                          timeout=timeout)

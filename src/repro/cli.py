@@ -9,7 +9,14 @@ Subcommands::
     repro-diagnose stats [NAME...]         triage w/ telemetry + stats table
     repro-diagnose explain NAME            render a report's derivation tree
     repro-diagnose trace export --format chrome|prom|jsonl --out FILE
+    repro-diagnose serve --port N          run the triage HTTP daemon
     repro-diagnose userstudy [--seed N]    regenerate Figure 7
+
+Exit codes follow the documented status contract (``repro.schema``):
+0 = no real bugs, 1 = at least one real-bug verdict, 2 = usage error,
+3 = degraded (a result is ``unknown resource`` or was quarantined).
+``suite`` keeps its self-test semantics (1 = ground-truth mismatch)
+and ``stats`` its health semantics (1 = misclassification/regression).
 
 ``analyze``, ``diagnose`` and ``triage`` accept ``--json`` to emit the
 stable machine-readable schema (see docs/API.md) instead of the human
@@ -33,6 +40,7 @@ import sys
 from pathlib import Path
 
 from . import obs
+from . import schema
 from .obs import history as obs_history
 from .obs import provenance as prov
 from .api import InitialVerdict, Pipeline
@@ -48,18 +56,8 @@ from .suite import BENCHMARKS, benchmark_by_name, load_analysis
 
 
 def _limits_from_args(args: argparse.Namespace) -> Limits | None:
-    """Build the run's :class:`Limits` from the resource flags.
-
-    ``--timeout`` is a deprecated alias of ``--deadline`` (kept so PR 1
-    invocations keep working); it loses to an explicit ``--deadline``.
-    """
+    """Build the run's :class:`Limits` from the resource flags."""
     deadline = getattr(args, "deadline", None)
-    timeout = getattr(args, "timeout", None)
-    if timeout is not None:
-        print("warning: --timeout is deprecated; use --deadline",
-              file=sys.stderr)
-        if deadline is None:
-            deadline = timeout
     max_steps = getattr(args, "max_steps", None)
     retries = getattr(args, "retries", None)
     if deadline is None and max_steps is None and retries is None:
@@ -100,7 +98,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"success cond phi:  {outcome.success}")
         print(f"verdict: {outcome.verdict.value}")
     _end_trace(args)
-    return 0
+    return schema.exit_code([outcome.triage_verdict])
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -121,7 +119,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         else:
             print("refuted outright: the program has a REAL BUG")
         _end_trace(args)
-        return 0
+        return schema.exit_code([outcome.triage_verdict])
     if not args.json:
         print("the analysis cannot decide; starting the query session")
     if args.oracle == "interactive":
@@ -144,7 +142,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         )
         print(f"session report written to {args.report}")
     _end_trace(args)
-    return 0
+    return schema.exit_code([result.classification])
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -258,9 +256,24 @@ def _print_triage_table(result) -> None:
 
 
 def _triage_exit_code(result) -> int:
-    """Exit 1 only for genuine misclassifications or un-quarantined
-    errors — resource-governed degradation is a *result*, not a
-    failure, so a batch that degrades gracefully still exits 0."""
+    """The documented status contract (:func:`repro.schema.exit_code`):
+    3 when any result is degraded/quarantined or hit a hard error (the
+    answer is incomplete), else 1 when a real-bug verdict is present,
+    else 0.  Shared with the daemon's HTTP status mapping."""
+    hard_errors = any(
+        o.error for o in result.outcomes if not o.degraded
+    )
+    return schema.exit_code(
+        (o.classification for o in result.outcomes),
+        degraded=bool(result.degraded) or hard_errors,
+    )
+
+
+def _bench_health_code(result) -> int:
+    """``stats`` keeps benchmarking-health semantics: exit 1 only for
+    genuine misclassifications or un-quarantined errors, so the CI
+    observability gate flags broken triage, not the (expected) real-bug
+    verdicts in Figure 7."""
     hard_errors = any(
         o.error for o in result.outcomes if not o.degraded
     )
@@ -412,7 +425,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(_format_cache_stats(result))
     history_status = _handle_history(args, result) if args.history else 0
-    return history_status or _triage_exit_code(result)
+    return history_status or _bench_health_code(result)
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -464,6 +477,23 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     print(f"{args.format} trace written to {args.out} ({detail})",
           file=sys.stderr)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the triage daemon until SIGTERM/SIGINT (see repro.serve)."""
+    from .serve import run
+
+    config = EngineConfig(solver_portfolio=True) \
+        if args.solver_portfolio else None
+    return run(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        config=config,
+        limits=_limits_from_args(args),
+        max_inflight=args.max_inflight,
+        workers=args.workers,
+    )
 
 
 def _cmd_userstudy(args: argparse.Namespace) -> int:
@@ -537,8 +567,6 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--retries", type=int, default=None, metavar="N",
                        help="extra attempts (tightened deadline, "
                             "backoff) before quarantining a report")
-        p.add_argument("--timeout", type=float, default=None,
-                       help=argparse.SUPPRESS)  # deprecated: --deadline
 
     def add_cache_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -628,6 +656,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes (default: CPU count)")
     add_limit_flags(p_export)
     p_export.set_defaults(fn=_cmd_trace_export)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the triage daemon (HTTP/JSON, stdlib only); see "
+             "docs/API.md for the endpoint surface",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8184,
+                         help="TCP port; 0 binds an ephemeral port "
+                              "(default: 8184)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent content-addressed store; "
+                              "recorded verdicts are served inline and "
+                              "same-judgment sources share work")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         metavar="N",
+                         help="distinct jobs queued-or-running before "
+                              "submissions get 429 (default: 8)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="triage worker threads (default: 2)")
+    p_serve.add_argument("--solver-portfolio", action="store_true",
+                         help="race solver strategies per boolean query")
+    add_limit_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_study = sub.add_parser("userstudy",
                              help="regenerate the Figure 7 user study")

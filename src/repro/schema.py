@@ -30,6 +30,12 @@ per-run hit/miss counts — see :mod:`repro.cache`) was likewise added
 within ``/2``: it appears only when a store was active, so no version
 bump was needed.
 
+Besides the envelope, this module owns the *status contract*: the one
+mapping from triage verdicts to CLI exit codes and HTTP status codes,
+shared by the command-line front end and the ``repro serve`` daemon so
+a script driving either sees the same vocabulary (see
+:func:`exit_code` / :func:`http_status`).
+
 This module sits below every other layer (it imports nothing from the
 package) so any result type can use it without layering cycles.
 """
@@ -38,7 +44,7 @@ from __future__ import annotations
 
 import json
 from enum import Enum
-from typing import Any
+from typing import Any, Iterable
 
 SCHEMA_VERSION = "repro.result/2"
 
@@ -80,6 +86,67 @@ class TriageVerdict(Enum):
             return aliases[norm]
         except KeyError:
             raise ValueError(f"unknown classification {text!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# the status contract: verdicts -> CLI exit codes -> HTTP statuses
+# ---------------------------------------------------------------------------
+
+#: Exit 0: every verdict is ``false alarm`` (or ``unknown``) — nothing
+#: needs a developer's attention.
+EXIT_OK = 0
+#: Exit 1: at least one ``real bug`` verdict is present.
+EXIT_REAL_BUG = 1
+#: Exit 2: the invocation itself was malformed (bad flags, bad input).
+EXIT_USAGE = 2
+#: Exit 3: at least one result is ``unknown resource`` or was
+#: quarantined by the recovery loop — the answer is incomplete, rerun
+#: with a bigger budget.
+EXIT_DEGRADED = 3
+
+#: The daemon-side rendering of the same contract.  A triage that ran
+#: to completion is an HTTP success whatever its verdict (the verdict
+#: is the payload); only malformed requests and degraded results map
+#: to error statuses.
+HTTP_BY_EXIT = {
+    EXIT_OK: 200,
+    EXIT_REAL_BUG: 200,
+    EXIT_USAGE: 400,
+    EXIT_DEGRADED: 503,
+}
+
+
+def exit_code(verdicts: "Iterable[TriageVerdict | str]",
+              *, degraded: bool = False) -> int:
+    """The contractual exit code for a set of triage verdicts.
+
+    Precedence (documented in ``docs/API.md``): degradation beats a
+    real-bug verdict — an incomplete answer must not read as a clean
+    one — and a real bug beats every decided/undecided verdict.
+    ``degraded`` folds in quarantine/hard-error signals the verdicts
+    alone cannot carry.  Accepts enum members or classification
+    strings; ``EXIT_USAGE`` is never produced here (usage errors are
+    raised before any verdict exists).
+    """
+    resolved = [
+        v if isinstance(v, TriageVerdict)
+        else TriageVerdict.from_classification(v)
+        for v in verdicts
+    ]
+    if degraded or TriageVerdict.UNKNOWN_RESOURCE in resolved:
+        return EXIT_DEGRADED
+    if TriageVerdict.REAL_BUG in resolved:
+        return EXIT_REAL_BUG
+    return EXIT_OK
+
+
+def http_status(code: int) -> int:
+    """The HTTP status the daemon sends for a contractual exit code."""
+    try:
+        return HTTP_BY_EXIT[code]
+    except KeyError:
+        raise ValueError(f"not a contractual exit code: {code!r}") \
+            from None
 
 
 def envelope(kind: str, verdict: TriageVerdict, **fields: Any) -> dict:

@@ -1,0 +1,450 @@
+"""The triage service: submissions, workers, status — no HTTP in sight.
+
+:class:`TriageService` is the transport-independent core of ``repro
+serve``.  It owns a :class:`~repro.serve.jobs.JobRegistry`, a work
+queue, and a small pool of worker threads feeding the existing batch
+driver; the HTTP layer (:mod:`repro.serve.http`) is a thin adapter
+over its five methods (``submit`` / ``job_status`` / ``explain`` /
+``health`` / ``metrics_text``), which makes the whole service
+unit-testable without sockets.
+
+Two submission kinds share one pipeline:
+
+* ``{"benchmark": NAME}`` — or a raw ``{"source": ...}`` whose text is
+  byte-identical to a Figure 7 program — runs the exact batch-driver
+  path (`_triage_with_retries`): ground-truth oracle, retry/quarantine
+  policy, persistent store, incremental short-circuit.  Verdicts are
+  therefore identical to ``Pipeline.triage``'s.
+* ``{"source": ...}`` for unknown programs runs analyze → (if
+  undecided) the Figure 6 loop under a :class:`SamplingOracle` — the
+  paper's auto-answering future-work mode — and returns the
+  ``analysis`` or ``diagnosis`` envelope.
+
+Coalescing is two-level, both keyed by dg1 content digests: identical
+submissions in flight join one job (`serve.coalesced`), and distinct
+sources whose ``(I, phi)`` judgment digests match share work through
+the content-addressed store exactly as incremental re-triage does —
+the second submission's job resolves to the recorded verdict without
+recomputing (see :mod:`repro.batch`).
+
+Admission control derives per-request :class:`~repro.limits.Limits`
+from the server-wide defaults: a request may *tighten* the governing
+deadline/budgets but never exceed the server's, and distinct jobs
+beyond ``max_inflight`` are refused with a Retry-After hint.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any
+
+from contextlib import nullcontext
+
+from .. import obs
+from ..batch.driver import _report_key, _triage_with_retries
+from ..cache import open_store, use_store
+from ..diagnosis import EngineConfig, SamplingOracle, diagnose_error
+from ..diagnosis.stages import STAGE_VERSION, config_fingerprint
+from ..limits import Limits, ResourceExhausted
+from ..lang import parse_program
+from ..logic.digest import digest_many, digest_text
+from ..obs import provenance as prov
+from ..schema import (
+    EXIT_DEGRADED,
+    SCHEMA_VERSION,
+    TriageVerdict,
+    exit_code,
+)
+from ..suite import BENCHMARKS, DIAGNOSTICS, benchmark_by_name, load_source
+
+__all__ = ["BadRequest", "TriageService"]
+
+#: Submission body size cap (the largest Figure 7 source is ~3 KiB).
+MAX_SOURCE_BYTES = 1 << 20
+
+
+class BadRequest(ValueError):
+    """A submission the service refuses to queue (HTTP 400)."""
+
+
+def _clamped_limits(base: Limits | None, requested: dict | None) -> Limits | None:
+    """Per-request limits: the request may tighten the server's bounds
+    but never relax them (a client cannot buy more budget than the
+    operator granted)."""
+    if requested is None:
+        return base
+    if not isinstance(requested, dict):
+        raise BadRequest("'limits' must be an object")
+    known = {f for f in Limits.__dataclass_fields__ if f != "token"}
+    unknown = sorted(set(requested) - known)
+    if unknown:
+        # Limits.from_dict drops unknown keys, but a typo'd bound in an
+        # admission request must not silently grant unlimited budget
+        raise BadRequest(
+            f"bad limits: unknown bound(s) {', '.join(unknown)}")
+    try:
+        asked = Limits.from_dict(requested)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad limits: {exc}") from None
+    if base is None:
+        return asked
+    merged = {}
+    for name in ("deadline", "max_steps", "max_nodes",
+                 "qe_steps", "msa_steps", "sat_steps",
+                 "smt_steps", "omega_steps"):
+        ours, theirs = getattr(base, name), getattr(asked, name)
+        if ours is None:
+            merged[name] = theirs
+        elif theirs is None:
+            merged[name] = ours
+        else:
+            merged[name] = min(ours, theirs)
+    merged["retries"] = min(base.retries, asked.retries)
+    return Limits(**merged)
+
+
+class TriageService:
+    """The daemon's application core (transport-independent)."""
+
+    def __init__(self, *, cache_dir: str | None = None,
+                 config: EngineConfig | None = None,
+                 limits: Limits | None = None,
+                 max_inflight: int = 8,
+                 workers: int = 1,
+                 retain: int = 1024):
+        from .jobs import JobRegistry
+
+        self.cache_dir = cache_dir
+        self.config = config or EngineConfig()
+        self.limits = limits
+        self.registry = JobRegistry(max_inflight=max_inflight,
+                                    retain=retain)
+        self._queue: "queue.Queue[str | None]" = queue.Queue()
+        self._workers = max(1, workers)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = time.time()
+        self._fingerprint = config_fingerprint(self.config)
+        # byte-identical Figure 7 sources resolve to their benchmark,
+        # so HTTP submissions take the exact Pipeline.triage path
+        self._known_sources = {
+            digest_text(load_source(b)): b.name
+            for b in BENCHMARKS + DIAGNOSTICS
+        }
+        obs.enable()  # /metrics serves the live snapshot
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for n in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{n}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 3.0) -> None:
+        """Stop the workers; queued jobs settle as degraded."""
+        self._stop.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        self._threads = []
+        # jobs still queued will never run — fail them loudly rather
+        # than leaving clients polling forever
+        while True:
+            try:
+                job_id = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job_id is not None:
+                self.registry.finish(
+                    job_id, result=None, exit_code=EXIT_DEGRADED,
+                    error="server shut down before the job ran",
+                )
+
+    # ------------------------------------------------------------------
+    # submissions
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> tuple[int, dict]:
+        """Queue (or coalesce, or answer inline) one triage request.
+
+        Returns ``(http_status, body)``: 200 with the finished envelope
+        on an inline cache hit, 202 with a job handle otherwise.
+        :class:`BadRequest` and :class:`AdmissionError` escape for the
+        transport to map (400 / 429).
+        """
+        request = self._validate(payload)
+        key = self._job_key(request)
+        job, coalesced, inline = self.registry.submit(
+            key,
+            name=request["name"],
+            kind=request["kind"],
+            request=request,
+            reusable=self._reusable,
+        )
+        if inline:
+            body = dict(job.to_dict())
+            body["served"] = "cache"
+            return 200, body
+        if not coalesced:
+            if request["kind"] == "benchmark" \
+                    and self._recorded(request["name"]):
+                # the store already holds this judgment's verdict: the
+                # run short-circuits in milliseconds, so answer inline
+                self._run_job(job.id)
+                body = dict(self.registry.get(job.id).to_dict())
+                body["served"] = "store"
+                return 200, body
+            self._queue.put(job.id)
+        body = {
+            "job_id": job.id,
+            "status": job.status,
+            "name": job.name,
+            "coalesced": coalesced,
+            "location": f"/v1/jobs/{job.id}",
+        }
+        return 202, body
+
+    def _recorded(self, name: str) -> bool:
+        """True when the persistent store can resolve this benchmark's
+        source digest through the ``analyze`` artifact to a recorded
+        ``triage`` verdict (the incremental re-triage chain)."""
+        if self.cache_dir is None:
+            return False
+        store = open_store(self.cache_dir)
+        bench = benchmark_by_name(name)
+        source_digest = digest_text(load_source(bench))
+        analyzed = store.get("analyze", digest_many(
+            "analyze", STAGE_VERSION, bench.name, source_digest))
+        if analyzed is None:
+            return False
+        report_key = _report_key(bench, self.config,
+                                 analyzed["invariants"],
+                                 analyzed["success"])
+        return store.get("triage", report_key) is not None
+
+    @staticmethod
+    def _reusable(job) -> bool:
+        """Only clean verdicts may be served inline from a retained
+        job — degraded/errored envelopes depend on the run."""
+        return (job.result is not None
+                and job.exit_code is not None
+                and job.exit_code != EXIT_DEGRADED)
+
+    def _validate(self, payload: Any) -> dict:
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        source = payload.get("source")
+        benchmark = payload.get("benchmark")
+        if (source is None) == (benchmark is None):
+            raise BadRequest(
+                "provide exactly one of 'source' or 'benchmark'")
+        request: dict = {
+            "limits": payload.get("limits"),
+            "explain": bool(payload.get("explain", False)),
+        }
+        _clamped_limits(self.limits, request["limits"])  # validate early
+        if benchmark is not None:
+            if not isinstance(benchmark, str):
+                raise BadRequest("'benchmark' must be a string")
+            try:
+                bench = benchmark_by_name(benchmark)
+            except KeyError:
+                raise BadRequest(
+                    f"unknown benchmark {benchmark!r}") from None
+            request.update(kind="benchmark", name=bench.name)
+            return request
+        if not isinstance(source, str):
+            raise BadRequest("'source' must be a string")
+        if len(source.encode()) > MAX_SOURCE_BYTES:
+            raise BadRequest("source exceeds the 1 MiB submission cap")
+        known = self._known_sources.get(digest_text(source))
+        if known is not None:
+            request.update(kind="benchmark", name=known)
+            return request
+        try:
+            program = parse_program(source)
+        except Exception as exc:  # parse errors are the client's fault
+            raise BadRequest(f"source does not parse: {exc}") from None
+        request.update(kind="source", name=program.name, source=source)
+        return request
+
+    def _job_key(self, request: dict) -> str:
+        """The coalescing digest: everything the verdict is a pure
+        function of.  Benchmarks key on their (fixed) source through
+        the analysis judgment — same key as the incremental triage
+        artifact chain — so identical submissions coalesce in flight
+        and same-judgment sources share through the store."""
+        if request["kind"] == "benchmark":
+            return digest_many("serve.bench", STAGE_VERSION,
+                               request["name"], self._fingerprint)
+        return digest_many("serve.adhoc", STAGE_VERSION,
+                           self._fingerprint,
+                           digest_text(request["source"]))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def job_status(self, job_id: str, *, since: int = 0
+                   ) -> tuple[int, dict]:
+        """Status + progress events; 404 for unknown ids.
+
+        For a finished job the HTTP status follows the shared contract
+        (:func:`repro.schema.http_status`): verdict-bearing results are
+        200, degraded results 503.  Running jobs stream the obs event
+        buffer accrued since their start marker (``since`` resumes an
+        earlier poll by event id).
+        """
+        from ..schema import http_status
+
+        job = self.registry.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        body = job.to_dict()
+        if job.status == "done":
+            events = job.events
+        else:
+            marker = max(job.events_marker, since)
+            events = tuple(e for e in obs.events()
+                           if e.get("id", 0) >= marker) \
+                if job.status == "running" else ()
+        body["events"] = [dict(e) for e in events
+                          if e.get("id", 0) >= since]
+        if job.status != "done":
+            return 200, body
+        status = 200 if job.exit_code is None \
+            else http_status(job.exit_code)
+        return status, body
+
+    def explain(self, job_id: str) -> tuple[int, dict]:
+        """The derivation tree behind a finished job's verdict."""
+        job = self.registry.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if job.status != "done":
+            return 409, {"error": f"job {job_id} is {job.status}; "
+                                  "explain needs a finished job"}
+        if not job.provenance:
+            return 404, {
+                "error": "no provenance recorded; submit with "
+                         '{"explain": true}'}
+        tree = prov.render_tree(list(job.events), list(job.provenance),
+                                report=job.name)
+        return 200, {
+            "job_id": job.id,
+            "name": job.name,
+            "nodes": [dict(n) for n in job.provenance],
+            "tree": tree,
+        }
+
+    def health(self) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "schema": SCHEMA_VERSION,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            **self.registry.stats(),
+        }
+
+    def metrics_text(self) -> str:
+        obs.gauge("serve.inflight", float(self.registry.inflight()))
+        return obs.export_prometheus()
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self._run_job(job_id)
+            except Exception as exc:  # noqa: BLE001 - workers must survive
+                self.registry.finish(
+                    job_id, result=None, exit_code=EXIT_DEGRADED,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def _run_job(self, job_id: str) -> None:
+        job = self.registry.mark_running(job_id, obs.span_sequence())
+        if job is None:
+            return
+        request = job.request
+        limits = _clamped_limits(self.limits, request.get("limits"))
+        explain = request.get("explain", False)
+        prov_was_on = prov.is_enabled()
+        if explain:
+            prov.enable()
+        prov_marker = prov.mark() if explain else None
+        try:
+            if request["kind"] == "benchmark":
+                envelope, events = self._run_benchmark(
+                    request["name"], limits)
+            else:
+                envelope, events = self._run_source(
+                    request["source"], limits)
+        finally:
+            if explain and not prov_was_on:
+                prov.disable()
+        nodes = tuple(prov.nodes_since(prov_marker)) \
+            if prov_marker is not None else ()
+        degraded = bool(envelope.get("degraded")) \
+            or envelope.get("error") is not None
+        code = exit_code([envelope["verdict"]], degraded=degraded)
+        self.registry.finish(job_id, result=envelope, exit_code=code,
+                             events=events, provenance=nodes)
+
+    def _run_benchmark(self, name: str, limits: Limits | None
+                       ) -> tuple[dict, tuple]:
+        """The exact batch-driver path: ground-truth oracle, retries,
+        store, incremental short-circuit — verdicts identical to
+        ``Pipeline.triage``."""
+        outcome = _triage_with_retries(
+            name, self.config, True, limits,
+            cache_dir=self.cache_dir,
+            incremental=self.cache_dir is not None,
+        )
+        return outcome.to_dict(), outcome.events
+
+    def _run_source(self, source: str, limits: Limits | None
+                    ) -> tuple[dict, tuple]:
+        """Ad-hoc source: analyze, then (if undecided) the Figure 6
+        loop under the auto-answering sampling oracle."""
+        from ..api import InitialVerdict, Pipeline
+
+        marker = obs.span_sequence()
+        scoped = use_store(open_store(self.cache_dir)) \
+            if self.cache_dir is not None else nullcontext()
+        pipeline = Pipeline(config=self.config)
+        try:
+            with obs.span("serve.report"), scoped:
+                outcome = pipeline.analyze(source)
+                if outcome.verdict is not InitialVerdict.UNCERTAIN:
+                    envelope = outcome.to_dict()
+                else:
+                    oracle = SamplingOracle(outcome.program,
+                                            outcome.analysis)
+                    result = diagnose_error(outcome.analysis, oracle,
+                                            self.config, limits=limits)
+                    envelope = result.to_dict()
+        except ResourceExhausted as exc:
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "kind": "diagnosis",
+                "verdict": TriageVerdict.UNKNOWN_RESOURCE.value,
+                "exhausted_stage": exc.stage,
+                "exhausted_kind": exc.kind,
+            }
+        events = tuple(e for e in obs.events()
+                       if e.get("id", 0) >= marker)
+        return envelope, events

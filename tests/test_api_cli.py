@@ -91,7 +91,8 @@ class TestCli:
         }
         """)
         code = main(["diagnose", str(path), "--oracle", "sampling"])
-        assert code == 0
+        # exit 1: a real-bug verdict, per the documented status contract
+        assert code == 1
         out = capsys.readouterr().out
         assert "REAL BUG" in out
 

@@ -179,12 +179,14 @@ def test_kill_fault_is_harmless_in_serial_mode():
     assert outcome.degraded
 
 
-def test_cli_exit_code_treats_degraded_as_success():
-    """Degradation is a reported answer; only hard errors fail the CLI."""
+def test_cli_exit_code_reports_degraded_batches():
+    """Per the status contract a degraded batch exits 3 — degradation
+    outranks any real-bug verdicts also present in the batch."""
     from repro.cli import _triage_exit_code
+    from repro.schema import EXIT_DEGRADED
 
     install(spec_for("sleep", "smt"))
     result = triage_many(SUBSET, jobs=1, limits=LIMITS)
     install(None)
     assert result.degraded
-    assert _triage_exit_code(result) == 0
+    assert _triage_exit_code(result) == EXIT_DEGRADED

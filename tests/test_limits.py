@@ -254,8 +254,11 @@ class TestFaultSpecs:
 class TestDeprecatedKnobs:
     def test_omega_budget_param_warns(self):
         from repro.lia import OmegaSolver
-        with pytest.warns(DeprecationWarning, match="budget"):
+        with pytest.warns(DeprecationWarning, match="budget") as records:
             OmegaSolver(budget=100)
+        # stacklevel=2: the warning must point at this caller, not at
+        # omega.py, so `-W error::DeprecationWarning` blames user code
+        assert records[0].filename == __file__
 
     def test_pipeline_triage_timeout_warns(self):
         from repro.api import Pipeline

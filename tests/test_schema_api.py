@@ -1,22 +1,22 @@
-"""Tests for the stable JSON schema, the Pipeline facade, the deprecated
-aliases, and the machine-readable CLI modes."""
+"""Tests for the stable JSON schema, the Pipeline facade, the removed
+v2 aliases, and the machine-readable CLI modes."""
 
 import json
 
 import pytest
 
+import repro
+import repro.api
 from repro import obs
 from repro.api import (
     Pipeline,
-    analyze_source,
-    diagnose_source,
     ground_truth_oracle,
     run_user_study,
-    triage_suite,
 )
 from repro.batch import triage_many
 from repro.cli import main
 from repro.diagnosis import ScriptedOracle, diagnose_error, render_report
+from repro import schema
 from repro.schema import SCHEMA_VERSION, TriageVerdict, envelope
 from repro.suite import BENCHMARKS
 
@@ -153,20 +153,56 @@ class TestBatchJson:
         assert result.verdict is TriageVerdict.UNKNOWN
 
 
-class TestDeprecatedAliases:
-    def test_analyze_source_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="analyze_source"):
-            outcome = analyze_source(SAFE)
-        assert outcome.verdict is Pipeline().analyze(SAFE).verdict
+class TestStatusContract:
+    """The one verdict -> exit-code -> HTTP-status mapping
+    (``repro.schema``), shared by the CLI and the daemon."""
 
-    def test_diagnose_source_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="diagnose_source"):
-            result = diagnose_source(FOO, ScriptedOracle(["yes"]))
-        assert result.classification == "false alarm"
+    def test_clean(self):
+        assert schema.exit_code(["false alarm", "unknown"]) == 0
+        assert schema.exit_code([]) == 0
 
-    def test_triage_suite_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="triage_suite"):
-            result = triage_suite(["d01_plus_one"], jobs=1)
+    def test_real_bug(self):
+        assert schema.exit_code(["false alarm", "real bug"]) == 1
+        assert schema.exit_code([TriageVerdict.REAL_BUG]) == 1
+
+    def test_degraded_beats_real_bug(self):
+        assert schema.exit_code(["real bug", "unknown resource"]) == 3
+        assert schema.exit_code(["real bug"], degraded=True) == 3
+
+    def test_http_mapping(self):
+        assert [schema.http_status(c) for c in (0, 1, 2, 3)] == \
+            [200, 200, 400, 503]
+        with pytest.raises(ValueError):
+            schema.http_status(42)
+
+    def test_garbage_verdict_rejected(self):
+        with pytest.raises(ValueError):
+            schema.exit_code(["maybe"])
+
+
+class TestRemovedAliases:
+    """The PR-2-era module-level aliases are gone from the v3 surface."""
+
+    @pytest.mark.parametrize("name", [
+        "analyze_source", "diagnose_source", "triage_suite",
+    ])
+    def test_gone_from_api_module(self, name):
+        assert not hasattr(repro.api, name)
+
+    @pytest.mark.parametrize("name", [
+        "analyze_source", "diagnose_source", "triage_suite",
+    ])
+    def test_gone_from_package_root(self, name):
+        assert name not in repro.__all__
+        with pytest.raises(AttributeError):
+            getattr(repro, name)
+
+    def test_triage_timeout_still_warns(self):
+        """``Pipeline.triage(timeout=)`` stays one more release — as a
+        proper DeprecationWarning, not silent breakage."""
+        with pytest.warns(DeprecationWarning, match="timeout"):
+            result = Pipeline().triage(["d01_plus_one"], jobs=1,
+                                       timeout=60.0)
         assert result.accuracy == 1.0
 
 
@@ -197,8 +233,9 @@ class TestCliJsonModes:
           assert(y != 0);
         }
         """)
+        # exit 1: a real-bug verdict, per the documented status contract
         assert main(["diagnose", str(path), "--oracle", "sampling",
-                     "--json"]) == 0
+                     "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["kind"] == "diagnosis"
         assert payload["verdict"] == "real bug"
@@ -212,8 +249,9 @@ class TestCliJsonModes:
 
     def test_triage_trace_writes_jsonl(self, tmp_path, capsys):
         trace = tmp_path / "out.jsonl"
+        # exit 1: d02 is a real bug (the documented status contract)
         assert main(["triage", "d01_plus_one", "d02_negate",
-                     "--jobs", "2", "--trace", str(trace)]) == 0
+                     "--jobs", "2", "--trace", str(trace)]) == 1
         lines = [json.loads(l)
                  for l in trace.read_text().splitlines()]
         assert lines, "trace must not be empty"

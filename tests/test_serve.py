@@ -1,0 +1,303 @@
+"""Tests for the ``repro serve`` daemon: HTTP surface, coalescing,
+admission control, the status contract, and the acceptance E2E (cold
+round over HTTP == ``Pipeline.triage``; warm round runs nothing).
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.api import Pipeline
+from repro.schema import (
+    EXIT_DEGRADED,
+    SCHEMA_VERSION,
+    dump_json,
+    read_envelope,
+)
+from repro.serve import AdmissionError, BadRequest, TriageService, TriageServer
+from repro.suite import BENCHMARKS
+
+SAFE = "program safe(x) { var y = x + 1; assert(y > x); }"
+DOOMED = "program doomed(x) { var y = x; assert(y > x); }"
+
+
+def _request(url: str, payload: dict | None = None):
+    """POST ``payload`` (or GET when None); returns (status, body)."""
+    if payload is None:
+        req = urllib.request.Request(url)
+    else:
+        req = urllib.request.Request(
+            url, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _await_job(base: str, job_id: str, timeout: float = 120.0):
+    """Poll a job until it finishes; returns its final (status, body)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = _request(f"{base}/v1/jobs/{job_id}")
+        if body.get("status") == "done":
+            return status, body
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    srv = TriageServer(
+        port=0,
+        cache_dir=str(tmp_path_factory.mktemp("serve-store")),
+        max_inflight=32,
+        workers=2,
+    )
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the acceptance E2E: cold round == Pipeline.triage, warm round is free
+# ---------------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_cold_round_matches_pipeline_then_warm_round_is_free(
+            self, server):
+        base = server.url
+        names = [b.name for b in BENCHMARKS]
+
+        # --- cold: submit all 11 Figure 7 reports over HTTP ------------
+        handles = {}
+        for name in names:
+            status, body = _request(f"{base}/v1/triage",
+                                    {"benchmark": name})
+            assert status in (200, 202), body
+            handles[name] = body
+        served = {}
+        for name, body in handles.items():
+            if "job_id" in body and body.get("status") != "done":
+                _, body = _await_job(base, body["job_id"])
+            served[name] = body
+        for name, body in served.items():
+            envelope = body["result"]
+            assert envelope["schema"] == SCHEMA_VERSION
+            assert envelope["kind"] == "triage_outcome"
+            # every envelope survives the validator/upgrader round trip
+            assert read_envelope(envelope)["verdict"] == \
+                envelope["verdict"]
+
+        # --- verdicts are byte-identical to Pipeline.triage ------------
+        batch = Pipeline().triage(names, jobs=2)
+        expected = {o.name: o.to_dict() for o in batch.outcomes}
+        for name in names:
+            ours, ref = served[name]["result"], expected[name]
+            assert ours["verdict"].encode() == ref["verdict"].encode()
+            assert ours.get("correct") == ref.get("correct")
+            assert ours.get("expected") == ref.get("expected")
+
+        # --- warm: the identical round runs nothing ---------------------
+        before = obs.snapshot()["counters"]
+        for name in names:
+            status, body = _request(f"{base}/v1/triage",
+                                    {"benchmark": name})
+            assert status == 200, body
+            assert body["served"] in ("cache", "store")
+            assert body["result"]["verdict"] == \
+                served[name]["result"]["verdict"]
+        after = obs.snapshot()["counters"]
+        assert after.get("msa.candidates", 0) == \
+            before.get("msa.candidates", 0)
+        for counter, value in after.items():
+            if counter.startswith("cache.") and counter.endswith(".miss"):
+                assert value == before.get(counter, 0), counter
+
+        # --- the daemon stays live ---------------------------------------
+        status, health = _request(f"{base}/healthz")
+        assert status == 200 and health["status"] == "ok"
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as r:
+            assert r.headers["Content-Type"].startswith("text/plain")
+            text = r.read().decode()
+        assert "repro_serve_submitted_total" in text
+        assert "repro_serve_inline_hits_total" in text
+
+
+class TestHttpSurface:
+    def test_adhoc_source_analysis(self, server):
+        status, body = _request(f"{server.url}/v1/triage",
+                                {"source": SAFE})
+        if status == 202:
+            status, body = _await_job(server.url, body["job_id"])
+        assert status == 200
+        assert body["result"]["verdict"] == "false alarm"
+
+    def test_adhoc_real_bug_maps_exit_code(self, server):
+        status, body = _request(f"{server.url}/v1/triage",
+                                {"source": DOOMED})
+        if status == 202:
+            status, body = _await_job(server.url, body["job_id"])
+        assert status == 200          # a verdict is an HTTP success
+        assert body["exit_code"] == 1  # ...carrying the contract code
+        assert body["result"]["verdict"] == "real bug"
+
+    def test_bad_submissions_are_400(self, server):
+        base = f"{server.url}/v1/triage"
+        assert _request(base, {})[0] == 400
+        assert _request(base, {"benchmark": "nope"})[0] == 400
+        assert _request(base, {"source": "not a program ("})[0] == 400
+        assert _request(base, {"source": SAFE,
+                               "benchmark": "p10_toggle"})[0] == 400
+        status, body = _request(base, {"source": SAFE,
+                                       "limits": {"bogus_knob": 1}})
+        assert status == 400 and "limits" in body["error"]
+
+    def test_unknown_job_is_404(self, server):
+        assert _request(f"{server.url}/v1/jobs/j999999")[0] == 404
+
+    def test_unknown_route_is_404(self, server):
+        assert _request(f"{server.url}/nope")[0] == 404
+
+    def test_explain_round_trip(self, server):
+        status, body = _request(
+            f"{server.url}/v1/triage",
+            {"benchmark": "d02_negate", "explain": True})
+        assert status in (200, 202)
+        job_id = body["job_id"]
+        _await_job(server.url, job_id)
+        status, body = _request(f"{server.url}/v1/jobs/{job_id}/explain")
+        assert status == 200
+        assert body["nodes"], "explain must record provenance nodes"
+        assert "verdict" in body["tree"]
+
+
+# ---------------------------------------------------------------------------
+# coalescing + concurrent envelope access (no sockets: service level)
+# ---------------------------------------------------------------------------
+
+class TestCoalescing:
+    def test_n_threads_one_job_byte_identical_envelopes(self, tmp_path):
+        """The satellite contract: N identical submissions in flight
+        yield one computation (coalescing counter == N-1) and, once
+        done, every thread reads a byte-identical envelope through the
+        /1->/2 upgrader and ``dump_json``."""
+        service = TriageService(cache_dir=str(tmp_path / "store"),
+                                max_inflight=4, workers=1)
+        obs.reset()
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def submit(_):
+            barrier.wait()
+            return service.submit({"benchmark": "d01_plus_one"})
+
+        # workers are not started yet, so all N submissions observe the
+        # job in flight: the first creates it, the rest join it
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            results = list(pool.map(submit, range(n)))
+        statuses = sorted(status for status, _ in results)
+        assert statuses == [202] * n
+        job_ids = {body["job_id"] for _, body in results}
+        assert len(job_ids) == 1
+        counters = obs.snapshot()["counters"]
+        assert counters.get("serve.coalesced", 0) == n - 1
+        assert counters.get("serve.submitted", 0) == 1
+
+        # now run it and read the envelope from N threads at once
+        service.start()
+        job_id = job_ids.pop()
+        import time
+        deadline = time.monotonic() + 60
+        while service.registry.get(job_id).status != "done":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        service.stop()
+
+        def read(_):
+            status, body = service.job_status(job_id)
+            upgraded = read_envelope(body["result"])
+            return status, dump_json(upgraded).encode()
+
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            payloads = list(pool.map(read, range(n)))
+        assert len({blob for _, blob in payloads}) == 1
+        assert all(status == 200 for status, _ in payloads)
+
+    def test_concurrent_v1_upgrade_is_pure(self):
+        """``read_envelope`` under the daemon's thread pool: same /1
+        payload from N threads -> byte-identical /2 envelopes, input
+        never mutated."""
+        legacy = {"schema": "repro.result/1", "kind": "triage_outcome",
+                  "verdict": "real bug", "name": "d02_negate"}
+        frozen = json.dumps(legacy, sort_keys=True)
+
+        def upgrade(_):
+            return dump_json(read_envelope(legacy)).encode()
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            blobs = set(pool.map(upgrade, range(64)))
+        assert len(blobs) == 1
+        upgraded = json.loads(blobs.pop())
+        assert upgraded["schema"] == SCHEMA_VERSION
+        assert upgraded["degraded"] is False
+        assert json.dumps(legacy, sort_keys=True) == frozen
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+class TestAdmission:
+    def test_max_inflight_rejects_with_retry_after(self, tmp_path):
+        service = TriageService(cache_dir=str(tmp_path / "store"),
+                                max_inflight=1)
+        # no workers started: the first job stays queued
+        status, _ = service.submit({"benchmark": "d01_plus_one"})
+        assert status == 202
+        with pytest.raises(AdmissionError) as err:
+            service.submit({"benchmark": "d02_negate"})
+        assert err.value.inflight == 1
+        assert err.value.limit == 1
+        assert err.value.retry_after > 0
+        # identical submissions still coalesce at the cap
+        status, body = service.submit({"benchmark": "d01_plus_one"})
+        assert status == 202 and body["coalesced"] is True
+
+    def test_request_limits_clamp_to_server_budget(self, tmp_path):
+        from repro.limits import Limits
+        from repro.serve.service import _clamped_limits
+
+        base = Limits(deadline=10.0, max_steps=1000, retries=2)
+        merged = _clamped_limits(base, {"deadline": 99.0, "max_steps": 10,
+                                        "retries": 5})
+        assert merged.deadline == 10.0      # cannot exceed the server's
+        assert merged.max_steps == 10       # may tighten
+        assert merged.retries == 2
+        assert _clamped_limits(base, None) is base
+        with pytest.raises(BadRequest):
+            _clamped_limits(base, {"no_such_field": 1})
+
+    def test_shutdown_settles_queued_jobs_degraded(self, tmp_path):
+        service = TriageService(cache_dir=str(tmp_path / "store"),
+                                max_inflight=4)
+        status, body = service.submit({"benchmark": "p01_accumulate"})
+        assert status == 202
+        service.stop(timeout=0.5)  # workers never started
+        job = service.registry.get(body["job_id"])
+        assert job.status == "done"
+        assert job.exit_code == EXIT_DEGRADED
+        assert "shut down" in job.error
+        # ...and the degraded retained job is never served inline
+        status, body2 = service.submit({"benchmark": "p01_accumulate"})
+        assert status == 202
+        assert body2["job_id"] != body["job_id"]
