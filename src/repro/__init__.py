@@ -13,7 +13,10 @@ The package implements, from scratch:
 * the Section 4 abductive error-diagnosis engine (weakest minimum proof
   obligations and failure witnesses, the Figure 6 interaction loop,
   query decomposition);
-* the Figure 7 benchmark suite and a simulated user study.
+* the Figure 7 benchmark suite and a simulated user study;
+* abductive repair synthesis: the abduced premise placed back into the
+  source as ``@assume``/``@post``/guard patches, each re-verified by
+  the full front end and ranked by the paper's cost order.
 
 Quickstart::
 
@@ -55,6 +58,9 @@ _EXPORTS = {
     "CancellationToken": ("repro.limits", "CancellationToken"),
     "BatchResult": ("repro.batch", "BatchResult"),
     "TriageOutcome": ("repro.batch", "TriageOutcome"),
+    "RepairResult": ("repro.repair", "RepairResult"),
+    "RepairPatch": ("repro.repair", "RepairPatch"),
+    "synthesize_repairs": ("repro.repair", "synthesize_repairs"),
     "obs": ("repro.obs", None),
     "DiagnosisResult": ("repro.diagnosis.engine", "DiagnosisResult"),
     "Verdict": ("repro.diagnosis.engine", "Verdict"),

@@ -44,7 +44,7 @@ from .diagnosis import (
     diagnose_error,
 )
 from .lang import Program, parse_program
-from .limits import Limits
+from .limits import Limits, ResourceExhausted
 from .logic import neg
 from .schema import TriageVerdict, dump_json, envelope
 from .smt import SmtSolver
@@ -208,6 +208,113 @@ class Pipeline:
                            else self._cache_dir,
                            incremental=self._incremental
                            if incremental is None else incremental)
+
+    def repair(self, name_or_source: str, *,
+               max_patches: int | None = None,
+               oracle: Oracle | None = None) -> "RepairResult":
+        """Triage a report and synthesize ranked, verified patches.
+
+        ``name_or_source`` is a Figure 7 benchmark name or raw program
+        text.  The report is triaged first (benchmarks under their
+        ground-truth oracle, ad-hoc sources under the sampling oracle —
+        or ``oracle`` when given); a real bug gets no patches (fixing
+        genuine bugs is the developer's job, not abduction's), a clean
+        report needs none, and anything else goes through
+        :func:`repro.repair.synthesize_repairs`: the abduced Γ and the
+        session's learned facts are placed as ``@assume``/``@post``/
+        guard edits, every candidate re-verified by re-running the full
+        front end on the patched program (Lemma 1 discharge), rejected
+        when it would make ``I`` inconsistent, and ranked by the
+        paper's cost function.  ``result.exit_status`` follows the
+        documented contract: 0 = verified patch found (or already
+        clean), 1 = real bug / no patch, 3 = degraded.
+        """
+        from .repair import RepairResult, synthesize_repairs
+
+        try:
+            bench = benchmark_by_name(name_or_source)
+        except KeyError:
+            bench = None
+        from .suite import load_source
+
+        source = load_source(bench) if bench is not None \
+            else name_or_source
+        with obs.capture() as cap, obs.span("api.repair"), \
+                self._scoped_store():
+            outcome = self.analyze(source)
+            analysis = outcome.analysis
+            program = outcome.program
+            session = None
+            if outcome.verdict is InitialVerdict.VERIFIED:
+                result = RepairResult(
+                    program=program.name,
+                    verdict=TriageVerdict.FALSE_ALARM,
+                    already_clean=True,
+                    note="the report already discharges; no patch "
+                         "needed",
+                )
+            elif outcome.verdict is InitialVerdict.REFUTED:
+                result = RepairResult(
+                    program=program.name,
+                    verdict=TriageVerdict.REAL_BUG,
+                    note="the analysis refutes the success condition "
+                         "(Lemma 2): fix the program, not the report",
+                )
+            else:
+                if oracle is None:
+                    if bench is not None:
+                        oracle = ExhaustiveOracle(
+                            program, analysis,
+                            radius=bench.oracle_radius)
+                    else:
+                        oracle = SamplingOracle(program, analysis)
+                try:
+                    session = diagnose_error(analysis, oracle,
+                                             self._config,
+                                             limits=self._limits)
+                except ResourceExhausted as exc:
+                    session = None
+                    result = RepairResult(
+                        program=program.name,
+                        verdict=TriageVerdict.UNKNOWN_RESOURCE,
+                        note=f"resource limit hit in stage "
+                             f"{exc.stage} ({exc.kind}) before "
+                             "repair could start",
+                    )
+                    verdict = None
+                else:
+                    verdict = session.triage_verdict
+                if verdict is None:
+                    pass  # degraded result already built above
+                elif verdict is TriageVerdict.REAL_BUG:
+                    result = RepairResult(
+                        program=program.name, verdict=verdict,
+                        num_queries=session.num_queries,
+                        note="diagnosis validated the report as a "
+                             "real bug: no patch is synthesized",
+                    )
+                elif verdict is TriageVerdict.UNKNOWN_RESOURCE:
+                    result = RepairResult(
+                        program=program.name, verdict=verdict,
+                        num_queries=session.num_queries,
+                        note="diagnosis ran out of budget before "
+                             "repair could start",
+                    )
+                else:
+                    patches = synthesize_repairs(
+                        program, analysis,
+                        config=self._config, solver=self._solver,
+                        session=session, max_patches=max_patches,
+                    )
+                    result = RepairResult(
+                        program=program.name, verdict=verdict,
+                        patches=tuple(patches),
+                        num_queries=session.num_queries,
+                    )
+        result.telemetry = cap.snapshot
+        if session is not None and session.cache is not None:
+            result.cache = session.cache
+        return result
 
     def user_study(self, *, seed: int = 2012, num_recruited: int = 56,
                    benchmarks: tuple[Benchmark, ...] | None = None,

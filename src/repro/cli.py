@@ -6,6 +6,7 @@ Subcommands::
     repro-diagnose diagnose FILE           interactive Figure 6 session
     repro-diagnose suite [NAME]            run benchmark(s) w/ ground truth
     repro-diagnose triage [NAME...] --jobs N   batch triage across cores
+    repro-diagnose repair NAME             triage + synthesize verified patches
     repro-diagnose stats [NAME...]         triage w/ telemetry + stats table
     repro-diagnose explain NAME            render a report's derivation tree
     repro-diagnose trace export --format chrome|prom|jsonl --out FILE
@@ -44,6 +45,7 @@ from . import schema
 from .obs import history as obs_history
 from .obs import provenance as prov
 from .api import InitialVerdict, Pipeline
+from .lang import SourceError
 from .diagnosis import (
     EngineConfig,
     ExhaustiveOracle,
@@ -496,6 +498,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_repair(args: argparse.Namespace) -> int:
+    _begin_trace(args)
+    cache_dir, _ = _cache_from_args(args)
+    target = args.name
+    path = Path(target)
+    if path.suffix == ".err" or path.is_file():
+        target = path.read_text()
+    pipeline = Pipeline(cache_dir=cache_dir,
+                        limits=_limits_from_args(args))
+    try:
+        result = pipeline.repair(target, max_patches=args.max_patches)
+    except SourceError as exc:
+        # neither a benchmark name, a file, nor a parseable program:
+        # that is a usage error, not a real-bug verdict
+        print(f"repair: {exc}", file=sys.stderr)
+        _end_trace(args)
+        return schema.EXIT_USAGE
+    if args.json:
+        print(result.to_json(indent=2))
+        _end_trace(args)
+        return result.exit_status
+    print(f"program: {result.program}")
+    print(f"verdict: {result.verdict.value}")
+    if result.note:
+        print(f"note: {result.note}")
+    if result.num_queries is not None:
+        print(f"queries: {result.num_queries}")
+    for patch in result.patches:
+        status = ("verified" if patch.verified
+                  else f"rejected ({patch.rejected})" if patch.rejected
+                  else "unverified")
+        print()
+        print(f"#{patch.rank} [{status}] {patch.kind}: "
+              f"{patch.formula}  "
+              f"(cost: {patch.cost[0]} vars, size {patch.cost[1]})")
+        for edit in patch.edits:
+            where = (f"@post({edit.label})" if edit.kind == "post"
+                     else f"assume on {edit.target}"
+                     if edit.kind == "assume" else "check guard")
+            print(f"    {where} line {edit.line}: {edit.pred}")
+    best = result.best
+    if best is not None and best.diff:
+        print()
+        print(best.diff, end="")
+    elif not result.patches and not result.already_clean \
+            and result.verdict.value != "real bug":
+        print("no expressible patch candidate survived verification")
+    _end_trace(args)
+    return result.exit_status
+
+
 def _cmd_userstudy(args: argparse.Namespace) -> int:
     from .userstudy import format_figure7, run_user_study
 
@@ -591,6 +644,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_flags(p_triage)
     add_output_flags(p_triage)
     p_triage.set_defaults(fn=_cmd_triage)
+
+    p_repair = sub.add_parser(
+        "repair",
+        help="triage a report and synthesize ranked, verified patches",
+    )
+    p_repair.add_argument("name", metavar="NAME",
+                          help="a Figure 7 benchmark name, or a path "
+                               "to a .err source file")
+    p_repair.add_argument("--max-patches", type=int, default=None,
+                          metavar="N",
+                          help="keep at most N ranked patches")
+    add_limit_flags(p_repair)
+    p_repair.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="persistent content-addressed artifact "
+                               "store; stage/QE/SMT/repair results are "
+                               "reused across runs")
+    add_output_flags(p_repair)
+    p_repair.set_defaults(fn=_cmd_repair)
 
     p_stats = sub.add_parser(
         "stats",

@@ -33,6 +33,7 @@ from .interp import (
     run_program,
 )
 from .parser import parse_module, parse_program
+from .printer import render_expr, render_pred, render_program, render_stmt
 from .procedures import CallStmt, Module, Proc, inline_module
 
 __all__ = [
@@ -43,5 +44,6 @@ __all__ = [
     "ExecutionResult", "FixedHavocPolicy", "HavocPolicy", "Interpreter",
     "OutOfFuel", "eval_expr", "eval_pred", "run_program",
     "parse_module", "parse_program",
+    "render_expr", "render_pred", "render_program", "render_stmt",
     "CallStmt", "Module", "Proc", "inline_module",
 ]

@@ -1,0 +1,205 @@
+"""From an abduced formula to placed edit plans.
+
+Given a candidate formula ψ (an abduced Γ, or the conjunction of facts a
+diagnosis session learned), this module decides *where* in the source ψ
+belongs, using the provenance the analysis records for every variable
+(:class:`~repro.analysis.transformer.AbstractionInfo`):
+
+* a CNF clause whose only abstraction variable came from a ``havoc``
+  goes onto that havoc's ``@assume`` — the paper's missing library
+  annotation, restored;
+* a clause whose abstraction variables all belong to one loop
+  strengthens that loop's ``@post`` — Ilinva's abduction-to-invariant
+  move;
+* anything else (products, mixed provenance) falls back to a guard on
+  the final ``check``, whose variable mapping comes from the *final*
+  symbolic store: a program variable maps an analysis variable exactly
+  when its value set at the check site is that variable, unguarded.
+
+Each placement is only a *plan*; :mod:`repro.repair.synthesize` verifies
+every plan by re-running the front end and the entailment stage on the
+patched program, so a wrong mapping is rejected, never shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis import AnalysisResult
+from ..lang.ast import Assign, Havoc, Program
+from ..logic.formulas import Formula, conj
+from ..logic.normal_forms import cnf_clauses
+from ..logic.formulas import disj
+from ..logic.terms import Var
+from .splice import Edit
+from .translate import formula_to_pred
+
+__all__ = [
+    "Plan",
+    "final_bindings",
+    "plan_placements",
+    "stable_inputs",
+]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One placed patch candidate: the formula plus its edits."""
+
+    formula: Formula
+    kind: str                   # 'targeted' | 'guard'
+    edits: tuple[Edit, ...]
+
+
+def stable_inputs(program: Program,
+                  analysis: AnalysisResult) -> dict[Var, str]:
+    """Input variables whose parameter is never reassigned or havocked
+    — their program name denotes the same value at every point, so any
+    placement site may mention them."""
+    mutated = {
+        stmt.target
+        for stmt in program.body.walk()
+        if isinstance(stmt, (Assign, Havoc))
+    }
+    return {
+        var: name
+        for name, var in analysis.input_vars.items()
+        if name not in mutated
+    }
+
+
+def final_bindings(analysis: AnalysisResult) -> dict[Var, str]:
+    """Analysis variables a program name denotes *at the check site*:
+    the name's final value set must be exactly that variable with an
+    unconditional guard.  This is the guard placement's vocabulary —
+    it can reach loop, havoc, product and input variables alike."""
+    bound: dict[Var, str] = {}
+    for name in sorted(analysis.store):
+        value_set = analysis.store[name]
+        if len(value_set.entries) != 1:
+            continue
+        term, guard = value_set.entries[0]
+        if not guard.is_true or term.const != 0:
+            continue
+        if len(term.coeffs) != 1:
+            continue
+        var, coeff = term.coeffs[0]
+        if coeff == 1 and var not in bound:
+            bound[var] = name
+    return bound
+
+
+def _clause_site(clause_vars: frozenset[Var], analysis: AnalysisResult,
+                 inputs: dict[Var, str]) -> tuple[str, Any] | None:
+    """The most specific placement for a clause: ``('assume', info)``,
+    ``('post', label)`` or ``None`` (guard fallback)."""
+    abstractions = [v for v in clause_vars if v not in inputs]
+    if not abstractions:
+        return None  # pure input facts have no introduction site
+    infos = []
+    for v in abstractions:
+        meta = analysis.info.get(v)
+        if meta is None:
+            return None
+        infos.append(meta)
+    if len(infos) == 1 and infos[0].kind == "havoc" \
+            and infos[0].program_var is not None:
+        return "assume", infos[0]
+    labels = {info.label for info in infos}
+    if all(info.kind == "loop" and info.program_var is not None
+           for info in infos) and len(labels) == 1:
+        return "post", labels.pop()
+    return None
+
+
+def _find_havoc(program: Program, info) -> Havoc | None:
+    """The havoc statement that introduced ``info``'s variable."""
+    for stmt in program.body.walk():
+        if isinstance(stmt, Havoc) and stmt.target == info.program_var:
+            if info.span is None or stmt.span.start == info.span.start:
+                return stmt
+    return None
+
+
+def _guard_edit(formula: Formula, analysis: AnalysisResult,
+                inputs: dict[Var, str],
+                program: Program) -> Edit | None:
+    names = dict(final_bindings(analysis))
+    names.update(inputs)
+    pred = formula_to_pred(formula, names)
+    if pred is None:
+        return None
+    return Edit(kind="guard", pred=pred,
+                line=program.check.span.line)
+
+
+def plan_placements(program: Program, analysis: AnalysisResult,
+                    formula: Formula) -> list[Plan]:
+    """Every placement plan for ``formula``, most targeted first.
+
+    Produces at most two plans: the provenance-targeted partition of
+    the formula's CNF clauses (when at least one clause lands on a
+    havoc or loop), and the whole-formula guard fallback.
+    """
+    inputs = stable_inputs(program, analysis)
+    plans: list[Plan] = []
+
+    clauses = [disj(*lits) for lits in cnf_clauses(formula)]
+    edits: list[Edit] = []
+    leftovers: list[Formula] = []
+    targeted = True
+    for clause in clauses:
+        site = _clause_site(clause.free_vars(), analysis, inputs)
+        edit = None
+        if site is not None and site[0] == "assume":
+            info = site[1]
+            havoc = _find_havoc(program, info)
+            if havoc is not None:
+                names = {info.var: info.program_var, **inputs}
+                pred = formula_to_pred(clause, names)
+                if pred is not None:
+                    edit = Edit(kind="assume", pred=pred,
+                                target=havoc.target,
+                                span_start=havoc.span.start,
+                                line=havoc.span.line)
+        elif site is not None and site[0] == "post":
+            label = site[1]
+            try:
+                loop = program.loop_by_label(label)
+            except KeyError:
+                loop = None
+            if loop is not None:
+                names = {
+                    v: analysis.info[v].program_var
+                    for v in clause.free_vars()
+                    if v in analysis.info
+                    and analysis.info[v].program_var is not None
+                }
+                names.update(inputs)
+                pred = formula_to_pred(clause, names)
+                if pred is not None:
+                    edit = Edit(kind="post", pred=pred, label=label,
+                                line=loop.span.line)
+        if edit is not None:
+            edits.append(edit)
+        else:
+            leftovers.append(clause)
+    if not edits:
+        targeted = False  # everything fell through: guard-only below
+    elif leftovers:
+        leftover_guard = _guard_edit(conj(*leftovers), analysis,
+                                     inputs, program)
+        if leftover_guard is None:
+            targeted = False  # partial placement cannot be completed
+        else:
+            edits.append(leftover_guard)
+    if targeted:
+        plans.append(Plan(formula=formula, kind="targeted",
+                          edits=tuple(edits)))
+
+    whole_guard = _guard_edit(formula, analysis, inputs, program)
+    if whole_guard is not None:
+        plans.append(Plan(formula=formula, kind="guard",
+                          edits=(whole_guard,)))
+    return plans

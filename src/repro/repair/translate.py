@@ -1,0 +1,106 @@
+"""From logic formulas back to source-level predicates.
+
+The analysis compiles source predicates *down* to formulas over
+analysis variables (:mod:`repro.analysis.transformer`); repair needs the
+inverse direction: an abduced proof obligation Γ is a formula over
+``alpha``/``nu`` variables, and a patch must state it in the program's
+own vocabulary so the front end can compile it right back.
+
+:func:`formula_to_pred` performs that translation under an explicit
+variable→program-name mapping (provenance decides the mapping — see
+:mod:`repro.repair.candidates`).  The translation is partial by design:
+
+* ``Dvd`` atoms and quantifiers have no surface syntax — ``None``;
+* a free variable absent from the mapping has no program name at the
+  placement site — ``None``.
+
+Rendered comparisons keep every literal non-negative (the grammar has
+no negative constants): an atom ``t <= 0`` splits ``t`` into its
+positive and negated-negative halves, ``L <= R``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..lang.ast import (
+    BoolConst,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    Name,
+    NotPred,
+    Pred,
+)
+from ..lang.ast import BinOp
+from ..logic.formulas import And, Atom, Dvd, Formula, Not, Or, Rel
+from ..logic.terms import LinTerm, Var
+
+__all__ = ["formula_to_pred", "term_to_sides"]
+
+_REL_OPS = {Rel.LE: "<=", Rel.EQ: "==", Rel.NE: "!="}
+
+
+def _sum(parts: list[Expr]) -> Expr:
+    if not parts:
+        return Const(0)
+    total = parts[0]
+    for part in parts[1:]:
+        total = BinOp("+", total, part)
+    return total
+
+
+def term_to_sides(term: LinTerm,
+                  names: Mapping[Var, str]) -> tuple[Expr, Expr] | None:
+    """Split an affine term into ``(left, right)`` with ``term = left -
+    right`` and only non-negative literals on either side.  ``None``
+    when a variable has no program name in ``names``."""
+    left: list[Expr] = []
+    right: list[Expr] = []
+    for var, coeff in term.coeffs:
+        name = names.get(var)
+        if name is None:
+            return None
+        side, magnitude = (left, coeff) if coeff > 0 else (right, -coeff)
+        if magnitude == 1:
+            side.append(Name(name))
+        else:
+            side.append(BinOp("*", Const(magnitude), Name(name)))
+    if term.const > 0:
+        left.append(Const(term.const))
+    elif term.const < 0:
+        right.append(Const(-term.const))
+    return _sum(left), _sum(right)
+
+
+def formula_to_pred(phi: Formula,
+                    names: Mapping[Var, str]) -> Pred | None:
+    """Translate a quantifier-free formula into a source predicate under
+    ``names``, or ``None`` when it cannot be expressed."""
+    if phi.is_true:
+        return BoolConst(True)
+    if phi.is_false:
+        return BoolConst(False)
+    if isinstance(phi, Atom):
+        sides = term_to_sides(phi.term, names)
+        if sides is None:
+            return None
+        return Cmp(_REL_OPS[phi.rel], sides[0], sides[1])
+    if isinstance(phi, Dvd):
+        return None  # no divisibility syntax in the source language
+    if isinstance(phi, Not):
+        inner = formula_to_pred(phi.arg, names)
+        if inner is None:
+            return None
+        return NotPred(inner)
+    if isinstance(phi, (And, Or)):
+        parts = []
+        for arg in phi.args:
+            part = formula_to_pred(arg, names)
+            if part is None:
+                return None
+            parts.append(part)
+        op = "&&" if isinstance(phi, And) else "||"
+        return BoolOp(op, tuple(parts))
+    return None  # quantifiers have no surface syntax

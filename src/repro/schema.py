@@ -20,15 +20,20 @@ Schema stability contract (documented in ``docs/API.md``):
   SCHEMA_VERSION;
 * ``"telemetry"`` is present only when instrumentation was enabled.
 
-Version history.  ``repro.result/2`` (current) added the
-``UNKNOWN_RESOURCE`` verdict and the resource-governance fields
-(``limits``, ``resource_spend``, ``degraded``, ``exhausted_stage``,
-``attempts``) on top of ``repro.result/1``; the change is purely
-additive, and :func:`read_envelope` upgrades ``/1`` payloads in place.
-The optional ``cache`` block (content digests, persistent-store path,
-per-run hit/miss counts — see :mod:`repro.cache`) was likewise added
-within ``/2``: it appears only when a store was active, so no version
-bump was needed.
+Version history.  ``repro.result/2`` added the ``UNKNOWN_RESOURCE``
+verdict and the resource-governance fields (``limits``,
+``resource_spend``, ``degraded``, ``exhausted_stage``, ``attempts``)
+on top of ``repro.result/1``; the change is purely additive, and
+:func:`read_envelope` upgrades ``/1`` payloads in place.  The optional
+``cache`` block (content digests, persistent-store path, per-run
+hit/miss counts — see :mod:`repro.cache`) was likewise added within
+``/2``: it appears only when a store was active, so no version bump
+was needed.  ``repro.result/3`` (current) adds the ``repair`` result
+kind and its additive ``repairs`` block — the ranked patch list
+(edits, unified diff, verified flag, cost, Γ digest) produced by
+:mod:`repro.repair` — plus ``verified_patches`` and ``already_clean``;
+``/1`` and ``/2`` payloads upgrade in place (no pre-/3 payload carries
+repair fields, so the upgrade adds nothing).
 
 Besides the envelope, this module owns the *status contract*: the one
 mapping from triage verdicts to CLI exit codes and HTTP status codes,
@@ -46,10 +51,11 @@ import json
 from enum import Enum
 from typing import Any, Iterable
 
-SCHEMA_VERSION = "repro.result/2"
+SCHEMA_VERSION = "repro.result/3"
 
 #: Envelope versions :func:`read_envelope` accepts, oldest first.
-SUPPORTED_VERSIONS = ("repro.result/1", "repro.result/2")
+SUPPORTED_VERSIONS = ("repro.result/1", "repro.result/2",
+                      "repro.result/3")
 
 
 class TriageVerdict(Enum):
@@ -176,10 +182,12 @@ def read_envelope(payload: dict) -> dict:
     """Validate a result envelope and upgrade it to the current schema.
 
     Accepts any version in :data:`SUPPORTED_VERSIONS`; older payloads
-    come back reshaped as ``repro.result/2`` (the upgrade is purely
-    additive — resource fields default to "ungoverned run").  The input
-    dict is not mutated.  Raises ``ValueError`` for unknown versions or
-    envelopes missing the required keys.
+    come back reshaped as ``repro.result/3``.  Each upgrade step is
+    purely additive: ``/1`` payloads gain the resource-field defaults
+    of an ungoverned run, and ``/2`` payloads need nothing (no pre-/3
+    payload carries the ``repair`` kind or ``repairs`` block, which are
+    optional).  The input dict is not mutated.  Raises ``ValueError``
+    for unknown versions or envelopes missing the required keys.
     """
     for key in ("schema", "kind", "verdict"):
         if key not in payload:

@@ -9,15 +9,17 @@ Endpoint table (full request/response examples in ``docs/API.md``):
 
 ========================  ====================================================
 ``POST /v1/triage``       submit ``{"source": ...}`` or ``{"benchmark": ...}``
-                          (+ optional ``limits``, ``explain``); 200 with the
-                          finished ``repro.result/2`` envelope on a cache
-                          hit, 202 with a job handle otherwise, 400 for
-                          malformed submissions, 429 + ``Retry-After`` past
-                          ``max_inflight``
+                          (+ optional ``limits``, ``explain``, ``repair``);
+                          200 with the finished ``repro.result/3`` envelope
+                          on a cache hit, 202 with a job handle otherwise,
+                          400 for malformed submissions, 429 +
+                          ``Retry-After`` past ``max_inflight``
 ``GET /v1/jobs/<id>``     status + progress events (``?since=N`` resumes);
                           finished jobs map through the shared status
                           contract (200 verdicts, 503 degraded)
 ``GET /v1/jobs/<id>/explain``  provenance derivation tree as JSON
+``GET /v1/jobs/<id>/patches``  ranked verified patches of a ``repair: true``
+                          job (409 while running, 404 when none recorded)
 ``GET /healthz``          liveness + queue stats
 ``GET /metrics``          Prometheus text (the existing obs exporter)
 ========================  ====================================================
@@ -74,6 +76,9 @@ class _Handler(BaseHTTPRequestHandler):
         elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] \
                 and segments[3] == "explain":
             self._reply(*self.service.explain(segments[2]))
+        elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] \
+                and segments[3] == "patches":
+            self._reply(*self.service.patches(segments[2]))
         else:
             self._reply(404, {"error": f"no route {parts.path!r}"})
 

@@ -4,9 +4,9 @@
 serve``.  It owns a :class:`~repro.serve.jobs.JobRegistry`, a work
 queue, and a small pool of worker threads feeding the existing batch
 driver; the HTTP layer (:mod:`repro.serve.http`) is a thin adapter
-over its five methods (``submit`` / ``job_status`` / ``explain`` /
-``health`` / ``metrics_text``), which makes the whole service
-unit-testable without sockets.
+over its six methods (``submit`` / ``job_status`` / ``explain`` /
+``patches`` / ``health`` / ``metrics_text``), which makes the whole
+service unit-testable without sockets.
 
 Two submission kinds share one pipeline:
 
@@ -19,6 +19,14 @@ Two submission kinds share one pipeline:
   undecided) the Figure 6 loop under a :class:`SamplingOracle` — the
   paper's auto-answering future-work mode — and returns the
   ``analysis`` or ``diagnosis`` envelope.
+
+Either kind may add ``"repair": true`` to run :meth:`Pipeline.repair`
+instead: triage followed by abductive patch synthesis
+(:mod:`repro.repair`), returning the ``repair`` envelope whose ranked
+patch list is also served at ``GET /v1/jobs/<id>/patches``.  Repair
+jobs coalesce separately from plain triage (the mode is folded into
+the job key) and their exit code follows the repair contract: a false
+alarm with no surviving patch is a failure, not a success.
 
 Coalescing is two-level, both keyed by dg1 content digests: identical
 submissions in flight join one job (`serve.coalesced`), and distinct
@@ -198,6 +206,7 @@ class TriageService:
             return 200, body
         if not coalesced:
             if request["kind"] == "benchmark" \
+                    and not request.get("repair") \
                     and self._recorded(request["name"]):
                 # the store already holds this judgment's verdict: the
                 # run short-circuits in milliseconds, so answer inline
@@ -249,9 +258,13 @@ class TriageService:
         if (source is None) == (benchmark is None):
             raise BadRequest(
                 "provide exactly one of 'source' or 'benchmark'")
+        repair = payload.get("repair", False)
+        if not isinstance(repair, bool):
+            raise BadRequest("'repair' must be a boolean")
         request: dict = {
             "limits": payload.get("limits"),
             "explain": bool(payload.get("explain", False)),
+            "repair": repair,
         }
         _clamped_limits(self.limits, request["limits"])  # validate early
         if benchmark is not None:
@@ -285,10 +298,11 @@ class TriageService:
         the analysis judgment — same key as the incremental triage
         artifact chain — so identical submissions coalesce in flight
         and same-judgment sources share through the store."""
+        mode = "repair" if request.get("repair") else "triage"
         if request["kind"] == "benchmark":
-            return digest_many("serve.bench", STAGE_VERSION,
+            return digest_many("serve.bench", STAGE_VERSION, mode,
                                request["name"], self._fingerprint)
-        return digest_many("serve.adhoc", STAGE_VERSION,
+        return digest_many("serve.adhoc", STAGE_VERSION, mode,
                            self._fingerprint,
                            digest_text(request["source"]))
 
@@ -347,6 +361,28 @@ class TriageService:
             "tree": tree,
         }
 
+    def patches(self, job_id: str) -> tuple[int, dict]:
+        """The ranked patch list of a finished ``repair: true`` job."""
+        job = self.registry.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if job.status != "done":
+            return 409, {"error": f"job {job_id} is {job.status}; "
+                                  "patches need a finished job"}
+        result = job.result or {}
+        if result.get("kind") != "repair":
+            return 404, {
+                "error": "no patches recorded; submit with "
+                         '{"repair": true}'}
+        return 200, {
+            "job_id": job.id,
+            "name": job.name,
+            "verdict": result.get("verdict"),
+            "already_clean": result.get("already_clean", False),
+            "verified_patches": result.get("verified_patches", 0),
+            "patches": list(result.get("repairs", [])),
+        }
+
     def health(self) -> tuple[int, dict]:
         return 200, {
             "status": "ok",
@@ -386,8 +422,12 @@ class TriageService:
         if explain:
             prov.enable()
         prov_marker = prov.mark() if explain else None
+        code = None
         try:
-            if request["kind"] == "benchmark":
+            if request.get("repair"):
+                envelope, events, code = self._run_repair(
+                    request, limits)
+            elif request["kind"] == "benchmark":
                 envelope, events = self._run_benchmark(
                     request["name"], limits)
             else:
@@ -398,9 +438,10 @@ class TriageService:
                 prov.disable()
         nodes = tuple(prov.nodes_since(prov_marker)) \
             if prov_marker is not None else ()
-        degraded = bool(envelope.get("degraded")) \
-            or envelope.get("error") is not None
-        code = exit_code([envelope["verdict"]], degraded=degraded)
+        if code is None:
+            degraded = bool(envelope.get("degraded")) \
+                or envelope.get("error") is not None
+            code = exit_code([envelope["verdict"]], degraded=degraded)
         self.registry.finish(job_id, result=envelope, exit_code=code,
                              events=events, provenance=nodes)
 
@@ -415,6 +456,31 @@ class TriageService:
             incremental=self.cache_dir is not None,
         )
         return outcome.to_dict(), outcome.events
+
+    def _run_repair(self, request: dict, limits: Limits | None
+                    ) -> tuple[dict, tuple, int]:
+        """A ``repair: true`` submission: triage + patch synthesis via
+        ``Pipeline.repair``.  The exit code follows the repair contract
+        (0 = verified patch / already clean, 1 = real bug / no patch,
+        3 = degraded) rather than the bare-verdict mapping — a false
+        alarm without a surviving patch must not read as repaired."""
+        from ..api import Pipeline
+
+        marker = obs.span_sequence()
+        target = request["name"] if request["kind"] == "benchmark" \
+            else request["source"]
+        pipeline = Pipeline(config=self.config, limits=limits,
+                            cache_dir=self.cache_dir)
+        with obs.span("serve.report"):
+            result = pipeline.repair(target)
+        obs.inc("serve.repair.jobs")
+        obs.inc("serve.repair.patches", len(result.patches))
+        obs.inc("serve.repair.verified", result.verified_count)
+        if result.exit_status == EXIT_DEGRADED:
+            obs.inc("serve.repair.degraded")
+        events = tuple(e for e in obs.events()
+                       if e.get("id", 0) >= marker)
+        return result.to_dict(), events, result.exit_status
 
     def _run_source(self, source: str, limits: Limits | None
                     ) -> tuple[dict, tuple]:

@@ -1,0 +1,276 @@
+"""Repair synthesis: Figure 7 end-to-end, the consistency guard, the
+splice round-trip, and the ``repair`` envelope/serve surface."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import InitialVerdict, Pipeline
+from repro.diagnosis.queries import Answer
+from repro.lang import parse_program, render_program
+from repro.lang.ast import BoolOp, Cmp, Const, Name
+from repro.logic import LinTerm, Var, lt
+from repro.repair import (
+    Edit,
+    RepairPatch,
+    RepairResult,
+    apply_edits,
+    synthesize_repairs,
+)
+from repro.schema import SCHEMA_VERSION, TriageVerdict, read_envelope
+from repro.suite import BENCHMARKS, benchmark_by_name, load_source
+
+FALSE_ALARMS = [b.name for b in BENCHMARKS if b.is_false_alarm]
+REAL_BUGS = [b.name for b in BENCHMARKS if not b.is_false_alarm]
+
+CLEAN_SOURCE = """\
+program always_ok(n) {
+    assert(n + 1 > n);
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 end-to-end: every false alarm gets a verified patch
+# ---------------------------------------------------------------------------
+
+class TestFigure7Repair:
+    @pytest.mark.parametrize("name", FALSE_ALARMS)
+    def test_false_alarm_yields_verified_rank1_patch(self, name):
+        result = Pipeline().repair(name)
+        assert result.verdict is TriageVerdict.FALSE_ALARM
+        assert result.verified_count >= 1
+        best = result.best
+        assert best is not None and best.rank == 1 and best.verified
+        # every verified patch must re-triage clean: the patched
+        # program discharges outright (Lemma 1), no oracle needed
+        for patch in result.patches:
+            if not patch.verified:
+                continue
+            outcome = Pipeline().analyze(patch.patched_source)
+            assert outcome.verdict is InitialVerdict.VERIFIED, \
+                f"{name} rank {patch.rank} does not re-triage clean"
+        assert result.exit_status == 0
+
+    @pytest.mark.parametrize("name", REAL_BUGS[:2])
+    def test_real_bug_gets_no_patch(self, name):
+        result = Pipeline().repair(name)
+        assert result.verdict is TriageVerdict.REAL_BUG
+        assert result.patches == ()
+        assert result.best is None
+        assert result.exit_status == 1
+
+    def test_already_clean_source_needs_no_patch(self):
+        result = Pipeline().repair(CLEAN_SOURCE)
+        assert result.already_clean
+        assert result.verdict is TriageVerdict.FALSE_ALARM
+        assert result.patches == ()
+        assert result.exit_status == 0
+
+    def test_warm_cache_reproduces_the_patch_list(self, tmp_path):
+        pipe = Pipeline(cache_dir=str(tmp_path / "store"))
+        cold = pipe.repair("p02_wordcount")
+        warm = pipe.repair("p02_wordcount")
+        assert [p.to_dict() for p in cold.patches] \
+            == [p.to_dict() for p in warm.patches]
+        assert warm.cache is not None and warm.cache["hits"] > 0
+
+    def test_cli_bogus_name_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["repair", "no_such_benchmark"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repair:")
+
+
+# ---------------------------------------------------------------------------
+# the consistency guard: UNSAT(I & psi) is rejected, never spliced
+# ---------------------------------------------------------------------------
+
+class _Query:
+    def __init__(self, kind, formula):
+        self.kind = kind
+        self.formula = formula
+
+
+class _Interaction:
+    def __init__(self, query, answer):
+        self.query = query
+        self.answer = answer
+
+
+class _Session:
+    def __init__(self, interactions):
+        self.interactions = list(interactions)
+
+
+class TestConsistencyGuard:
+    def test_inconsistent_candidate_is_rejected(self):
+        bench = benchmark_by_name("p01_accumulate")
+        outcome = Pipeline().analyze(load_source(bench))
+        # I contains n >= 0, so the "learned fact" n < 0 is satisfiable
+        # on its own but contradicts the axioms: UNSAT premises would
+        # prove any obligation, so the guard must reject it unspliced
+        bad = lt(LinTerm.var(outcome.analysis.input_vars["n"]), 0)
+        session = _Session([
+            _Interaction(_Query("invariant", bad), Answer.YES),
+        ])
+        patches = synthesize_repairs(outcome.program, outcome.analysis,
+                                     session=session)
+        rejected = [p for p in patches
+                    if p.rejected == "inconsistent"]
+        assert rejected, "the inconsistent candidate was not rejected"
+        for patch in rejected:
+            assert not patch.verified
+            assert patch.patched_source == ""  # never spliced
+        # the genuine abduced candidate still yields a verified patch,
+        # and every inconsistent one ranks strictly below it
+        assert patches[0].verified
+        assert all(p.rank > patches[0].rank for p in rejected)
+
+    def test_only_rejected_patches_is_a_failure_exit(self):
+        result = RepairResult(
+            program="p", verdict=TriageVerdict.FALSE_ALARM,
+            patches=(RepairPatch(
+                rank=1, kind="guard", formula=lt(LinTerm.var(Var("n")), 0),
+                edits=(), diff="", patched_source="", verified=False,
+                rejected="inconsistent", cost=(1, 1)),),
+        )
+        assert result.verified_count == 0
+        assert result.exit_status == 1  # no patch == not repaired
+
+
+# ---------------------------------------------------------------------------
+# splice round-trip: parse(render(patch(p))) == patch(ast)
+# ---------------------------------------------------------------------------
+
+_CORPUS = [b.name for b in BENCHMARKS]
+
+
+def _variables(program):
+    return sorted({p.name for p in program.params} | set(program.locals))
+
+
+@st.composite
+def _patched_programs(draw):
+    """A suite program with one randomly placed, randomly built edit."""
+    name = draw(st.sampled_from(_CORPUS))
+    program = parse_program(load_source(benchmark_by_name(name)))
+    names = _variables(program)
+    left = Name(draw(st.sampled_from(names)))
+    op = draw(st.sampled_from(["<=", "<", "==", "!=", ">=", ">"]))
+    right = draw(st.one_of(
+        st.integers(min_value=0, max_value=9).map(Const),
+        st.sampled_from(names).map(Name),
+    ))
+    pred = Cmp(op, left, right)
+    if draw(st.booleans()):
+        pred = BoolOp("&&", (pred, Cmp("<=", Const(0), left)))
+    sites = [Edit(kind="guard", pred=pred)]
+    from repro.lang.ast import Havoc, While
+
+    for stmt in program.body.walk():
+        if isinstance(stmt, Havoc):
+            sites.append(Edit(kind="assume", pred=pred,
+                              target=stmt.target,
+                              span_start=stmt.span.start))
+        elif isinstance(stmt, While):
+            sites.append(Edit(kind="post", pred=pred,
+                              label=stmt.label))
+    edit = draw(st.sampled_from(sites))
+    return apply_edits(program, [edit])
+
+
+class TestSpliceRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_patched_programs())
+    def test_patched_programs_survive_render_parse(self, patched):
+        assert parse_program(render_program(patched)) == patched
+
+
+# ---------------------------------------------------------------------------
+# envelope: repro.result/3, the repairs block, the upgrader
+# ---------------------------------------------------------------------------
+
+class TestRepairEnvelope:
+    def test_repair_envelope_shape(self):
+        result = Pipeline().repair("p03_square", max_patches=2)
+        payload = json.loads(result.to_json())
+        assert payload["schema"] == "repro.result/3" == SCHEMA_VERSION
+        assert payload["kind"] == "repair"
+        assert payload["verdict"] == "false alarm"
+        assert payload["verified_patches"] >= 1
+        assert len(payload["repairs"]) <= 2
+        first = payload["repairs"][0]
+        for key in ("rank", "kind", "formula", "gamma_digest", "cost",
+                    "verified", "edits", "diff", "patched_source"):
+            assert key in first
+        assert first["rank"] == 1
+        assert first["cost"].keys() == {"variables", "size"}
+        assert read_envelope(payload)["schema"] == SCHEMA_VERSION
+
+    def test_old_envelopes_upgrade_in_place(self):
+        old = {"schema": "repro.result/2", "kind": "triage_outcome",
+               "verdict": "false alarm", "degraded": False}
+        upgraded = read_envelope(old)
+        assert upgraded["schema"] == "repro.result/3"
+        assert old["schema"] == "repro.result/2"  # input untouched
+        v1 = {"schema": "repro.result/1", "kind": "triage_outcome",
+              "verdict": "real bug"}
+        assert read_envelope(v1)["degraded"] is False
+
+
+# ---------------------------------------------------------------------------
+# the serve surface: repair flag, patches route
+# ---------------------------------------------------------------------------
+
+class TestServeRepair:
+    def _wait(self, service, job_id):
+        import time
+
+        for _ in range(400):
+            job = service.registry.get(job_id)
+            if job.status == "done":
+                return job
+            time.sleep(0.05)
+        raise AssertionError("job did not finish")
+
+    def test_repair_job_and_patches_route(self):
+        from repro.serve.service import TriageService
+
+        service = TriageService(workers=1)
+        service.start()
+        try:
+            status, body = service.submit(
+                {"source": CLEAN_SOURCE, "repair": True})
+            assert status == 202
+            job = self._wait(service, body["job_id"])
+            assert job.result["kind"] == "repair"
+            assert job.result["already_clean"] is True
+            assert job.exit_code == 0
+            status, patches = service.patches(job.id)
+            assert status == 200
+            assert patches["already_clean"] is True
+            assert patches["patches"] == []
+
+            # a plain triage job records no patches
+            status, body = service.submit({"source": CLEAN_SOURCE})
+            assert status in (200, 202)
+            job_id = body.get("job_id") or body["id"]
+            plain = self._wait(service, job_id)
+            status, err = service.patches(plain.id)
+            assert status == 404 and "repair" in err["error"]
+            # ... and coalesces separately from the repair job
+            assert plain.id != job.id
+        finally:
+            service.stop()
+
+    def test_repair_flag_must_be_boolean(self):
+        from repro.serve.service import BadRequest, TriageService
+
+        service = TriageService(workers=1)
+        with pytest.raises(BadRequest):
+            service.submit({"source": CLEAN_SOURCE, "repair": "yes"})
