@@ -48,6 +48,8 @@ from dataclasses import dataclass, field, replace
 
 from .. import limits as _limits_mod
 from .. import obs
+from ..obs import context as ocontext
+from ..obs import logging as olog
 from ..obs import provenance as prov
 from ..cache import open_store, use_store
 from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
@@ -82,6 +84,7 @@ class TriageOutcome:
     degraded: bool = False         # quarantined after exhausting retries
     prior_telemetry: tuple = ()    # partial snapshots of failed attempts
     cache: dict | None = None      # store provenance (digests, hit/miss)
+    trace_id: str | None = None    # correlation id of the request trace
 
     @property
     def correct(self) -> bool:
@@ -113,6 +116,7 @@ class TriageOutcome:
             attempts=self.attempts,
             degraded=self.degraded,
             cache=self.cache,
+            trace_id=self.trace_id,
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -130,6 +134,7 @@ class BatchResult:
     telemetry: dict | None = None  # merged per-worker obs snapshots
     limits: dict | None = None     # rendering of the governing Limits
     cache: dict | None = None      # driver-side store stats, when active
+    trace_id: str | None = None    # correlation id of the batch ingress
     failures: list[TriageOutcome] = field(init=False)
     degraded: list[TriageOutcome] = field(init=False)
 
@@ -204,6 +209,7 @@ class BatchResult:
             cache=self.cache,
             resource_spend=self.resource_spend or None,
             degraded=[o.name for o in self.degraded],
+            trace_id=self.trace_id,
         )
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -248,7 +254,8 @@ def _triage_one(name: str, config: EngineConfig | None = None,
                 telemetry: bool = False, limits: Limits | None = None,
                 attempt: int = 0, in_worker: bool = False,
                 cache_dir: str | None = None,
-                incremental: bool = False) -> TriageOutcome:
+                incremental: bool = False,
+                trace: dict | None = None) -> TriageOutcome:
     """Triage a single benchmark report against its ground-truth oracle.
 
     Top-level so it pickles under any multiprocessing start method.  All
@@ -278,8 +285,16 @@ def _triage_one(name: str, config: EngineConfig | None = None,
     snapshot is stamped with the attempt number, and failed attempts
     keep their partial telemetry too — a quarantined report still shows
     up in the fleet-wide merge.
+
+    ``trace`` carries a :class:`~repro.obs.context.TraceContext` as
+    plain data across the process boundary; it (or, failing that, the
+    thread's ambient context) is bound for the report's duration, so
+    every span, provenance node, log line and the telemetry snapshot
+    recorded in this worker joins the ingress's trace.
     """
     start = time.perf_counter()
+    ctx = ocontext.TraceContext.from_dict(trace) if trace is not None \
+        else ocontext.current()
     if in_worker:
         faults.mark_worker()
     faults.set_report(name)
@@ -305,6 +320,8 @@ def _triage_one(name: str, config: EngineConfig | None = None,
         if snap is not None:
             snap["report"] = name
             snap["attempt"] = attempt
+            if ctx is not None:
+                snap["trace"] = ctx.trace_id
         return snap
 
     effective = limits
@@ -323,7 +340,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
         recorded = None
         cache_info = None
         report_key = None
-        with obs.capture() as cap, \
+        with ocontext.bind(ctx), obs.capture() as cap, \
                 obs.span("triage.report", report=name, attempt=attempt), \
                 governed as governor, scoped:
             bench = benchmark_by_name(name)
@@ -388,6 +405,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
                 events=report_events(),
                 provenance=report_provenance(),
                 cache=cache_info,
+                trace_id=ctx.trace_id if ctx is not None else None,
             )
         outcome = TriageOutcome(
             name=name,
@@ -404,6 +422,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
             exhausted_kind=result.exhausted_kind,
             resource_spend=result.resource_spend,
             cache=_merge_cache_info(cache_info, result.cache),
+            trace_id=ctx.trace_id if ctx is not None else None,
         )
         if store is not None and report_key is not None \
                 and _cacheable(outcome):
@@ -430,6 +449,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
             provenance=report_provenance(),
             exhausted_stage=exc.stage,
             exhausted_kind=exc.kind,
+            trace_id=ctx.trace_id if ctx is not None else None,
         )
     except Exception as exc:  # noqa: BLE001 - outcomes must cross processes
         return TriageOutcome(
@@ -442,6 +462,7 @@ def _triage_one(name: str, config: EngineConfig | None = None,
             events=report_events(),
             provenance=report_provenance(),
             exhausted_stage=getattr(exc, "stage", None),
+            trace_id=ctx.trace_id if ctx is not None else None,
         )
     finally:
         faults.set_report(None)
@@ -547,37 +568,54 @@ def triage_many(
     telemetry = telemetry or obs.is_enabled()
     limits_payload = limits.to_dict() if limits is not None else None
 
-    start = time.perf_counter()
-    if jobs <= 1 or len(names) <= 1:
-        outcomes = [
-            _triage_with_retries(name, config, telemetry, limits,
-                                 cache_dir=cache_dir,
-                                 incremental=incremental)
-            for name in names
-        ]
-        return BatchResult(
-            outcomes=outcomes,
-            wall_seconds=time.perf_counter() - start,
-            jobs=1,
-            mode="serial",
-            telemetry=_merged_telemetry(outcomes, telemetry),
-            limits=limits_payload,
-            cache=_store_stats(cache_dir),
-        )
+    # the batch is an ingress: adopt the caller's trace (a serve job, a
+    # CLI invocation) or mint a fresh root, and hand every report its
+    # own child hop so worker-side records share the trace id
+    root = ocontext.current()
+    if root is None:
+        root = ocontext.new_trace("batch")
 
-    outcomes, pool_broke = _triage_parallel(
-        names, jobs, limits, config, telemetry,
-        cache_dir=cache_dir, incremental=incremental,
-    )
-    return BatchResult(
-        outcomes=outcomes,
-        wall_seconds=time.perf_counter() - start,
-        jobs=jobs,
-        mode="degraded" if pool_broke else "parallel",
-        telemetry=_merged_telemetry(outcomes, telemetry),
-        limits=limits_payload,
-        cache=_store_stats(cache_dir),
-    )
+    start = time.perf_counter()
+    with ocontext.bind(root):
+        olog.info("batch.start", reports=len(names), jobs=jobs)
+        if jobs <= 1 or len(names) <= 1:
+            outcomes = [
+                _triage_with_retries(name, config, telemetry, limits,
+                                     cache_dir=cache_dir,
+                                     incremental=incremental,
+                                     trace=root.child().to_dict())
+                for name in names
+            ]
+            result = BatchResult(
+                outcomes=outcomes,
+                wall_seconds=time.perf_counter() - start,
+                jobs=1,
+                mode="serial",
+                telemetry=_merged_telemetry(outcomes, telemetry),
+                limits=limits_payload,
+                cache=_store_stats(cache_dir),
+                trace_id=root.trace_id,
+            )
+        else:
+            outcomes, pool_broke = _triage_parallel(
+                names, jobs, limits, config, telemetry,
+                cache_dir=cache_dir, incremental=incremental,
+                trace_root=root,
+            )
+            result = BatchResult(
+                outcomes=outcomes,
+                wall_seconds=time.perf_counter() - start,
+                jobs=jobs,
+                mode="degraded" if pool_broke else "parallel",
+                telemetry=_merged_telemetry(outcomes, telemetry),
+                limits=limits_payload,
+                cache=_store_stats(cache_dir),
+                trace_id=root.trace_id,
+            )
+        olog.info("batch.done", reports=len(names), mode=result.mode,
+                  wall_s=round(result.wall_seconds, 4),
+                  degraded=len(result.degraded))
+        return result
 
 
 def _store_stats(cache_dir: str | None) -> dict | None:
@@ -613,7 +651,8 @@ def _triage_with_retries(name: str, config: EngineConfig | None,
                          telemetry: bool,
                          limits: Limits | None,
                          cache_dir: str | None = None,
-                         incremental: bool = False) -> TriageOutcome:
+                         incremental: bool = False,
+                         trace: dict | None = None) -> TriageOutcome:
     """The serial-mode retry loop (mirrors the parallel driver's)."""
     attempts = _max_attempts(limits)
     outcome = None
@@ -623,7 +662,8 @@ def _triage_with_retries(name: str, config: EngineConfig | None,
         outcome = _triage_one(name, config, telemetry,
                               limits=tightened, attempt=attempt,
                               cache_dir=cache_dir,
-                              incremental=incremental)
+                              incremental=incremental,
+                              trace=trace)
         if prior:
             outcome = replace(outcome, prior_telemetry=tuple(prior))
         if not _is_retryable(outcome):
@@ -632,9 +672,13 @@ def _triage_with_retries(name: str, config: EngineConfig | None,
             if outcome.telemetry is not None:
                 prior.append(outcome.telemetry)
             obs.inc("batch.retries")
+            olog.warning("batch.retry", report=name, attempt=attempt + 1,
+                         reason=outcome.error or outcome.exhausted_kind)
             time.sleep(limits.backoff_for(attempt + 1)
                        if limits is not None else 0.0)
     obs.inc("batch.quarantined")
+    olog.error("batch.quarantine", report=name, attempts=attempts,
+               reason=outcome.error or outcome.exhausted_kind)
     return _finalize(outcome, attempts)
 
 
@@ -647,6 +691,7 @@ def _triage_parallel(
     *,
     cache_dir: str | None = None,
     incremental: bool = False,
+    trace_root: ocontext.TraceContext | None = None,
 ) -> tuple[list[TriageOutcome], bool]:
     """Fan out over a process pool with worker recovery.
 
@@ -664,6 +709,12 @@ def _triage_parallel(
 
     attempts_allowed = _max_attempts(limits)
     results: dict[str, TriageOutcome] = {}
+    # each report is one hop of the ingress trace; the same child rides
+    # through every retry so all attempts share the report's span chain
+    traces: dict[str, dict | None] = {
+        n: trace_root.child().to_dict() if trace_root is not None else None
+        for n in names
+    }
     # (eligible_at, name, attempt) — a report waits here between retries
     waiting: list[tuple[float, str, int]] = [(0.0, n, 0) for n in names]
     running: dict[int, tuple[str, int, object, float | None]] = {}
@@ -681,12 +732,17 @@ def _triage_parallel(
             if outcome.telemetry is not None:
                 partials.setdefault(name, []).append(outcome.telemetry)
             obs.inc("batch.retries")
+            olog.warning("batch.retry", report=name, attempt=attempt + 1,
+                         reason=outcome.error or outcome.exhausted_kind)
             delay = (limits.backoff_for(attempt + 1)
                      if limits is not None else 0.0)
             waiting.append((time.monotonic() + delay, name, attempt + 1))
             return
         if _is_retryable(outcome):
             obs.inc("batch.quarantined")
+            olog.error("batch.quarantine", report=name,
+                       attempts=attempt + 1,
+                       reason=outcome.error or outcome.exhausted_kind)
         if partials.get(name):
             outcome = replace(
                 outcome, prior_telemetry=tuple(partials[name]))
@@ -710,7 +766,8 @@ def _triage_parallel(
                     _triage_one, (name, config, telemetry),
                     {"limits": tightened, "attempt": attempt,
                      "in_worker": True, "cache_dir": cache_dir,
-                     "incremental": incremental},
+                     "incremental": incremental,
+                     "trace": traces.get(name)},
                 )
                 grace_at = None
                 if tightened is not None and tightened.deadline is not None:
@@ -742,6 +799,8 @@ def _triage_parallel(
                     stuck += 1
                     ever_stuck = True
                     obs.inc("batch.stuck_workers")
+                    olog.warning("batch.stuck_worker", report=name,
+                                 attempt=attempt)
                     tightened = (limits.tightened(attempt)
                                  if limits is not None else None)
                     settle(name, attempt, _stuck_outcome(name, tightened))
@@ -750,6 +809,8 @@ def _triage_parallel(
                 # every worker slot may be wedged: rebuild the pool and
                 # resubmit the in-flight innocents at the same attempt
                 obs.inc("batch.pool_rebuilds")
+                olog.warning("batch.pool_rebuild", stuck=stuck,
+                             inflight=len(running))
                 pool.terminate()
                 pool.join()
                 pool = ctx.Pool(processes=jobs)
@@ -774,11 +835,14 @@ def _triage_parallel(
 
     if pool_broke:
         # the pool broke; finish whatever did not complete, in-process
+        olog.error("batch.serial_fallback",
+                   remaining=sum(1 for n in names if n not in results))
         for name in names:
             if name not in results:
                 results[name] = _triage_with_retries(
                     name, config, telemetry, limits,
                     cache_dir=cache_dir, incremental=incremental,
+                    trace=traces.get(name),
                 )
 
     return [results[name] for name in names], pool_broke

@@ -22,7 +22,10 @@ of.  Properties the rest of the system relies on:
 Counters (hits/misses/puts/evictions/corrupt drops, per stage and
 overall) stream into :mod:`repro.obs` as ``cache.store.*`` /
 ``cache.<stage>.*``, so they travel with the existing telemetry
-snapshots across worker processes.
+snapshots across worker processes.  When structured logging is on at
+``debug`` level, every get/put additionally emits one ``cache.op``
+record carrying the stage, outcome and the caller's trace context —
+the per-operation view the aggregate counters can't give.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import tempfile
 from pathlib import Path
 
 from .. import obs
+from ..obs import logging as olog
 from ..logic.digest import DIGEST_VERSION
 
 __all__ = ["CacheStore", "STORE_VERSION"]
@@ -62,7 +66,8 @@ class CacheStore:
     def _iter_entries(self):
         yield from self._base.glob("*/*/*.json")
 
-    def _count(self, stage: str, event: str) -> None:
+    def _count(self, stage: str, event: str,
+               key: str | None = None) -> None:
         per = self._counts.setdefault(
             stage, {"hits": 0, "misses": 0, "puts": 0,
                     "evictions": 0, "corrupt": 0})
@@ -71,6 +76,9 @@ class CacheStore:
                  "evictions": "eviction", "corrupt": "corrupt"}[event]
         obs.inc(f"cache.store.{short}")
         obs.inc(f"cache.{stage}.{short}")
+        if olog.is_enabled("debug"):
+            olog.debug("cache.op", op=short, stage=stage,
+                       key=(key or "")[:12])
 
     # ------------------------------------------------------------------
     def get(self, stage: str, key: str) -> dict | None:
@@ -84,22 +92,22 @@ class CacheStore:
         try:
             data = path.read_bytes()
         except OSError:
-            self._count(stage, "misses")
+            self._count(stage, "misses", key)
             return None
         try:
             artifact = json.loads(data)
             if not isinstance(artifact, dict):
                 raise ValueError("artifact is not an object")
         except (ValueError, UnicodeDecodeError):
-            self._count(stage, "corrupt")
-            self._count(stage, "misses")
+            self._count(stage, "corrupt", key)
+            self._count(stage, "misses", key)
             try:
                 path.unlink()
                 self._entries = max(0, self._entries - 1)
             except OSError:
                 pass
             return None
-        self._count(stage, "hits")
+        self._count(stage, "hits", key)
         try:
             os.utime(path)  # refresh recency for LRU eviction
         except OSError:
@@ -129,7 +137,7 @@ class CacheStore:
                 raise
         except OSError:
             return
-        self._count(stage, "puts")
+        self._count(stage, "puts", key)
         if fresh:
             self._entries += 1
             if self._entries > self.max_entries:

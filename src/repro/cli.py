@@ -30,6 +30,13 @@ JSON, Prometheus text, or the versioned JSONL stream; ``stats
 --history`` appends the run's telemetry to ``BENCH_obs.json`` and flags
 stage-latency regressions (see docs/OBSERVABILITY.md).
 
+``triage`` and ``serve`` also accept ``--log-file FILE``,
+``--log-level LEVEL`` and ``--slow-query-ms MS``: structured
+``repro.log/1`` JSON logging with the run's trace context attached to
+every record, plus a slow-query log for solver calls that exceed the
+threshold.  Each CLI invocation mints one trace id, so a batch run's
+logs, telemetry snapshots and provenance nodes all correlate.
+
 (Equivalently: ``python -m repro ...``)
 """
 
@@ -42,7 +49,9 @@ from pathlib import Path
 
 from . import obs
 from . import schema
+from .obs import context as ocontext
 from .obs import history as obs_history
+from .obs import logging as olog
 from .obs import provenance as prov
 from .api import InitialVerdict, Pipeline
 from .lang import SourceError
@@ -76,6 +85,22 @@ def _begin_trace(args: argparse.Namespace) -> bool:
         obs.enable()
         return True
     return False
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Honour ``--log-file/--log-level/--slow-query-ms`` (no-op when
+    none is given — structured logging stays off by default)."""
+    log_file = getattr(args, "log_file", None)
+    log_level = getattr(args, "log_level", None)
+    slow = getattr(args, "slow_query_ms", None)
+    if log_file is None and log_level is None and slow is None:
+        return
+    olog.configure(file=log_file, level=log_level or "info",
+                   slow_query_ms=slow)
+    if slow is not None:
+        # the slow-query watcher rides span closings, which only exist
+        # while the obs layer records
+        obs.enable()
 
 
 def _end_trace(args: argparse.Namespace) -> None:
@@ -284,7 +309,11 @@ def _bench_health_code(result) -> int:
 
 def _cmd_triage(args: argparse.Namespace) -> int:
     _begin_trace(args)
-    result = _run_triage(args)
+    _configure_logging(args)
+    # the CLI invocation is an ingress: everything the batch does —
+    # spans, logs, per-report worker telemetry — shares this trace id
+    with ocontext.bind(ocontext.new_trace("cli")):
+        result = _run_triage(args)
     if args.json:
         print(result.to_json(indent=2))
     else:
@@ -485,6 +514,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the triage daemon until SIGTERM/SIGINT (see repro.serve)."""
     from .serve import run
 
+    _configure_logging(args)
     config = EngineConfig(solver_portfolio=True) \
         if args.solver_portfolio else None
     return run(
@@ -621,6 +651,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra attempts (tightened deadline, "
                             "backoff) before quarantining a report")
 
+    def add_log_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--log-file", default=None, metavar="FILE",
+                       help="append repro.log/1 structured JSON log "
+                            "records to FILE")
+        p.add_argument("--log-level", default=None,
+                       choices=("debug", "info", "warning", "error"),
+                       help="minimum structured-log level "
+                            "(default: info when logging is on)")
+        p.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="log SMT/QE/MSA calls slower than MS "
+                            "milliseconds as 'slow_query' warnings")
+
     def add_cache_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent content-addressed artifact store; "
@@ -641,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="race incremental/fresh/QE-first solver "
                                "strategies per boolean query")
     add_limit_flags(p_triage)
+    add_log_flags(p_triage)
     add_cache_flags(p_triage)
     add_output_flags(p_triage)
     p_triage.set_defaults(fn=_cmd_triage)
@@ -751,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--solver-portfolio", action="store_true",
                          help="race solver strategies per boolean query")
     add_limit_flags(p_serve)
+    add_log_flags(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_study = sub.add_parser("userstudy",

@@ -19,12 +19,24 @@ bounded event buffer for offline analysis; :func:`export_chrome` and
 Prometheus scrapers; :func:`merge_snapshots` combines per-worker
 snapshots from the batch driver into one fleet-wide view.
 
-The sibling modules layer on top: :mod:`.provenance` records the
-derivation DAG behind each verdict (keyed to span ids), and
-:mod:`.history` appends per-run snapshots to ``BENCH_obs.json`` and
-flags stage-latency regressions.
+The sibling modules layer on top: :mod:`.context` carries the
+per-request :class:`~repro.obs.context.TraceContext` that correlates
+spans, logs and provenance across threads and processes;
+:mod:`.logging` emits the structured ``repro.log/1`` stream with that
+context auto-attached; :mod:`.provenance` records the derivation DAG
+behind each verdict (keyed to span ids); and :mod:`.history` appends
+per-run snapshots to ``BENCH_obs.json`` and flags stage-latency
+regressions.
 """
 
+from .context import (
+    TraceContext,
+    bind,
+    current,
+    current_trace_id,
+    from_traceparent,
+    new_trace,
+)
 from .core import (
     NULL_SPAN,
     capture,
@@ -44,6 +56,7 @@ from .core import (
     observe,
     percentile,
     reset,
+    set_span_hook,
     snapshot,
     span,
     span_sequence,
@@ -52,8 +65,12 @@ from .core import (
 
 __all__ = [
     "NULL_SPAN",
+    "TraceContext",
+    "bind",
     "capture",
+    "current",
     "current_span_id",
+    "current_trace_id",
     "disable",
     "enable",
     "event_count",
@@ -61,14 +78,17 @@ __all__ = [
     "export_chrome",
     "export_jsonl",
     "export_prometheus",
+    "from_traceparent",
     "gauge",
     "hit_rate",
     "inc",
     "is_enabled",
     "merge_snapshots",
+    "new_trace",
     "observe",
     "percentile",
     "reset",
+    "set_span_hook",
     "snapshot",
     "span",
     "span_sequence",

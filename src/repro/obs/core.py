@@ -41,12 +41,16 @@ their snapshots home as data, never as shared memory.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Iterable, TextIO
+from typing import Any, Callable, Iterable, TextIO
+
+from . import context as _context
 
 __all__ = [
     "NULL_SPAN",
@@ -67,6 +71,7 @@ __all__ = [
     "observe",
     "percentile",
     "reset",
+    "set_span_hook",
     "snapshot",
     "span",
     "span_sequence",
@@ -135,7 +140,7 @@ def _hist_snapshot(h: _Hist) -> dict:
 
 class _State:
     __slots__ = ("counters", "gauges", "span_stats", "hists", "events",
-                 "depth", "next_span_id", "span_stack")
+                 "ids", "seq", "tls")
 
     def __init__(self, buffer_size: int = _DEFAULT_BUFFER):
         self.counters: dict[str, int] = {}
@@ -144,13 +149,38 @@ class _State:
         self.span_stats: dict[str, list] = {}
         self.hists: dict[str, _Hist] = {}
         self.events: deque[dict] = deque(maxlen=buffer_size)
-        self.depth = 0
-        self.next_span_id = 1
-        self.span_stack: list[int] = []
+        # span ids come from an itertools.count — allocation is a single
+        # atomic-under-the-GIL call, so the serve daemon's worker threads
+        # never mint duplicate ids; ``seq`` trails the allocator so
+        # span_sequence() can still peek at the clock without consuming
+        self.ids = itertools.count(1)
+        self.seq = 1
+        # each thread nests its own spans: the stack (and therefore
+        # parent/depth attribution) is thread-local so concurrent jobs
+        # in the serve daemon cannot corrupt each other's nesting
+        self.tls = threading.local()
+
+    def stack(self) -> list[int]:
+        stack = getattr(self.tls, "stack", None)
+        if stack is None:
+            stack = self.tls.stack = []
+        return stack
 
 
 _enabled = False
 _state = _State()
+
+#: Optional observer called with every closed span's event dict (after
+#: it is buffered).  The logging layer installs its slow-query watcher
+#: here; anything else (test probes, future samplers) can too.  One
+#: global slot, None when absent — the disabled cost is one load+test.
+_span_hook: Callable[[dict], None] | None = None
+
+
+def set_span_hook(hook: Callable[[dict], None] | None) -> None:
+    """Install (or clear, with None) the span-close observer."""
+    global _span_hook
+    _span_hook = hook
 
 
 # ---------------------------------------------------------------------------
@@ -225,11 +255,11 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         state = _state
-        state.depth += 1
-        self.id = state.next_span_id
-        state.next_span_id += 1
-        self.parent = state.span_stack[-1] if state.span_stack else 0
-        state.span_stack.append(self.id)
+        self.id = next(state.ids)
+        state.seq = self.id + 1
+        stack = state.stack()
+        self.parent = stack[-1] if stack else 0
+        stack.append(self.id)
         self._wall = time.time()
         self._start = time.perf_counter()
         return self
@@ -237,9 +267,19 @@ class _Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = time.perf_counter() - self._start
         state = _state
-        state.depth -= 1
-        if state.span_stack and state.span_stack[-1] == self.id:
-            state.span_stack.pop()
+        # restore nesting even when an exception unwound inner spans out
+        # of order: remove this span wherever it sits in the stack, not
+        # only when it is on top, so nothing downstream inherits a stale
+        # parent
+        stack = state.stack()
+        if stack:
+            if stack[-1] == self.id:
+                stack.pop()
+            else:
+                try:
+                    stack.remove(self.id)
+                except ValueError:
+                    pass
         stats = state.span_stats.get(self.name)
         if stats is None:
             state.span_stats[self.name] = [1, duration, duration]
@@ -259,13 +299,22 @@ class _Span:
             "parent": self.parent,
             "ts": self._wall,
             "dur_s": duration,
-            "depth": state.depth,
+            "depth": len(stack),
         }
+        ctx = getattr(_context._tls, "ctx", None)
+        if ctx is not None:
+            event["trace"] = ctx.trace_id
         if self.attrs:
             event["attrs"] = self.attrs
         if exc_type is not None:
             event["error"] = exc_type.__name__
         state.events.append(event)
+        hook = _span_hook
+        if hook is not None:
+            try:
+                hook(event)
+            except Exception:
+                pass  # an observer must never fail the observed code
         return False
 
 
@@ -317,38 +366,62 @@ def current_span_id() -> int:
 
     Span ids are process-unique and appear in every span event as
     ``id``/``parent``, so external records (e.g. provenance nodes)
-    stamped with this id can be joined back onto the span tree.
+    stamped with this id can be joined back onto the span tree.  The
+    stack consulted is this thread's own.
     """
-    stack = _state.span_stack
+    stack = getattr(_state.tls, "stack", None)
     return stack[-1] if stack else 0
 
 
 def span_sequence() -> int:
-    """The id the *next* span will receive — a monotone clock that lets
+    """An id no span issued so far exceeds — a monotone clock that lets
     external records order themselves against span openings."""
-    return _state.next_span_id
+    return _state.seq
 
 
 # ---------------------------------------------------------------------------
 # reading the data out
 # ---------------------------------------------------------------------------
 
+def _safe_copy(d: dict) -> dict:
+    """Copy a dict that other threads may be growing right now.
+
+    ``dict(d)`` raises RuntimeError when the source is resized
+    mid-iteration (a /metrics scrape racing live jobs); retrying wins
+    almost immediately because copies are much faster than the mutation
+    rate.  Values already present are never torn — ints and list cells
+    are replaced atomically under the GIL — so counters in the copy are
+    always real (monotone) observed values.
+    """
+    for _ in range(64):
+        try:
+            return dict(d)
+        except RuntimeError:
+            continue
+    try:  # pathological churn: settle for whatever snapshot we can get
+        return dict(list(d.items()))
+    except RuntimeError:
+        return {}
+
+
 def snapshot() -> dict:
     """The aggregate view: counters, gauges and per-span-name stats.
 
-    Plain dicts of plain scalars — picklable, JSON-serializable, and
-    mergeable across processes with :func:`merge_snapshots`.
+    Plain dicts of plain scalars — picklable, JSON-serializable,
+    mergeable across processes with :func:`merge_snapshots`, and safe
+    to take from a scraper thread while worker threads record.
     """
     return {
         "enabled": _enabled,
-        "counters": dict(_state.counters),
-        "gauges": dict(_state.gauges),
+        "counters": _safe_copy(_state.counters),
+        "gauges": _safe_copy(_state.gauges),
         "spans": {
             name: {"count": s[0], "total_s": s[1], "max_s": s[2]}
-            for name, s in _state.span_stats.items()
+            for name, s in _safe_copy(_state.span_stats).items()
         },
         "hists": {
-            name: _hist_snapshot(h) for name, h in _state.hists.items()
+            name: _hist_snapshot(h)
+            for name, h in _safe_copy(_state.hists).items()
         },
     }
 
@@ -466,15 +539,21 @@ def export_prometheus(destination: str | os.PathLike | TextIO | None = None,
     counters = snap.get("counters", {})
     for name in sorted(counters):
         metric = f"repro_{_prom_name(name)}_total"
+        lines.append(f"# HELP {metric} Monotone event count for "
+                     f"'{name}'.")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {counters[name]}")
     gauges = snap.get("gauges", {})
     for name in sorted(gauges):
         metric = f"repro_{_prom_name(name)}"
+        lines.append(f"# HELP {metric} Last recorded value of "
+                     f"'{name}'.")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {gauges[name]}")
     spans = snap.get("spans", {})
     if spans:
+        lines.append("# HELP repro_span_seconds Wall-clock totals per "
+                     "span name.")
         lines.append("# TYPE repro_span_seconds summary")
         for name in sorted(spans):
             s = spans[name]
@@ -486,6 +565,8 @@ def export_prometheus(destination: str | os.PathLike | TextIO | None = None,
                 f'repro_span_seconds_max{{span="{name}"}} {s["max_s"]}')
     hists = snap.get("hists", {})
     if hists:
+        lines.append("# HELP repro_hist Streaming distribution "
+                     "quantiles per histogram name.")
         lines.append("# TYPE repro_hist summary")
         for name in sorted(hists):
             h = hists[name]
@@ -519,6 +600,7 @@ def merge_snapshots(*snaps: dict | None) -> dict:
     merged: dict = {"enabled": False, "counters": {}, "gauges": {},
                     "spans": {}, "hists": {}}
     attempts: list[int] = []
+    traces: list[str] = []
     for snap in snaps:
         if not snap:
             continue
@@ -526,6 +608,9 @@ def merge_snapshots(*snaps: dict | None) -> dict:
         if "attempt" in snap:
             attempts.append(snap["attempt"])
         attempts.extend(snap.get("attempts", ()))
+        if snap.get("trace"):
+            traces.append(snap["trace"])
+        traces.extend(snap.get("traces", ()))
         for name, value in snap.get("counters", {}).items():
             merged["counters"][name] = \
                 merged["counters"].get(name, 0) + value
@@ -558,6 +643,8 @@ def merge_snapshots(*snaps: dict | None) -> dict:
                 }
     if attempts:
         merged["attempts"] = sorted(set(attempts))
+    if traces:
+        merged["traces"] = sorted(set(traces))
     return merged
 
 

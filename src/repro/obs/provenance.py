@@ -43,7 +43,7 @@ import os
 from collections import deque
 from typing import Any, TextIO
 
-from . import core
+from . import context, core
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -113,10 +113,11 @@ def reset() -> None:
 def record(kind: str, **data: Any) -> int:
     """Append one derivation node; returns its id (0 while disabled).
 
-    The node is stamped with the innermost open span's id (``span``) and
-    a monotone sequence point (``at``) that orders it against span
-    openings, so the renderer can interleave nodes and child spans
-    chronologically.
+    The node is stamped with the innermost open span's id (``span``), a
+    monotone sequence point (``at``) that orders it against span
+    openings, and — when a :mod:`trace context <repro.obs.context>` is
+    bound — the ambient ``trace`` id, so derivation steps join both the
+    span tree and the cross-process request trace.
     """
     global _next_id
     if not _enabled:
@@ -128,6 +129,9 @@ def record(kind: str, **data: Any) -> int:
         "at": core.span_sequence(),
         "kind": kind,
     }
+    trace = context.current_trace_id()
+    if trace is not None:
+        node["trace"] = trace
     node.update(data)
     _next_id += 1
     _nodes.append(node)

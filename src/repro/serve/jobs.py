@@ -75,6 +75,12 @@ class Job:
     events: tuple = ()             # obs span events of the run
     provenance: tuple = ()         # derivation nodes (explain requests)
     error: str | None = None       # submission-independent failure
+    trace: dict | None = None      # TraceContext of the first submitter
+    joined_traces: tuple = ()      # trace ids of coalesced joiners
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace.get("trace_id") if self.trace else None
 
     def to_dict(self) -> dict:
         """Plain-data job status (the ``GET /v1/jobs/<id>`` body,
@@ -88,6 +94,10 @@ class Job:
             "waiters": self.waiters,
             "created": self.created,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.joined_traces:
+            payload["joined_traces"] = list(self.joined_traces)
         if self.started is not None:
             payload["started"] = self.started
         if self.finished is not None:
@@ -118,7 +128,8 @@ class JobRegistry:
     # ------------------------------------------------------------------
     def submit(self, key: str, *, name: str, kind: str,
                request: dict,
-               reusable: Callable[[Job], bool] | None = None
+               reusable: Callable[[Job], bool] | None = None,
+               trace: dict | None = None
                ) -> tuple[Job, bool, bool]:
         """Register one submission under ``key``.
 
@@ -131,12 +142,21 @@ class JobRegistry:
           directly);
         * otherwise a fresh queued job — unless the registry is at
           ``max_inflight``, which raises :class:`AdmissionError`.
+
+        ``trace`` is the submitting request's
+        :class:`~repro.obs.context.TraceContext` as plain data.  A
+        fresh job owns it outright; a coalesced join records its trace
+        id in ``joined_traces`` so the shared run stays findable under
+        every requester's id.
         """
         with self._lock:
+            trace_id = trace.get("trace_id") if trace else None
             active_id = self._inflight.get(key)
             if active_id is not None:
                 job = self._jobs[active_id]
                 job.waiters += 1
+                if trace_id is not None and trace_id != job.trace_id:
+                    job.joined_traces = job.joined_traces + (trace_id,)
                 obs.inc("serve.coalesced")
                 return job, True, False
             finished = self._latest_done(key)
@@ -153,6 +173,7 @@ class JobRegistry:
             job = Job(
                 id=f"j{next(self._ids):06d}",
                 key=key, name=name, kind=kind, request=request,
+                trace=trace,
             )
             self._jobs[job.id] = job
             self._inflight[key] = job.id

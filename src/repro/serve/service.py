@@ -4,9 +4,20 @@
 serve``.  It owns a :class:`~repro.serve.jobs.JobRegistry`, a work
 queue, and a small pool of worker threads feeding the existing batch
 driver; the HTTP layer (:mod:`repro.serve.http`) is a thin adapter
-over its six methods (``submit`` / ``job_status`` / ``explain`` /
-``patches`` / ``health`` / ``metrics_text``), which makes the whole
-service unit-testable without sockets.
+over its methods (``submit`` / ``job_status`` / ``explain`` /
+``patches`` / ``health`` / ``statusz`` / ``debug_trace`` /
+``metrics_text``), which makes the whole service unit-testable without
+sockets.
+
+Every submission is one *trace*: ``submit`` adopts the transport's
+:class:`~repro.obs.context.TraceContext` (or mints one), the run
+executes bound to it (spans, provenance, logs, and the batch driver's
+forked workers all inherit it), the result envelope carries it as
+``trace_id``, and the completed run lands in a bounded
+:class:`FlightRecorder` queryable by that id (``GET
+/debug/traces/<trace_id>``, SIGUSR1 JSONL dump).  :class:`RouteStats`
+keeps the sliding-window per-route latency/error SLOs behind
+``/v1/statusz`` and /metrics.
 
 Two submission kinds share one pipeline:
 
@@ -43,9 +54,12 @@ beyond ``max_inflight`` are refused with a Retry-After hint.
 
 from __future__ import annotations
 
+import json
+import os
 import queue
 import threading
 import time
+from collections import OrderedDict, deque
 from typing import Any
 
 from contextlib import nullcontext
@@ -58,7 +72,10 @@ from ..diagnosis.stages import STAGE_VERSION, config_fingerprint
 from ..limits import Limits, ResourceExhausted
 from ..lang import parse_program
 from ..logic.digest import digest_many, digest_text
+from ..obs import context as ocontext
+from ..obs import logging as olog
 from ..obs import provenance as prov
+from ..obs.core import percentile
 from ..schema import (
     EXIT_DEGRADED,
     SCHEMA_VERSION,
@@ -67,10 +84,127 @@ from ..schema import (
 )
 from ..suite import BENCHMARKS, DIAGNOSTICS, benchmark_by_name, load_source
 
-__all__ = ["BadRequest", "TriageService"]
+__all__ = ["BadRequest", "FlightRecorder", "RouteStats", "TriageService"]
 
 #: Submission body size cap (the largest Figure 7 source is ~3 KiB).
 MAX_SOURCE_BYTES = 1 << 20
+
+#: Schema of a flight-recorder JSONL dump (SIGUSR1 / ``dump_traces``).
+FLIGHT_SCHEMA = "repro.flight/1"
+
+#: How many completed traces the flight recorder retains by default.
+FLIGHT_CAPACITY = 256
+
+#: Sliding window for the per-route SLO rollups, in seconds.
+SLO_WINDOW_S = 300.0
+
+
+class RouteStats:
+    """Per-route sliding-window SLOs: latency quantiles + error rate.
+
+    One bounded deque of ``(ts, dur_s, status)`` per route; reads evict
+    entries older than the window, so /metrics and /v1/statusz report
+    the *live* service, not its lifetime average.  Small and lock-
+    guarded: the handler threads record, the scraper thread reads.
+    """
+
+    def __init__(self, *, window_s: float = SLO_WINDOW_S,
+                 max_samples: int = 4_096):
+        self._window = window_s
+        self._lock = threading.Lock()
+        self._routes: dict[str, deque] = {}
+        self._max = max_samples
+
+    def observe(self, route: str, status: int, dur_s: float) -> None:
+        with self._lock:
+            samples = self._routes.get(route)
+            if samples is None:
+                samples = self._routes[route] = deque(maxlen=self._max)
+            samples.append((time.monotonic(), dur_s, status))
+
+    def summary(self) -> dict[str, dict]:
+        """``{route: {count, error_rate, p50_s, p95_s, p99_s, ...}}``
+        over the window (empty routes are omitted)."""
+        cutoff = time.monotonic() - self._window
+        out: dict[str, dict] = {}
+        with self._lock:
+            for route, samples in self._routes.items():
+                while samples and samples[0][0] < cutoff:
+                    samples.popleft()
+                if not samples:
+                    continue
+                durs = [s[1] for s in samples]
+                errors = sum(1 for s in samples if s[2] >= 500)
+                out[route] = {
+                    "count": len(samples),
+                    "error_rate": errors / len(samples),
+                    "p50_s": percentile(durs, 0.50),
+                    "p95_s": percentile(durs, 0.95),
+                    "p99_s": percentile(durs, 0.99),
+                    "max_s": max(durs),
+                    "window_s": self._window,
+                }
+        return out
+
+
+class FlightRecorder:
+    """A bounded ring of the most recently completed traces.
+
+    Keyed by trace id; coalesced joiners' ids alias to the shared
+    entry, so every requester's trace id resolves.  ``dump`` writes the
+    ring as a ``repro.flight/1`` JSONL stream (header line first) —
+    the SIGUSR1 post-mortem artifact.
+    """
+
+    def __init__(self, capacity: int = FLIGHT_CAPACITY):
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._aliases: dict[str, str] = {}
+
+    def record(self, entry: dict, aliases: tuple = ()) -> None:
+        trace_id = entry.get("trace_id")
+        if not trace_id:
+            return
+        with self._lock:
+            self._entries[trace_id] = entry
+            self._entries.move_to_end(trace_id)
+            for alias in aliases:
+                if alias and alias != trace_id:
+                    self._aliases[alias] = trace_id
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._aliases = {a: t for a, t in self._aliases.items()
+                                 if t != evicted}
+
+    def get(self, trace_id: str) -> dict | None:
+        with self._lock:
+            resolved = self._aliases.get(trace_id, trace_id)
+            entry = self._entries.get(resolved)
+            return dict(entry) if entry is not None else None
+
+    def recent(self, n: int | None = None) -> list[dict]:
+        """Newest first; ``n`` caps the list."""
+        with self._lock:
+            entries = [dict(e) for e in reversed(self._entries.values())]
+        return entries if n is None else entries[:n]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def dump(self, destination: str | os.PathLike) -> int:
+        """Write the ring (oldest first) as ``repro.flight/1`` JSONL;
+        returns the number of trace entries written."""
+        with self._lock:
+            entries = [dict(e) for e in self._entries.values()]
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"type": "header", "schema": FLIGHT_SCHEMA}) + "\n")
+            for entry in entries:
+                handle.write(json.dumps(
+                    {"type": "flight", **entry}, default=str) + "\n")
+        return len(entries)
 
 
 class BadRequest(ValueError):
@@ -121,7 +255,8 @@ class TriageService:
                  limits: Limits | None = None,
                  max_inflight: int = 8,
                  workers: int = 1,
-                 retain: int = 1024):
+                 retain: int = 1024,
+                 flight_capacity: int = FLIGHT_CAPACITY):
         from .jobs import JobRegistry
 
         self.cache_dir = cache_dir
@@ -129,6 +264,8 @@ class TriageService:
         self.limits = limits
         self.registry = JobRegistry(max_inflight=max_inflight,
                                     retain=retain)
+        self.slo = RouteStats()
+        self.flights = FlightRecorder(capacity=flight_capacity)
         self._queue: "queue.Queue[str | None]" = queue.Queue()
         self._workers = max(1, workers)
         self._threads: list[threading.Thread] = []
@@ -183,14 +320,23 @@ class TriageService:
     # ------------------------------------------------------------------
     # submissions
     # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> tuple[int, dict]:
+    def submit(self, payload: Any, *,
+               trace: ocontext.TraceContext | None = None
+               ) -> tuple[int, dict]:
         """Queue (or coalesce, or answer inline) one triage request.
 
         Returns ``(http_status, body)``: 200 with the finished envelope
         on an inline cache hit, 202 with a job handle otherwise.
         :class:`BadRequest` and :class:`AdmissionError` escape for the
         transport to map (400 / 429).
+
+        ``trace`` is the request's ingress context (minted fresh when
+        absent — e.g. a ``traceparent`` header the transport parsed).
+        The returned body always carries this request's ``trace_id``;
+        coalesced joins additionally alias their id onto the shared
+        job's flight-recorder entry.
         """
+        ctx = trace if trace is not None else ocontext.new_trace("serve")
         request = self._validate(payload)
         key = self._job_key(request)
         job, coalesced, inline = self.registry.submit(
@@ -199,10 +345,25 @@ class TriageService:
             kind=request["kind"],
             request=request,
             reusable=self._reusable,
+            trace=ctx.to_dict(),
         )
         if inline:
             body = dict(job.to_dict())
             body["served"] = "cache"
+            body["trace_id"] = ctx.trace_id
+            # the request completed without running: give its trace an
+            # entry of its own, pointing at the recorded job
+            self.flights.record({
+                "trace_id": ctx.trace_id,
+                "job_id": job.id,
+                "name": job.name,
+                "served": "cache",
+                "verdict": (job.result or {}).get("verdict"),
+                "exit_code": job.exit_code,
+                "finished": time.time(),
+            })
+            olog.info("serve.inline", job=job.id, name=job.name,
+                      trace=ctx.trace_id)
             return 200, body
         if not coalesced:
             if request["kind"] == "benchmark" \
@@ -213,6 +374,7 @@ class TriageService:
                 self._run_job(job.id)
                 body = dict(self.registry.get(job.id).to_dict())
                 body["served"] = "store"
+                body["trace_id"] = ctx.trace_id
                 return 200, body
             self._queue.put(job.id)
         body = {
@@ -221,7 +383,10 @@ class TriageService:
             "name": job.name,
             "coalesced": coalesced,
             "location": f"/v1/jobs/{job.id}",
+            "trace_id": ctx.trace_id,
         }
+        olog.info("serve.submit", job=job.id, name=job.name,
+                  coalesced=coalesced, trace=ctx.trace_id)
         return 202, body
 
     def _recorded(self, name: str) -> bool:
@@ -391,9 +556,103 @@ class TriageService:
             **self.registry.stats(),
         }
 
+    def statusz(self) -> tuple[int, dict]:
+        """The live-SLO rollup: per-route latency/error windows, queue
+        depth, coalesce rate, flight-recorder occupancy."""
+        counters = obs.snapshot().get("counters", {})
+        submitted = counters.get("serve.submitted", 0)
+        coalesced = counters.get("serve.coalesced", 0)
+        attach_total = submitted + coalesced
+        return 200, {
+            "status": "ok",
+            "schema": SCHEMA_VERSION,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "queue_depth": self._queue.qsize(),
+            "routes": self.slo.summary(),
+            "coalesce_rate": (coalesced / attach_total
+                              if attach_total else 0.0),
+            "inline_hits": counters.get("serve.inline_hits", 0),
+            "rejected": counters.get("serve.rejected", 0),
+            "flight_recorder": {
+                "capacity": self.flights.capacity,
+                "recorded": len(self.flights),
+            },
+            "log": {
+                "enabled": olog.is_enabled(),
+                "slow_query_ms": olog.slow_query_ms(),
+            },
+            **self.registry.stats(),
+        }
+
+    def debug_trace(self, trace_id: str) -> tuple[int, dict]:
+        """The flight-recorder entry for one completed trace, joined
+        with that trace's structured log lines still in the ring."""
+        entry = self.flights.get(trace_id)
+        if entry is None:
+            return 404, {"error": f"no recorded trace {trace_id!r} "
+                                  "(completed traces only, bounded ring)"}
+        entry["logs"] = olog.records(trace=entry.get("trace_id"))
+        return 200, entry
+
+    def dump_traces(self, destination: str | os.PathLike) -> int:
+        """SIGUSR1 target: write the flight recorder as JSONL."""
+        count = self.flights.dump(destination)
+        olog.info("serve.flight_dump", path=str(destination),
+                  traces=count)
+        return count
+
+    def observe_request(self, method: str, route: str, status: int,
+                        dur_s: float, trace_id: str | None = None
+                        ) -> None:
+        """One finished HTTP request: SLO sample + access log line."""
+        self.slo.observe(route, status, dur_s)
+        obs.observe("serve.request_seconds", dur_s)
+        fields: dict[str, Any] = {
+            "method": method, "route": route, "status": status,
+            "dur_ms": round(1000.0 * dur_s, 3),
+        }
+        if trace_id is not None:
+            fields["trace"] = trace_id
+        olog.info("serve.access", **fields)
+
     def metrics_text(self) -> str:
         obs.gauge("serve.inflight", float(self.registry.inflight()))
-        return obs.export_prometheus()
+        obs.gauge("serve.queue_depth", float(self._queue.qsize()))
+        lines = [obs.export_prometheus().rstrip("\n")]
+        routes = self.slo.summary()
+        if routes:
+            lines.append("# HELP repro_route_latency_seconds Sliding-"
+                         "window per-route latency quantiles.")
+            lines.append("# TYPE repro_route_latency_seconds summary")
+            for route in sorted(routes):
+                s = routes[route]
+                for q, key in (("0.5", "p50_s"), ("0.95", "p95_s"),
+                               ("0.99", "p99_s")):
+                    lines.append(
+                        f'repro_route_latency_seconds{{route="{route}",'
+                        f'quantile="{q}"}} {s[key]}')
+                lines.append(
+                    f'repro_route_latency_seconds_count{{route='
+                    f'"{route}"}} {s["count"]}')
+            lines.append("# HELP repro_route_error_ratio Error-rate "
+                         "(5xx fraction) per route over the window.")
+            lines.append("# TYPE repro_route_error_ratio gauge")
+            for route in sorted(routes):
+                lines.append(
+                    f'repro_route_error_ratio{{route="{route}"}} '
+                    f'{routes[route]["error_rate"]}')
+        recent = self.flights.recent(32)
+        if recent:
+            lines.append("# HELP repro_trace_info Recently completed "
+                         "traces (flight recorder; newest first).")
+            lines.append("# TYPE repro_trace_info gauge")
+            for entry in recent:
+                trace_id = entry.get("trace_id", "")
+                name = entry.get("name", "")
+                lines.append(
+                    f'repro_trace_info{{trace_id="{trace_id}",'
+                    f'name="{name}"}} 1')
+        return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
     # workers
@@ -415,6 +674,10 @@ class TriageService:
         job = self.registry.mark_running(job_id, obs.span_sequence())
         if job is None:
             return
+        # the whole run executes under the submitting request's trace:
+        # spans, provenance nodes, log lines and the batch driver's
+        # worker processes all inherit (or are handed) this context
+        ctx = ocontext.TraceContext.from_dict(job.trace)
         request = job.request
         limits = _clamped_limits(self.limits, request.get("limits"))
         explain = request.get("explain", False)
@@ -423,27 +686,53 @@ class TriageService:
             prov.enable()
         prov_marker = prov.mark() if explain else None
         code = None
-        try:
-            if request.get("repair"):
-                envelope, events, code = self._run_repair(
-                    request, limits)
-            elif request["kind"] == "benchmark":
-                envelope, events = self._run_benchmark(
-                    request["name"], limits)
-            else:
-                envelope, events = self._run_source(
-                    request["source"], limits)
-        finally:
-            if explain and not prov_was_on:
-                prov.disable()
-        nodes = tuple(prov.nodes_since(prov_marker)) \
-            if prov_marker is not None else ()
-        if code is None:
-            degraded = bool(envelope.get("degraded")) \
-                or envelope.get("error") is not None
-            code = exit_code([envelope["verdict"]], degraded=degraded)
-        self.registry.finish(job_id, result=envelope, exit_code=code,
-                             events=events, provenance=nodes)
+        started = time.time()
+        with ocontext.bind(ctx):
+            olog.info("serve.job_start", job=job_id, name=job.name,
+                      kind=job.kind)
+            try:
+                if request.get("repair"):
+                    envelope, events, code = self._run_repair(
+                        request, limits)
+                elif request["kind"] == "benchmark":
+                    envelope, events = self._run_benchmark(
+                        request["name"], limits)
+                else:
+                    envelope, events = self._run_source(
+                        request["source"], limits)
+            finally:
+                if explain and not prov_was_on:
+                    prov.disable()
+            nodes = tuple(prov.nodes_since(prov_marker)) \
+                if prov_marker is not None else ()
+            if code is None:
+                degraded = bool(envelope.get("degraded")) \
+                    or envelope.get("error") is not None
+                code = exit_code([envelope["verdict"]], degraded=degraded)
+            if ctx is not None and "trace_id" not in envelope:
+                envelope["trace_id"] = ctx.trace_id
+            self.registry.finish(job_id, result=envelope, exit_code=code,
+                                 events=events, provenance=nodes)
+            finished = time.time()
+            olog.info("serve.job_done", job=job_id, name=job.name,
+                      verdict=envelope.get("verdict"), exit_code=code,
+                      dur_ms=round(1000.0 * (finished - started), 3))
+        if ctx is not None:
+            done = self.registry.get(job_id)
+            self.flights.record({
+                "trace_id": ctx.trace_id,
+                "job_id": job_id,
+                "name": job.name,
+                "kind": job.kind,
+                "verdict": envelope.get("verdict"),
+                "exit_code": code,
+                "started": started,
+                "finished": finished,
+                "duration_s": round(finished - started, 6),
+                "events": len(events),
+                "provenance_nodes": len(nodes),
+                "joined_traces": list(done.joined_traces) if done else [],
+            }, aliases=tuple(done.joined_traces) if done else ())
 
     def _run_benchmark(self, name: str, limits: Limits | None
                        ) -> tuple[dict, tuple]:

@@ -332,3 +332,118 @@ class TestDegradedTelemetryMerge:
                       for s in target.prior_telemetry)
             )
             assert merged["counters"].get(name, 0) == contributed
+
+
+# ---------------------------------------------------------------------------
+# span nesting state: exception paths and cross-thread isolation
+# ---------------------------------------------------------------------------
+
+class TestSpanCleanup:
+    def test_exception_unwinds_nesting_completely(self):
+        """A span raised through must close and leave no nesting state:
+        the next root span sees parent 0 / depth 0 (regression — a
+        leaked stack entry used to re-parent later spans)."""
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError("boom")
+        with obs.span("fresh"):
+            pass
+        fresh = [e for e in obs.events() if e["name"] == "fresh"][0]
+        assert fresh["parent"] == 0
+        assert fresh["depth"] == 0
+        by_name = {e["name"]: e for e in obs.events()}
+        assert by_name["outer"]["error"] == "ValueError"
+        assert by_name["inner"]["error"] == "ValueError"
+
+    def test_out_of_order_close_is_tolerated(self):
+        """Closing an outer span before an inner one (generator-held
+        spans, exception trampolines) removes it from mid-stack instead
+        of popping the wrong id."""
+        obs.enable()
+        outer = obs.span("outer").__enter__()
+        inner = obs.span("inner").__enter__()
+        outer.__exit__(None, None, None)
+        inner.__exit__(None, None, None)
+        with obs.span("fresh"):
+            pass
+        fresh = [e for e in obs.events() if e["name"] == "fresh"][0]
+        assert fresh["parent"] == 0
+        assert fresh["depth"] == 0
+
+    def test_span_stacks_are_thread_local(self):
+        """Concurrent threads' spans never parent across threads."""
+        import threading
+
+        obs.enable()
+        crossed = []
+
+        def worker(tag):
+            for _ in range(50):
+                with obs.span(f"root.{tag}") as s:
+                    if s.parent != 0:
+                        crossed.append((tag, s.parent))
+                    with obs.span(f"leaf.{tag}"):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert crossed == []
+        snap = obs.snapshot()
+        for i in range(4):
+            assert snap["spans"][f"root.{i}"]["count"] == 50
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition compliance
+# ---------------------------------------------------------------------------
+
+class TestPrometheusCompliance:
+    def test_counters_have_help_type_and_total_suffix(self):
+        obs.enable()
+        obs.inc("cache.store.hit", 2)
+        obs.inc("smt.is_sat.miss")
+        obs.gauge("serve.inflight", 3.0)
+        with obs.span("qe.cooper"):
+            pass
+        obs.observe("qe.blowup", 1.5)
+        text = obs.export_prometheus()
+        lines = text.splitlines()
+        for name in ("cache_store_hit", "smt_is_sat_miss"):
+            metric = f"repro_{name}_total"
+            assert f"# HELP {metric} " in text
+            assert f"# TYPE {metric} counter" in text
+            assert any(line.startswith(f"{metric} ")
+                       for line in lines)
+        assert "# TYPE repro_serve_inflight gauge" in text
+        assert "# HELP repro_serve_inflight " in text
+
+    def test_every_sample_is_preceded_by_its_type(self):
+        """Strict exposition-format check: no sample line appears
+        without a # TYPE comment for its metric family."""
+        obs.enable()
+        obs.inc("a.b", 1)
+        obs.gauge("g", 1.0)
+        with obs.span("s.t"):
+            pass
+        obs.observe("h.x", 0.5)
+        typed = set()
+        for line in obs.export_prometheus().splitlines():
+            if line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+            elif line and not line.startswith("#"):
+                family = line.split("{")[0].split(" ")[0]
+                # a summary's samples may carry _count/_sum/_max
+                # suffixes on the declared family name
+                for suffix in ("_count", "_sum", "_max"):
+                    if (family.endswith(suffix)
+                            and family[: -len(suffix)] in typed):
+                        family = family[: -len(suffix)]
+                        break
+                assert family in typed, (
+                    f"sample {line!r} has no preceding # TYPE")

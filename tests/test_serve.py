@@ -301,3 +301,140 @@ class TestAdmission:
         status, body2 = service.submit({"benchmark": "p01_accumulate"})
         assert status == 202
         assert body2["job_id"] != body["job_id"]
+
+
+# ---------------------------------------------------------------------------
+# observability: one trace id end-to-end, live SLOs, /metrics under load
+# ---------------------------------------------------------------------------
+
+class TestTraceObservability:
+    def test_one_trace_id_links_envelope_logs_flights_metrics(
+            self, server):
+        """The acceptance E2E: a submission made under a caller-chosen
+        traceparent finishes with that trace_id on the result envelope,
+        its provenance nodes, its structured log lines, the flight-
+        recorder entry, and the /metrics trace-info labels."""
+        from repro.obs import logging as olog
+
+        trace_hex = "deadbeefcafe4321"
+        header = f"00-{trace_hex.rjust(32, '0')}-00f067aa0ba902b7-01"
+        olog.configure(level="info")
+        try:
+            req = urllib.request.Request(
+                f"{server.url}/v1/triage",
+                data=json.dumps({"benchmark": "d01_plus_one",
+                                 "explain": True}).encode(),
+                headers={"Content-Type": "application/json",
+                         "traceparent": header},
+            )
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                status, body = resp.status, json.loads(resp.read())
+            assert status in (200, 202)
+            assert body["trace_id"] == trace_hex
+            job_id = body["job_id"]
+            status, body = _await_job(server.url, job_id)
+            # 1. the result envelope carries the trace id
+            assert body["trace_id"] == trace_hex
+            assert body["result"]["trace_id"] == trace_hex
+            # 2. so do the provenance nodes behind the verdict
+            status, explain = _request(
+                f"{server.url}/v1/jobs/{job_id}/explain")
+            assert status == 200
+            assert explain["nodes"]
+            assert all(n.get("trace") == trace_hex
+                       for n in explain["nodes"])
+            # 3. and the structured log lines still in the ring
+            events = {r["event"]
+                      for r in olog.records(trace=trace_hex)}
+            assert {"serve.job_start", "serve.job_done"} <= events
+            # 4. and the flight-recorder entry (with its logs joined)
+            status, flight = _request(
+                f"{server.url}/debug/traces/{trace_hex}")
+            assert status == 200
+            assert flight["trace_id"] == trace_hex
+            assert flight["job_id"] == job_id
+            assert flight["verdict"] == body["result"]["verdict"]
+            assert any(r["event"] == "serve.job_done"
+                       for r in flight["logs"])
+            # 5. and the Prometheus trace-info labels
+            status, _ = 200, None
+            with urllib.request.urlopen(
+                    f"{server.url}/metrics", timeout=30) as resp:
+                text = resp.read().decode()
+            assert f'repro_trace_info{{trace_id="{trace_hex}"' in text
+        finally:
+            olog.reset()
+
+    def test_unknown_trace_is_404(self, server):
+        assert _request(f"{server.url}/debug/traces/ffff0000")[0] == 404
+
+    def test_statusz_reports_live_slos(self, server):
+        # generate at least one request sample on a normalized route
+        _request(f"{server.url}/healthz")
+        status, body = _request(f"{server.url}/v1/statusz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["queue_depth"] >= 0
+        assert 0.0 <= body["coalesce_rate"] <= 1.0
+        assert body["flight_recorder"]["capacity"] > 0
+        routes = body["routes"]
+        assert "/healthz" in routes
+        sample = routes["/healthz"]
+        assert sample["count"] >= 1
+        assert 0.0 <= sample["error_rate"] <= 1.0
+        assert sample["p50_s"] <= sample["p95_s"] <= sample["p99_s"]
+        # job-status routes are normalized, never literal ids
+        assert all("/v1/jobs/j" not in route for route in routes)
+
+    def test_metrics_counters_are_prometheus_compliant(self, server):
+        with urllib.request.urlopen(f"{server.url}/metrics",
+                                    timeout=30) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        lines = text.splitlines()
+        counters = [line.split()[2] for line in lines
+                    if line.startswith("# TYPE ")
+                    and line.endswith(" counter")]
+        assert counters, "no counters exported"
+        for metric in counters:
+            assert metric.endswith("_total")
+            assert any(line.startswith(f"# HELP {metric} ")
+                       for line in lines)
+
+    def test_concurrent_scrapes_while_jobs_run(self, server):
+        """Hammer /metrics from threads while jobs execute: every
+        scrape parses, and counters are monotone across an ordered
+        re-scrape (no torn reads of live state)."""
+        def scrape():
+            with urllib.request.urlopen(f"{server.url}/metrics",
+                                        timeout=30) as resp:
+                return resp.read().decode()
+
+        def counters_of(text):
+            out = {}
+            for line in text.splitlines():
+                if line.startswith("#") or "{" in line or not line:
+                    continue
+                name, _, value = line.partition(" ")
+                if name.endswith("_total"):
+                    out[name] = float(value)
+            return out
+
+        submissions = [{"source": SAFE + f"// scrape {i}"}
+                       for i in range(4)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            jobs = [pool.submit(_request, f"{server.url}/v1/triage", s)
+                    for s in submissions]
+            scrapes = [pool.submit(scrape) for _ in range(16)]
+            texts = [f.result() for f in scrapes]
+            for f in jobs:
+                status, body = f.result()
+                if status == 202:
+                    _await_job(server.url, body["job_id"])
+        for text in texts:
+            assert counters_of(text), "scrape yielded no counters"
+        before = counters_of(scrape())
+        after = counters_of(scrape())
+        for name, value in before.items():
+            assert after.get(name, 0.0) >= value, (
+                f"counter {name} went backwards")
