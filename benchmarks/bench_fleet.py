@@ -1,0 +1,140 @@
+"""Experiment: fleet triage — one scheduler core, three backends.
+
+The Figure 7 suite is tiled into a synthetic corpus of duplicate
+arrivals (a fleet sees the same report from many sources; the
+content-addressed store dedups the heavy work), then triaged through
+the three backends of the one retry/quarantine scheduler
+(:mod:`repro.sched`):
+
+* **serial** — ``jobs=1`` (InlineTransport);
+* **pool** — ``jobs=2`` (LocalPoolTransport, the fork pool);
+* **remote** — two in-process ``repro serve`` workers sharing one
+  cache root (RemoteTransport over HTTP, sharded by content digest
+  with work stealing).
+
+Each backend gets its own fresh store root, so every comparison is a
+cold run and the in-corpus duplicates are the only dedup at play.
+The hard contract pinned here is *verdict identity* across backends —
+wall times are reported and recorded (a ``fleet`` entry in
+``BENCH_obs.json``) but not bounded: the remote backend pays HTTP
+round-trips by design.
+
+Runs standalone (exit 1 on verdict divergence, for CI) or under
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: The corpus is the Figure 7 suite repeated this many times.
+TILE = 2
+
+
+def _corpus() -> list[str]:
+    from repro.suite import BENCHMARKS
+
+    return [b.name for b in BENCHMARKS] * TILE
+
+
+def _verdicts(result) -> bytes:
+    """The backend-independent projection, serialized for comparison.
+
+    Sorted because the corpus carries duplicate names and only the
+    per-report answer matters, not arrival order."""
+    return json.dumps(
+        sorted({(o.name, o.classification, o.num_queries, o.rounds)
+                for o in result.outcomes}),
+        separators=(",", ":"),
+    ).encode()
+
+
+def _run_local(names: list[str], jobs: int, cache_dir: str):
+    from repro.batch import triage_many
+
+    start = time.perf_counter()
+    result = triage_many(names, jobs=jobs, cache_dir=cache_dir)
+    return time.perf_counter() - start, result
+
+
+def _run_remote(names: list[str], cache_dir: str):
+    from repro.batch import triage_many
+    from repro.serve import TriageServer
+
+    servers = []
+    try:
+        for _ in range(2):
+            server = TriageServer(port=0, cache_dir=cache_dir, workers=2)
+            server.start()
+            servers.append(server)
+        urls = [s.url for s in servers]
+        start = time.perf_counter()
+        result = triage_many(names, workers=urls, cache_dir=cache_dir)
+        return time.perf_counter() - start, result
+    finally:
+        for server in servers:
+            server.shutdown()
+
+
+def measure() -> dict:
+    names = _corpus()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as root:
+        serial_s, serial = _run_local(names, 1, f"{root}/serial")
+        pool_s, pool = _run_local(names, 2, f"{root}/pool")
+        remote_s, remote = _run_remote(names, f"{root}/remote")
+    return {
+        "reports": len(names),
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "remote_s": remote_s,
+        "remote_steals": remote.steals or 0,
+        "identical": _verdicts(serial) == _verdicts(pool)
+        == _verdicts(remote),
+        "accuracy": remote.accuracy,
+        "degraded": [o.name for o in remote.degraded],
+    }
+
+
+def test_backends_reach_identical_verdicts():
+    m = measure()
+    assert m["identical"], \
+        "serial / pool / remote verdicts diverged on the tiled corpus"
+    assert not m["degraded"], m["degraded"]
+    assert m["accuracy"] == 1.0
+
+
+def _record_history(m: dict) -> None:
+    """Append the measurement to BENCH_obs.json (repro.history/1)."""
+    from repro.obs import history
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    meta = {k: (round(v, 6) if isinstance(v, float) else v)
+            for k, v in m.items()}
+    history.append_run(path, None, label="fleet", meta=meta)
+    print(f"recorded fleet run in {path.name}")
+
+
+def main() -> int:
+    m = measure()
+    print(f"corpus: {m['reports']} reports "
+          f"(Figure 7 x {TILE}, duplicate arrivals)")
+    print(f"serial (jobs=1):          {m['serial_s']:.3f}s")
+    print(f"pool   (jobs=2):          {m['pool_s']:.3f}s")
+    print(f"remote (2 serve workers): {m['remote_s']:.3f}s "
+          f"(steals {m['remote_steals']})")
+    print(f"verdicts {'identical' if m['identical'] else 'DIVERGED'} "
+          f"across backends, accuracy {100.0 * m['accuracy']:.0f}%")
+    if not m["identical"] or m["degraded"]:
+        print("FAIL: the three backends did not agree", file=sys.stderr)
+        return 1
+    _record_history(m)
+    print("ok: one scheduler core, three backends, one answer")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,6 @@ removed; construct a :class:`Pipeline` instead.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from enum import Enum
 
@@ -136,14 +135,23 @@ class Pipeline:
             obs.enable()
 
     def _scoped_store(self):
-        """Context manager activating this pipeline's store, if any."""
+        """Context manager activating this pipeline's store, if any.
+
+        Bound thread-locally: a pipeline may run on a serve worker
+        thread concurrent with other requests, and the process-global
+        store slot is not reentrant across threads.  Everything a
+        workload runs (engine, QE/SMT caches, repair synthesis) resolves
+        the store on the same thread, so the scope is equivalent for
+        single-threaded callers; portfolio strategy threads inherit the
+        caller's store explicitly.
+        """
         from contextlib import nullcontext
 
-        from .cache import open_store, use_store
+        from .cache import open_store, use_store_here
 
         if self._cache_dir is None:
             return nullcontext()
-        return use_store(open_store(self._cache_dir))
+        return use_store_here(open_store(self._cache_dir))
 
     # ------------------------------------------------------------------
     def analyze(self, source: str) -> AnalysisOutcome:
@@ -179,10 +187,11 @@ class Pipeline:
 
     def triage(self, names: list[str] | None = None, *,
                jobs: int | None = None,
-               timeout: float | None = None,
                limits: Limits | None = None,
                cache_dir: str | None = None,
-               incremental: bool | None = None) -> BatchResult:
+               incremental: bool | None = None,
+               workers: list[str] | None = None,
+               transport=None) -> BatchResult:
         """Batch-triage benchmark reports (all of Figure 7 by default).
 
         Fans out over ``jobs`` worker processes (CPU count by default)
@@ -191,14 +200,14 @@ class Pipeline:
         :mod:`repro.batch`.  ``limits`` overrides the pipeline-level
         :class:`~repro.limits.Limits` for this call; ``cache_dir`` and
         ``incremental`` likewise override the pipeline-level cache
-        settings.  ``timeout`` is a deprecated alias for
-        ``limits=Limits(deadline=timeout)``.
+        settings.
+
+        ``workers`` fans the batch out over running ``repro serve``
+        instances instead of local processes; ``transport`` accepts any
+        pre-built :mod:`repro.sched` transport outright (the scheduler
+        core — retry, quarantine, grace windows, rebuild — is identical
+        across all backends).
         """
-        if timeout is not None:
-            _deprecated("Pipeline.triage(timeout=...)",
-                        "triage(limits=Limits(deadline=...))")
-            if limits is None:
-                limits = Limits(deadline=timeout)
         return triage_many(names, jobs=jobs,
                            config=self._config,
                            telemetry=obs.is_enabled(),
@@ -207,7 +216,12 @@ class Pipeline:
                            cache_dir=cache_dir if cache_dir is not None
                            else self._cache_dir,
                            incremental=self._incremental
-                           if incremental is None else incremental)
+                           if incremental is None else incremental,
+                           workers=workers,
+                           transport=transport)
+
+    #: Transport-explicit alias, mirroring :func:`repro.batch.triage_many`.
+    triage_many = triage
 
     def repair(self, name_or_source: str, *,
                max_patches: int | None = None,
@@ -375,16 +389,3 @@ def run_user_study(*, seed: int = 2012, num_recruited: int = 56,
     if benchmarks is not None:
         kwargs["benchmarks"] = benchmarks
     return _run_user_study(**kwargs)
-
-
-# ---------------------------------------------------------------------------
-# deprecation machinery (the v2 module aliases are gone; only the
-# Pipeline.triage(timeout=) parameter still warns, one more release)
-# ---------------------------------------------------------------------------
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.api.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )

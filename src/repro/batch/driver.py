@@ -1,39 +1,38 @@
-"""Parallel batch triage of error reports, with fault tolerance.
+"""Batch triage of error reports over the transport-agnostic scheduler.
 
 The ROADMAP's north star is a system that triages *fleets* of error
 reports, not one report at a time.  Each report's diagnosis is
-independent of every other report's, so the batch driver fans reports
-out over worker processes:
+independent of every other report's, so the driver fans reports out —
+historically over a local process pool only, now over any
+:mod:`repro.sched` transport:
 
-* **per-worker solver reuse** — each worker process keeps its
-  module-level solver caches, hash-consing tables and QE caches warm
-  across every report it handles, so a worker's second report is much
-  cheaper than its first;
-* **ordered results** — outcomes come back in input order regardless of
-  completion order;
-* **resource governance** — a :class:`repro.limits.Limits` bounds each
-  report (deadline, per-stage step budgets); a report that runs out is
-  recorded as ``"unknown resource"`` with per-stage spend attribution
-  instead of sinking the batch;
-* **worker recovery** — a report whose worker crashes, is killed, or
-  hangs past a grace window is retried with exponential backoff and a
-  tightened deadline up to ``limits.retries`` extra attempts, then
-  quarantined into :attr:`BatchResult.degraded`; if every worker is
-  wedged the pool is rebuilt and in-flight innocents are requeued;
-* **graceful degradation** — if worker processes cannot be spawned or
-  the pool breaks mid-run, the remaining reports are triaged serially
-  in-process and the batch still completes.
+* ``jobs <= 1`` (or a single report) — the in-process
+  :class:`~repro.sched.InlineTransport` (mode ``serial``);
+* ``jobs > 1`` — the :class:`~repro.sched.LocalPoolTransport`
+  process pool (mode ``parallel``), per-worker solver/intern/QE
+  caches kept warm across the reports each worker handles;
+* ``workers=[url, ...]`` — the :class:`~repro.sched.RemoteTransport`
+  driving running ``repro serve`` instances (mode ``remote``),
+  sharded by content digest with work stealing, ideally over a
+  shared cache root (see ``docs/SCALING.md``).
+
+All three run the *same* scheduler core (:class:`repro.sched.Scheduler`)
+— one copy of per-report retry with backoff, stuck-worker grace-window
+detection, quarantine into :attr:`BatchResult.degraded`, worker
+rebuild, and serial in-process fallback when the transport machinery
+breaks — and the same telemetry/provenance/trace merge regardless of
+where the attempts ran.
 
 Hang detection is two-layered.  The governor's deadline check inside
 every solver checkpoint catches hangs the worker can see (including
 ``sleep`` faults), returning a normal ``unknown resource`` outcome with
-the *stage* that noticed — that is the attribution path.  The driver's
-grace window (``deadline * 1.5 + 0.5s``) catches workers that never
-return at all (SIGKILL, hard hangs); those quarantine without stage
-attribution because no code ran to observe one.
+the *stage* that noticed — that is the attribution path.  The
+scheduler's grace window (``deadline * 1.5 + 0.5s``) catches workers
+that never return at all (SIGKILL, hard hangs); those quarantine
+without stage attribution because no code ran to observe one.
 
 Results are plain data (:class:`TriageOutcome` carries strings and
-numbers, never formulas), so nothing fragile crosses the process
+numbers, never formulas), so nothing fragile crosses a process or HTTP
 boundary.
 """
 
@@ -42,488 +41,56 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-import warnings
-from contextlib import nullcontext
-from dataclasses import dataclass, field, replace
 
-from .. import limits as _limits_mod
 from .. import obs
 from ..obs import context as ocontext
 from ..obs import logging as olog
-from ..obs import provenance as prov
-from ..cache import open_store, use_store
-from ..diagnosis import EngineConfig, ExhaustiveOracle, diagnose_error
-from ..diagnosis.stages import STAGE_VERSION, config_fingerprint
-from ..limits import Limits, ResourceExhausted
-from ..limits import faults
-from ..logic.digest import digest, digest_many, digest_text
-from ..schema import TriageVerdict, dump_json, envelope
-from .. import suite as _suite
-from ..suite import BENCHMARKS, benchmark_by_name
+from ..cache import open_store
+from ..diagnosis import EngineConfig
+from ..limits import Limits
+from ..suite import BENCHMARKS
 
+# the result types and worker-side helpers live in outcomes.py so the
+# scheduler can use them without importing this surface; re-exported
+# here because this module has always been their public home
+from .outcomes import (  # noqa: F401  (re-exports)
+    BatchResult,
+    TriageOutcome,
+    _cacheable,
+    _finalize,
+    _is_retryable,
+    _load_one,
+    _max_attempts,
+    _merge_cache_info,
+    _merged_telemetry,
+    _report_key,
+    _stuck_outcome,
+    _triage_one,
+)
+from ..sched import (
+    InlineTransport,
+    LocalPoolTransport,
+    RemoteTransport,
+    Scheduler,
+    TriageSpec,
+)
 
-@dataclass(frozen=True)
-class TriageOutcome:
-    """The result of triaging one report — plain data only."""
-
-    name: str
-    classification: str            # a TriageVerdict value string
-    expected: str | None = None    # ground-truth label, when known
-    num_queries: int = 0
-    rounds: int = 0
-    elapsed_seconds: float = 0.0
-    timed_out: bool = False
-    error: str | None = None       # repr of an in-worker exception
-    telemetry: dict | None = None  # per-report obs snapshot, when enabled
-    events: tuple = ()             # per-report obs events, when enabled
-    provenance: tuple = ()         # per-report derivation nodes, when enabled
-    exhausted_stage: str | None = None  # stage whose checkpoint fired
-    exhausted_kind: str | None = None   # steps | nodes | deadline | ...
-    resource_spend: dict | None = None  # per-stage spend (governed runs)
-    attempts: int = 1              # triage attempts consumed
-    degraded: bool = False         # quarantined after exhausting retries
-    prior_telemetry: tuple = ()    # partial snapshots of failed attempts
-    cache: dict | None = None      # store provenance (digests, hit/miss)
-    trace_id: str | None = None    # correlation id of the request trace
-
-    @property
-    def correct(self) -> bool:
-        return self.expected is not None and \
-            self.classification == self.expected
-
-    @property
-    def verdict(self) -> TriageVerdict:
-        return TriageVerdict.from_classification(self.classification)
-
-    def to_dict(self) -> dict:
-        """The stable ``repro.result`` payload (see docs/API.md)."""
-        return envelope(
-            "triage_outcome",
-            self.verdict,
-            name=self.name,
-            expected=self.expected,
-            correct=self.correct if self.expected is not None else None,
-            num_queries=self.num_queries,
-            rounds=self.rounds,
-            elapsed_seconds=self.elapsed_seconds,
-            timed_out=self.timed_out,
-            error=self.error,
-            telemetry=self.telemetry,
-            provenance=list(self.provenance) or None,
-            exhausted_stage=self.exhausted_stage,
-            exhausted_kind=self.exhausted_kind,
-            resource_spend=self.resource_spend,
-            attempts=self.attempts,
-            degraded=self.degraded,
-            cache=self.cache,
-            trace_id=self.trace_id,
-        )
-
-    def to_json(self, *, indent: int | None = None) -> str:
-        return dump_json(self.to_dict(), indent=indent)
-
-
-@dataclass
-class BatchResult:
-    """Outcome of a :func:`triage_many` run."""
-
-    outcomes: list[TriageOutcome]
-    wall_seconds: float
-    jobs: int
-    mode: str                      # 'serial' | 'parallel' | 'degraded'
-    telemetry: dict | None = None  # merged per-worker obs snapshots
-    limits: dict | None = None     # rendering of the governing Limits
-    cache: dict | None = None      # driver-side store stats, when active
-    trace_id: str | None = None    # correlation id of the batch ingress
-    failures: list[TriageOutcome] = field(init=False)
-    degraded: list[TriageOutcome] = field(init=False)
-
-    def __post_init__(self) -> None:
-        # quarantined reports are governed degradation, not
-        # misclassification — they never count as failures
-        self.degraded = [o for o in self.outcomes if o.degraded]
-        self.failures = [
-            o for o in self.outcomes
-            if o.expected is not None and not o.correct
-            and not o.degraded
-            and o.verdict is not TriageVerdict.UNKNOWN_RESOURCE
-        ]
-
-    @property
-    def accuracy(self) -> float:
-        labelled = [o for o in self.outcomes if o.expected is not None]
-        if not labelled:
-            return 0.0
-        return sum(1 for o in labelled if o.correct) / len(labelled)
-
-    @property
-    def verdict(self) -> TriageVerdict:
-        """The strongest claim about the batch: any real bug makes the
-        batch ``REAL_BUG``; otherwise any unknown (including resource
-        exhaustion) leaves it ``UNKNOWN``; a batch of pure false alarms
-        is ``FALSE_ALARM``."""
-        verdicts = {o.verdict for o in self.outcomes}
-        if TriageVerdict.REAL_BUG in verdicts:
-            return TriageVerdict.REAL_BUG
-        if (TriageVerdict.UNKNOWN in verdicts
-                or TriageVerdict.UNKNOWN_RESOURCE in verdicts
-                or not verdicts):
-            return TriageVerdict.UNKNOWN
-        return TriageVerdict.FALSE_ALARM
-
-    @property
-    def verdict_counts(self) -> dict[str, int]:
-        counts = {v.value: 0 for v in TriageVerdict}
-        for outcome in self.outcomes:
-            counts[outcome.verdict.value] += 1
-        return counts
-
-    @property
-    def resource_spend(self) -> dict[str, int]:
-        """Per-stage spend summed across every governed outcome."""
-        merged: dict[str, int] = {}
-        for outcome in self.outcomes:
-            for stage, n in (outcome.resource_spend or {}).items():
-                merged[stage] = merged.get(stage, 0) + n
-        return merged
-
-    def by_name(self, name: str) -> TriageOutcome:
-        for outcome in self.outcomes:
-            if outcome.name == name:
-                return outcome
-        raise KeyError(f"no outcome for {name!r}")
-
-    def to_dict(self) -> dict:
-        """The stable ``repro.result`` payload (see docs/API.md)."""
-        return envelope(
-            "batch",
-            self.verdict,
-            wall_seconds=self.wall_seconds,
-            jobs=self.jobs,
-            mode=self.mode,
-            accuracy=self.accuracy,
-            verdict_counts=self.verdict_counts,
-            outcomes=[o.to_dict() for o in self.outcomes],
-            telemetry=self.telemetry,
-            limits=self.limits,
-            cache=self.cache,
-            resource_spend=self.resource_spend or None,
-            degraded=[o.name for o in self.degraded],
-            trace_id=self.trace_id,
-        )
-
-    def to_json(self, *, indent: int | None = None) -> str:
-        return dump_json(self.to_dict(), indent=indent)
-
-
-# ---------------------------------------------------------------------------
-# worker side
-# ---------------------------------------------------------------------------
-
-def _report_key(bench, config: EngineConfig,
-                invariants_digest: str, success_digest: str) -> str:
-    """Cache key of a whole-report triage artifact: the analysis
-    judgment digests plus everything else the verdict depends on."""
-    return digest_many(
-        "triage", STAGE_VERSION, bench.name, str(bench.oracle_radius),
-        str(config.max_rounds), config_fingerprint(config),
-        invariants_digest, success_digest,
-    )
-
-
-def _merge_cache_info(report: dict | None,
-                      engine: dict | None) -> dict | None:
-    """One ``cache`` block per outcome: the engine's store delta and
-    judgment digests, overlaid with the report-level analyze/triage
-    status (the report level is authoritative where they overlap)."""
-    if report is None and engine is None:
-        return None
-    merged = dict(engine or {})
-    merged.update(report or {})
-    return merged
-
-
-def _cacheable(outcome: TriageOutcome) -> bool:
-    """Only clean, deterministic verdicts may be served from the store:
-    crashes and resource exhaustion depend on the run, not the input."""
-    return outcome.error is None and outcome.exhausted_kind is None \
-        and outcome.verdict is not TriageVerdict.UNKNOWN_RESOURCE
-
-
-def _triage_one(name: str, config: EngineConfig | None = None,
-                telemetry: bool = False, limits: Limits | None = None,
-                attempt: int = 0, in_worker: bool = False,
-                cache_dir: str | None = None,
-                incremental: bool = False,
-                trace: dict | None = None) -> TriageOutcome:
-    """Triage a single benchmark report against its ground-truth oracle.
-
-    Top-level so it pickles under any multiprocessing start method.  All
-    process-global caches (default solver, intern tables, QE caches)
-    stay warm between calls within one worker.
-
-    With ``cache_dir`` the report runs with the persistent store active:
-    the engine's stage functions and the QE/SMT caches read and write
-    content-addressed artifacts under it (workers share the directory;
-    writes are atomic).  With ``incremental`` additionally, the report
-    itself can be short-circuited: the source digest resolves to the
-    judgment digests through the ``analyze`` artifact, and an unchanged
-    judgment resolves to a recorded verdict through the ``triage``
-    artifact — reports whose ``(I, phi)`` digest is unchanged are never
-    recomputed.
-
-    With ``limits`` the whole report — loading, analysis and the
-    diagnosis loop — runs under one governor, so the deadline covers
-    everything and per-stage spend is attributed to this report.  Fault
-    injection (``REPRO_FAULT``) needs a governor to observe checkpoints,
-    so an active fault spec forces an (otherwise unlimited) one.
-
-    With ``telemetry`` the report runs under an obs capture scope: the
-    outcome carries the report's own counter/span snapshot plus the span
-    events (and, when provenance is on, derivation nodes) it emitted,
-    all plain data, so the driver can merge them across workers.  The
-    snapshot is stamped with the attempt number, and failed attempts
-    keep their partial telemetry too — a quarantined report still shows
-    up in the fleet-wide merge.
-
-    ``trace`` carries a :class:`~repro.obs.context.TraceContext` as
-    plain data across the process boundary; it (or, failing that, the
-    thread's ambient context) is bound for the report's duration, so
-    every span, provenance node, log line and the telemetry snapshot
-    recorded in this worker joins the ingress's trace.
-    """
-    start = time.perf_counter()
-    ctx = ocontext.TraceContext.from_dict(trace) if trace is not None \
-        else ocontext.current()
-    if in_worker:
-        faults.mark_worker()
-    faults.set_report(name)
-    if telemetry and not obs.is_enabled():
-        obs.enable()
-    # slice by span id, not buffer offset: the bounded event deque may
-    # evict old entries mid-report, which would shift any saved offset
-    events_marker = obs.span_sequence() if telemetry else 0
-    prov_marker = prov.mark() if prov.is_enabled() else None
-
-    def report_events() -> tuple:
-        if not telemetry:
-            return ()
-        return tuple(e for e in obs.events()
-                     if e.get("id", 0) >= events_marker)
-
-    def report_provenance() -> tuple:
-        if prov_marker is None:
-            return ()
-        return tuple(prov.nodes_since(prov_marker))
-
-    def stamped(snap: dict | None) -> dict | None:
-        if snap is not None:
-            snap["report"] = name
-            snap["attempt"] = attempt
-            if ctx is not None:
-                snap["trace"] = ctx.trace_id
-        return snap
-
-    effective = limits
-    if effective is None and faults.active() is not None:
-        effective = Limits()
-    governed = (
-        _limits_mod.governed(effective) if effective is not None
-        else nullcontext(None)
-    )
-    store = open_store(cache_dir) if cache_dir is not None else None
-    scoped = use_store(store) if store is not None else nullcontext()
-    cfg = config or EngineConfig()
-    cap = None
-    try:
-        result = None
-        recorded = None
-        cache_info = None
-        report_key = None
-        with ocontext.bind(ctx), obs.capture() as cap, \
-                obs.span("triage.report", report=name, attempt=attempt), \
-                governed as governor, scoped:
-            bench = benchmark_by_name(name)
-            if store is not None and incremental:
-                # analyze stage: map the source digest to the judgment
-                # digests without re-running the abstract interpreter
-                source_digest = digest_text(_suite.load_source(bench))
-                analyze_key = digest_many(
-                    "analyze", STAGE_VERSION, bench.name, source_digest)
-                analyzed = store.get("analyze", analyze_key)
-                cache_info = {
-                    "store": str(store.root),
-                    "incremental": True,
-                    "source_digest": source_digest,
-                    "analyze": "hit" if analyzed is not None else "miss",
-                    "triage": "miss",
-                }
-                if analyzed is not None:
-                    cache_info["invariants_digest"] = \
-                        analyzed["invariants"]
-                    cache_info["success_digest"] = analyzed["success"]
-                    report_key = _report_key(
-                        bench, cfg,
-                        analyzed["invariants"], analyzed["success"],
-                    )
-                    recorded = store.get("triage", report_key)
-            if recorded is None:
-                program, analysis = _suite.load_analysis(bench)
-                if store is not None and incremental:
-                    invariants_digest = digest(analysis.invariants)
-                    success_digest = digest(analysis.success)
-                    cache_info["invariants_digest"] = invariants_digest
-                    cache_info["success_digest"] = success_digest
-                    if cache_info["analyze"] == "miss":
-                        store.put("analyze", analyze_key, {
-                            "invariants": invariants_digest,
-                            "success": success_digest,
-                        })
-                    # an edited source with an unchanged judgment still
-                    # resolves to the recorded verdict
-                    report_key = _report_key(
-                        bench, cfg, invariants_digest, success_digest)
-                    recorded = store.get("triage", report_key)
-            if recorded is None:
-                oracle = ExhaustiveOracle(
-                    program, analysis, radius=bench.oracle_radius
-                )
-                # the engine inherits the ambient governor installed above
-                result = diagnose_error(analysis, oracle, config)
-            else:
-                cache_info["triage"] = "hit"
-                obs.inc("batch.reports_cached")
-        if recorded is not None:
-            return TriageOutcome(
-                name=name,
-                classification=recorded["classification"],
-                expected=recorded["expected"],
-                num_queries=recorded["num_queries"],
-                rounds=recorded["rounds"],
-                elapsed_seconds=time.perf_counter() - start,
-                telemetry=stamped(cap.snapshot),
-                events=report_events(),
-                provenance=report_provenance(),
-                cache=cache_info,
-                trace_id=ctx.trace_id if ctx is not None else None,
-            )
-        outcome = TriageOutcome(
-            name=name,
-            classification=result.classification,
-            expected=bench.classification,
-            num_queries=result.num_queries,
-            rounds=result.rounds,
-            elapsed_seconds=time.perf_counter() - start,
-            timed_out=result.exhausted_kind == "deadline",
-            telemetry=stamped(cap.snapshot),
-            events=report_events(),
-            provenance=report_provenance(),
-            exhausted_stage=result.exhausted_stage,
-            exhausted_kind=result.exhausted_kind,
-            resource_spend=result.resource_spend,
-            cache=_merge_cache_info(cache_info, result.cache),
-            trace_id=ctx.trace_id if ctx is not None else None,
-        )
-        if store is not None and report_key is not None \
-                and _cacheable(outcome):
-            store.put("triage", report_key, {
-                "classification": outcome.classification,
-                "expected": outcome.expected,
-                "num_queries": outcome.num_queries,
-                "rounds": outcome.rounds,
-            })
-        return outcome
-    except ResourceExhausted as exc:
-        # a limit ran out before the engine's own handler could see it
-        # (loading / abstract interpretation) — same verdict, same shape;
-        # the capture scope already closed, so the partial telemetry of
-        # the failed attempt is still collected
-        return TriageOutcome(
-            name=name,
-            classification=TriageVerdict.UNKNOWN_RESOURCE.value,
-            expected=None,
-            elapsed_seconds=time.perf_counter() - start,
-            timed_out=exc.kind == "deadline",
-            telemetry=stamped(cap.snapshot) if cap is not None else None,
-            events=report_events(),
-            provenance=report_provenance(),
-            exhausted_stage=exc.stage,
-            exhausted_kind=exc.kind,
-            trace_id=ctx.trace_id if ctx is not None else None,
-        )
-    except Exception as exc:  # noqa: BLE001 - outcomes must cross processes
-        return TriageOutcome(
-            name=name,
-            classification="unknown",
-            expected=None,
-            elapsed_seconds=time.perf_counter() - start,
-            error=f"{type(exc).__name__}: {exc}",
-            telemetry=stamped(cap.snapshot) if cap is not None else None,
-            events=report_events(),
-            provenance=report_provenance(),
-            exhausted_stage=getattr(exc, "stage", None),
-            trace_id=ctx.trace_id if ctx is not None else None,
-        )
-    finally:
-        faults.set_report(None)
-
-
-def _load_one(name: str):
-    """Load + analyze one benchmark (worker for :func:`load_many`)."""
-    bench = benchmark_by_name(name)
-    program, analysis = _suite.load_analysis(bench)
-    return bench, program, analysis
-
-
-# ---------------------------------------------------------------------------
-# driver side
-# ---------------------------------------------------------------------------
 
 def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
-
-
-def _stuck_outcome(name: str, limits: Limits | None) -> TriageOutcome:
-    """The outcome for a worker that never returned (killed or a hang no
-    checkpoint could observe) — no stage attribution is possible."""
-    deadline = limits.deadline if limits is not None else None
-    return TriageOutcome(
-        name=name,
-        classification=TriageVerdict.UNKNOWN_RESOURCE.value,
-        expected=None,
-        elapsed_seconds=deadline or 0.0,
-        timed_out=True,
-        exhausted_kind="deadline",
-        error="worker unresponsive past the grace window",
-    )
-
-
-def _is_retryable(outcome: TriageOutcome) -> bool:
-    """Crashes and resource exhaustion earn another attempt; genuine
-    verdicts (including plain ``unknown`` from round exhaustion) are
-    deterministic and final."""
-    return outcome.error is not None or \
-        outcome.verdict is TriageVerdict.UNKNOWN_RESOURCE
-
-
-def _finalize(outcome: TriageOutcome, attempts: int) -> TriageOutcome:
-    """Stamp the attempt count; quarantine still-retryable outcomes."""
-    return replace(
-        outcome, attempts=attempts,
-        degraded=outcome.degraded or _is_retryable(outcome),
-    )
 
 
 def triage_many(
     names: list[str] | None = None,
     *,
     jobs: int | None = None,
-    timeout: float | None = None,
     config: EngineConfig | None = None,
     telemetry: bool = False,
     limits: Limits | None = None,
     cache_dir: str | None = None,
     incremental: bool = False,
+    workers: list[str] | None = None,
+    transport=None,
 ) -> BatchResult:
     """Triage many reports, in parallel when more than one core helps.
 
@@ -544,29 +111,40 @@ def triage_many(
     digest is unchanged — re-triaging an edited suite recomputes only
     the reports the edit actually touched.
 
-    ``timeout`` is a deprecated alias for
-    ``limits=Limits(deadline=timeout)``.
+    ``workers`` fans the batch out over running ``repro serve``
+    instances instead of local processes (``repro triage --workers``);
+    give the fleet a shared ``cache_dir`` so warm digests are never
+    recomputed anywhere.  ``transport`` accepts any pre-built
+    :mod:`repro.sched` transport outright (it wins over ``workers``);
+    its ``spec`` is rebuilt from this call's settings.
     """
     if incremental and cache_dir is None:
         raise ValueError("incremental re-triage needs cache_dir")
-    if timeout is not None:
-        warnings.warn(
-            "triage_many(timeout=...) is deprecated; pass "
-            "limits=Limits(deadline=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if limits is None:
-            limits = Limits(deadline=timeout)
     if names is None:
         names = [b.name for b in BENCHMARKS]
-    if jobs is None:
-        jobs = _default_jobs()
-    jobs = max(1, min(jobs, len(names))) if names else 1
 
     # also honour a caller that enabled obs globally before batching
     telemetry = telemetry or obs.is_enabled()
     limits_payload = limits.to_dict() if limits is not None else None
+    spec = TriageSpec(config=config, telemetry=telemetry,
+                      cache_dir=cache_dir, incremental=incremental)
+
+    remote = transport is not None or workers is not None
+    if remote:
+        if transport is None:
+            transport = RemoteTransport(list(workers), spec=spec)
+        else:
+            transport.spec = spec
+        jobs = transport.parallelism
+    else:
+        if jobs is None:
+            jobs = _default_jobs()
+        jobs = max(1, min(jobs, len(names))) if names else 1
+        if jobs <= 1 or len(names) <= 1:
+            jobs = 1
+            transport = InlineTransport(spec=spec)
+        else:
+            transport = LocalPoolTransport(jobs=jobs, spec=spec)
 
     # the batch is an ingress: adopt the caller's trace (a serve job, a
     # CLI invocation) or mint a fresh root, and hand every report its
@@ -578,40 +156,29 @@ def triage_many(
     start = time.perf_counter()
     with ocontext.bind(root):
         olog.info("batch.start", reports=len(names), jobs=jobs)
-        if jobs <= 1 or len(names) <= 1:
-            outcomes = [
-                _triage_with_retries(name, config, telemetry, limits,
-                                     cache_dir=cache_dir,
-                                     incremental=incremental,
-                                     trace=root.child().to_dict())
-                for name in names
-            ]
-            result = BatchResult(
-                outcomes=outcomes,
-                wall_seconds=time.perf_counter() - start,
-                jobs=1,
-                mode="serial",
-                telemetry=_merged_telemetry(outcomes, telemetry),
-                limits=limits_payload,
-                cache=_store_stats(cache_dir),
-                trace_id=root.trace_id,
-            )
+        traces = {n: root.child().to_dict() for n in names}
+        scheduler = Scheduler(transport, limits=limits, spec=spec)
+        outcomes, broke = scheduler.run(names, traces)
+        if remote:
+            mode = "degraded" if broke else "remote"
+        elif isinstance(transport, InlineTransport):
+            mode = "serial"
         else:
-            outcomes, pool_broke = _triage_parallel(
-                names, jobs, limits, config, telemetry,
-                cache_dir=cache_dir, incremental=incremental,
-                trace_root=root,
-            )
-            result = BatchResult(
-                outcomes=outcomes,
-                wall_seconds=time.perf_counter() - start,
-                jobs=jobs,
-                mode="degraded" if pool_broke else "parallel",
-                telemetry=_merged_telemetry(outcomes, telemetry),
-                limits=limits_payload,
-                cache=_store_stats(cache_dir),
-                trace_id=root.trace_id,
-            )
+            mode = "degraded" if broke else "parallel"
+        result = BatchResult(
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - start,
+            jobs=jobs,
+            mode=mode,
+            telemetry=_merged_telemetry(outcomes, telemetry),
+            limits=limits_payload,
+            cache=_store_stats(cache_dir),
+            trace_id=root.trace_id,
+            backend="remote" if remote else None,
+            workers=(list(getattr(transport, "urls", workers or []))
+                     if remote else None),
+            steals=getattr(transport, "steals", None) if remote else None,
+        )
         olog.info("batch.done", reports=len(names), mode=result.mode,
                   wall_s=round(result.wall_seconds, 4),
                   degraded=len(result.degraded))
@@ -626,226 +193,30 @@ def _store_stats(cache_dir: str | None) -> dict | None:
     return open_store(cache_dir).stats()
 
 
-def _merged_telemetry(outcomes: list[TriageOutcome],
-                      telemetry: bool) -> dict | None:
-    """One fleet-wide snapshot: every attempt of every report counts.
+def triage_with_retries(name: str, config: EngineConfig | None,
+                        telemetry: bool,
+                        limits: Limits | None,
+                        cache_dir: str | None = None,
+                        incremental: bool = False,
+                        trace: dict | None = None,
+                        thread_scoped: bool = False) -> TriageOutcome:
+    """One report through the full scheduler retry/quarantine policy,
+    in-process — the serve daemon's per-job entry point.
 
-    Degraded reports and failed attempts contribute their partial
-    snapshots (each stamped with its attempt number) — quarantining a
-    report must not silently drop the work its workers did.
-    """
-    if not telemetry:
-        return None
-    snaps: list[dict | None] = []
-    for o in outcomes:
-        snaps.extend(o.prior_telemetry)
-        snaps.append(o.telemetry)
-    return obs.merge_snapshots(*snaps)
-
-
-def _max_attempts(limits: Limits | None) -> int:
-    return 1 if limits is None else max(1, limits.retries + 1)
-
-
-def _triage_with_retries(name: str, config: EngineConfig | None,
-                         telemetry: bool,
-                         limits: Limits | None,
-                         cache_dir: str | None = None,
-                         incremental: bool = False,
-                         trace: dict | None = None) -> TriageOutcome:
-    """The serial-mode retry loop (mirrors the parallel driver's)."""
-    attempts = _max_attempts(limits)
-    outcome = None
-    prior: list[dict] = []
-    for attempt in range(attempts):
-        tightened = limits.tightened(attempt) if limits is not None else None
-        outcome = _triage_one(name, config, telemetry,
-                              limits=tightened, attempt=attempt,
-                              cache_dir=cache_dir,
-                              incremental=incremental,
-                              trace=trace)
-        if prior:
-            outcome = replace(outcome, prior_telemetry=tuple(prior))
-        if not _is_retryable(outcome):
-            return _finalize(outcome, attempt + 1)
-        if attempt + 1 < attempts:
-            if outcome.telemetry is not None:
-                prior.append(outcome.telemetry)
-            obs.inc("batch.retries")
-            olog.warning("batch.retry", report=name, attempt=attempt + 1,
-                         reason=outcome.error or outcome.exhausted_kind)
-            time.sleep(limits.backoff_for(attempt + 1)
-                       if limits is not None else 0.0)
-    obs.inc("batch.quarantined")
-    olog.error("batch.quarantine", report=name, attempts=attempts,
-               reason=outcome.error or outcome.exhausted_kind)
-    return _finalize(outcome, attempts)
+    Serve passes ``thread_scoped=True``: its attempts run on worker
+    threads sharing one process, so governors must install
+    thread-locally (see :class:`~repro.sched.TriageSpec`)."""
+    spec = TriageSpec(config=config, telemetry=telemetry,
+                      cache_dir=cache_dir, incremental=incremental,
+                      thread_scoped=thread_scoped)
+    scheduler = Scheduler(InlineTransport(spec=spec), limits=limits,
+                          spec=spec)
+    outcomes, _broke = scheduler.run([name], {name: trace})
+    return outcomes[0]
 
 
-def _triage_parallel(
-    names: list[str],
-    jobs: int,
-    limits: Limits | None,
-    config: EngineConfig | None,
-    telemetry: bool = False,
-    *,
-    cache_dir: str | None = None,
-    incremental: bool = False,
-    trace_root: ocontext.TraceContext | None = None,
-) -> tuple[list[TriageOutcome], bool]:
-    """Fan out over a process pool with worker recovery.
-
-    An event loop tracks every submitted attempt: completions settle or
-    requeue their report, attempts silent past the grace window are
-    declared stuck (their worker was killed or wedged), and when stuck
-    attempts have eaten every worker slot the pool itself is rebuilt and
-    the innocent in-flight attempts are resubmitted.  Falls back to
-    serial in-process completion if the pool machinery breaks outright.
-    """
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        ctx = multiprocessing.get_context()
-
-    attempts_allowed = _max_attempts(limits)
-    results: dict[str, TriageOutcome] = {}
-    # each report is one hop of the ingress trace; the same child rides
-    # through every retry so all attempts share the report's span chain
-    traces: dict[str, dict | None] = {
-        n: trace_root.child().to_dict() if trace_root is not None else None
-        for n in names
-    }
-    # (eligible_at, name, attempt) — a report waits here between retries
-    waiting: list[tuple[float, str, int]] = [(0.0, n, 0) for n in names]
-    running: dict[int, tuple[str, int, object, float | None]] = {}
-    next_task = 0
-    stuck = 0
-    ever_stuck = False
-    pool_broke = False
-
-    # partial telemetry of failed attempts, kept per report so retried
-    # and quarantined reports still contribute to the fleet-wide merge
-    partials: dict[str, list[dict]] = {}
-
-    def settle(name: str, attempt: int, outcome: TriageOutcome) -> None:
-        if _is_retryable(outcome) and attempt + 1 < attempts_allowed:
-            if outcome.telemetry is not None:
-                partials.setdefault(name, []).append(outcome.telemetry)
-            obs.inc("batch.retries")
-            olog.warning("batch.retry", report=name, attempt=attempt + 1,
-                         reason=outcome.error or outcome.exhausted_kind)
-            delay = (limits.backoff_for(attempt + 1)
-                     if limits is not None else 0.0)
-            waiting.append((time.monotonic() + delay, name, attempt + 1))
-            return
-        if _is_retryable(outcome):
-            obs.inc("batch.quarantined")
-            olog.error("batch.quarantine", report=name,
-                       attempts=attempt + 1,
-                       reason=outcome.error or outcome.exhausted_kind)
-        if partials.get(name):
-            outcome = replace(
-                outcome, prior_telemetry=tuple(partials[name]))
-        results[name] = _finalize(outcome, attempt + 1)
-
-    pool = None
-    try:
-        pool = ctx.Pool(processes=jobs)
-        while waiting or running:
-            now = time.monotonic()
-
-            # submit every attempt whose backoff has elapsed
-            still_waiting = []
-            for eligible_at, name, attempt in waiting:
-                if eligible_at > now:
-                    still_waiting.append((eligible_at, name, attempt))
-                    continue
-                tightened = (limits.tightened(attempt)
-                             if limits is not None else None)
-                handle = pool.apply_async(
-                    _triage_one, (name, config, telemetry),
-                    {"limits": tightened, "attempt": attempt,
-                     "in_worker": True, "cache_dir": cache_dir,
-                     "incremental": incremental,
-                     "trace": traces.get(name)},
-                )
-                grace_at = None
-                if tightened is not None and tightened.deadline is not None:
-                    grace_at = now + tightened.deadline * 1.5 + 0.5
-                running[next_task] = (name, attempt, handle, grace_at)
-                next_task += 1
-            waiting = still_waiting
-
-            progressed = False
-            for task_id in list(running):
-                name, attempt, handle, grace_at = running[task_id]
-                if handle.ready():
-                    progressed = True
-                    del running[task_id]
-                    try:
-                        outcome = handle.get()
-                    except Exception as exc:  # noqa: BLE001 - worker died
-                        outcome = TriageOutcome(
-                            name=name,
-                            classification="unknown",
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
-                    settle(name, attempt, outcome)
-                elif grace_at is not None and now > grace_at:
-                    # worker never returned: killed, or hung somewhere no
-                    # checkpoint runs — count it stuck and move on
-                    progressed = True
-                    del running[task_id]
-                    stuck += 1
-                    ever_stuck = True
-                    obs.inc("batch.stuck_workers")
-                    olog.warning("batch.stuck_worker", report=name,
-                                 attempt=attempt)
-                    tightened = (limits.tightened(attempt)
-                                 if limits is not None else None)
-                    settle(name, attempt, _stuck_outcome(name, tightened))
-
-            if stuck >= jobs and running:
-                # every worker slot may be wedged: rebuild the pool and
-                # resubmit the in-flight innocents at the same attempt
-                obs.inc("batch.pool_rebuilds")
-                olog.warning("batch.pool_rebuild", stuck=stuck,
-                             inflight=len(running))
-                pool.terminate()
-                pool.join()
-                pool = ctx.Pool(processes=jobs)
-                stuck = 0
-                now = time.monotonic()
-                for task_id in list(running):
-                    name, attempt, _handle, _grace = running.pop(task_id)
-                    waiting.append((now, name, attempt))
-
-            if not progressed and (waiting or running):
-                time.sleep(0.005)
-    except (OSError, multiprocessing.ProcessError, EOFError):
-        pool_broke = True
-    finally:
-        if pool is not None:
-            # stuck workers would keep a close()/join() hanging forever
-            if ever_stuck or pool_broke:
-                pool.terminate()
-            else:
-                pool.close()
-            pool.join()
-
-    if pool_broke:
-        # the pool broke; finish whatever did not complete, in-process
-        olog.error("batch.serial_fallback",
-                   remaining=sum(1 for n in names if n not in results))
-        for name in names:
-            if name not in results:
-                results[name] = _triage_with_retries(
-                    name, config, telemetry, limits,
-                    cache_dir=cache_dir, incremental=incremental,
-                    trace=traces.get(name),
-                )
-
-    return [results[name] for name in names], pool_broke
+#: Backwards-compatible alias (pre-scheduler name).
+_triage_with_retries = triage_with_retries
 
 
 def load_many(

@@ -23,6 +23,7 @@ directory cheaply.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -35,10 +36,22 @@ __all__ = [
     "open_store",
     "set_store",
     "use_store",
+    "use_store_here",
 ]
 
 _active: CacheStore | None = None
 _opened: dict[str, CacheStore] = {}
+
+# Thread-local store overrides.  ``use_store`` swaps the process-global
+# slot, which is not reentrant across threads: two concurrent ``repro
+# serve`` worker threads interleaving their enter/exit would restore
+# each other's stores into the global.  Thread-scoped attempts therefore
+# bind via ``use_store_here``; the install counter keeps the ubiquitous
+# ``current_store`` call a global load plus a falsy check while no
+# thread-local binding is live.
+_tl = threading.local()
+_tl_installs = 0
+_tl_lock = threading.Lock()
 
 
 def open_store(root: str | os.PathLike,
@@ -53,7 +66,12 @@ def open_store(root: str | os.PathLike,
 
 
 def current_store() -> CacheStore | None:
-    """The process-wide active store (None when caching is off)."""
+    """The active store (None when caching is off).  A thread-local
+    :func:`use_store_here` binding shadows the process-wide slot."""
+    if _tl_installs:
+        store = getattr(_tl, "store", None)
+        if store is not None:
+            return store
     return _active
 
 
@@ -67,9 +85,34 @@ def set_store(store: CacheStore | None) -> CacheStore | None:
 
 @contextmanager
 def use_store(store: CacheStore | None) -> Iterator[CacheStore | None]:
-    """Scope the active store to a ``with`` block."""
+    """Scope the active store to a ``with`` block (process-wide)."""
     previous = set_store(store)
     try:
         yield store
     finally:
         set_store(previous)
+
+
+@contextmanager
+def use_store_here(store: CacheStore | None
+                   ) -> Iterator[CacheStore | None]:
+    """Scope the active store to a ``with`` block on *this thread* only.
+
+    Other threads keep seeing the process-global store.  Used wherever
+    a triage attempt runs on a worker thread sharing its process with
+    concurrent attempts (``repro serve``, the solver portfolio's
+    strategy threads): the global slot of :func:`use_store` is not
+    reentrant across threads.  Binding ``None`` does not mask the
+    global — it is a no-op scope.
+    """
+    global _tl_installs
+    previous = getattr(_tl, "store", None)
+    with _tl_lock:
+        _tl_installs += 1
+    _tl.store = store
+    try:
+        yield store
+    finally:
+        _tl.store = previous
+        with _tl_lock:
+            _tl_installs -= 1

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from .. import obs
@@ -143,18 +144,34 @@ class CacheStore:
             if self._entries > self.max_entries:
                 self._evict()
 
+    @staticmethod
+    def _mtime(path: Path) -> float:
+        """Sort key tolerant of a concurrent unlink between the scan and
+        the stat (another store sharing this root may be evicting too)."""
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
+
     def _evict(self) -> None:
         """Drop oldest entries down to 90% of capacity (re-scans, so the
-        incremental count is also corrected for concurrent writers)."""
-        entries = sorted(
-            self._iter_entries(),
-            key=lambda p: p.stat().st_mtime if p.exists() else 0.0,
-        )
+        incremental count is also corrected for concurrent writers).
+
+        Safe under shared roots: before unlinking, each victim's mtime
+        is re-checked against the scan start — an entry a peer process
+        wrote or refreshed *after* this scan began is spared, so two
+        stores evicting concurrently can never drop each other's fresh
+        writes (the invariant ``tests/test_cache.py`` exercises under
+        threads)."""
+        scan_start = time.time()
+        entries = sorted(self._iter_entries(), key=self._mtime)
         self._entries = len(entries)
         target = max(1, (self.max_entries * 9) // 10)
         for path in entries[: max(0, self._entries - target)]:
             stage = path.parent.parent.name
             try:
+                if path.stat().st_mtime >= scan_start:
+                    continue  # freshly (re)written by a peer: spare it
                 path.unlink()
             except OSError:
                 continue

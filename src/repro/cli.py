@@ -6,6 +6,8 @@ Subcommands::
     repro-diagnose diagnose FILE           interactive Figure 6 session
     repro-diagnose suite [NAME]            run benchmark(s) w/ ground truth
     repro-diagnose triage [NAME...] --jobs N   batch triage across cores
+    repro-diagnose triage --workers URL,URL    batch triage across a
+                                               `repro serve` fleet
     repro-diagnose repair NAME             triage + synthesize verified patches
     repro-diagnose stats [NAME...]         triage w/ telemetry + stats table
     repro-diagnose explain NAME            render a report's derivation tree
@@ -240,10 +242,20 @@ def _run_triage(args: argparse.Namespace):
     cache_dir, incremental = _cache_from_args(args)
     config = EngineConfig(solver_portfolio=True) \
         if getattr(args, "solver_portfolio", False) else None
+    workers = getattr(args, "workers", None)
+    if workers:
+        workers = [u.strip() for u in workers.split(",") if u.strip()]
+        if not workers:
+            print("error: --workers needs at least one URL",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    else:
+        workers = None
     result = Pipeline(config=config).triage(names, jobs=args.jobs,
                                limits=_limits_from_args(args),
                                cache_dir=cache_dir,
-                               incremental=incremental)
+                               incremental=incremental,
+                               workers=workers)
     if args.trace is not None:
         _write_batch_trace(result, args.trace)
         print(f"telemetry trace written to {args.trace}",
@@ -680,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="benchmark names (default: all of Figure 7)")
     p_triage.add_argument("--jobs", "-j", type=int, default=None,
                           help="worker processes (default: CPU count)")
+    p_triage.add_argument("--workers", default=None,
+                          metavar="URL[,URL...]",
+                          help="fan out over running `repro serve` "
+                               "instances instead of local processes "
+                               "(comma-separated base URLs; give the "
+                               "fleet a shared --cache-dir)")
     p_triage.add_argument("--solver-portfolio", action="store_true",
                           help="race incremental/fresh/QE-first solver "
                                "strategies per boolean query")

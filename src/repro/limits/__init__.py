@@ -356,15 +356,21 @@ def governed(limits: Limits) -> Iterator[Governor]:
 
 
 @contextmanager
-def governed_here(limits: Limits) -> Iterator[Governor]:
+def governed_here(limits: Limits,
+                  *, fold_spend: bool = False) -> Iterator[Governor]:
     """Install a :class:`Governor` for the *current thread* only.
 
     Other threads keep seeing the process-global governor.  Used by the
     solver portfolio to give each racing strategy its own deadline and
-    cancellation token.  Unlike :func:`governed`, spend is *not* folded
-    into the obs counters on exit — the portfolio folds the winning
-    strategy's spend into the ambient governor itself, so a race books
-    the same cost a sequential solve would have.
+    cancellation token, and by the batch layer when a triage attempt
+    runs on a worker *thread* (``repro serve``) — the process-global
+    slot of :func:`governed` is not reentrant across threads, so two
+    concurrent governed blocks there could restore each other's expired
+    governors.  By default spend is *not* folded into the obs counters
+    on exit — the portfolio folds the winning strategy's spend into the
+    ambient governor itself, so a race books the same cost a sequential
+    solve would have; pass ``fold_spend=True`` to get :func:`governed`'s
+    accounting (the batch-attempt case).
     """
     global _tl_installs
     previous = getattr(_tl, "governor", None)
@@ -378,3 +384,6 @@ def governed_here(limits: Limits) -> Iterator[Governor]:
         _tl.governor = previous
         with _tl_lock:
             _tl_installs -= 1
+        if fold_spend:
+            for stage, n in governor.spend.items():
+                obs.inc(f"limits.spend.{stage}", n)

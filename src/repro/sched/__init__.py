@@ -1,0 +1,37 @@
+"""Transport-agnostic triage scheduling.
+
+One retry/quarantine core (:class:`~repro.sched.core.Scheduler`)
+behind pluggable worker transports: in-process
+(:class:`InlineTransport`), local process pool
+(:class:`LocalPoolTransport`), and remote ``repro serve`` fleets
+(:class:`RemoteTransport`, sharded by content digest with work
+stealing).  The batch driver (:mod:`repro.batch.driver`) is a thin
+surface over this package.
+
+This package sits *below* the batch driver: it imports only
+:mod:`repro.batch.outcomes` (plain data + the worker function), never
+the driver, so `sched` can be used directly without pulling the
+batch surface in.
+"""
+
+from .core import Scheduler
+from .remote import RemoteTransport, RemoteWorker, outcome_from_envelope
+from .transports import (
+    InlineTransport,
+    LocalPoolTransport,
+    TransportBroken,
+    TriageSpec,
+    TriageTask,
+)
+
+__all__ = [
+    "InlineTransport",
+    "LocalPoolTransport",
+    "RemoteTransport",
+    "RemoteWorker",
+    "Scheduler",
+    "TransportBroken",
+    "TriageSpec",
+    "TriageTask",
+    "outcome_from_envelope",
+]

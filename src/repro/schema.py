@@ -33,7 +33,14 @@ kind and its additive ``repairs`` block — the ranked patch list
 (edits, unified diff, verified flag, cost, Γ digest) produced by
 :mod:`repro.repair` — plus ``verified_patches`` and ``already_clean``;
 ``/1`` and ``/2`` payloads upgrade in place (no pre-/3 payload carries
-repair fields, so the upgrade adds nothing).
+repair fields, so the upgrade adds nothing).  The fleet-scheduler
+fields were likewise added *within* ``/3`` under the additive-only
+policy: ``triage_outcome`` gains an optional ``worker`` (the remote
+``repro serve`` URL that ran the attempt) and ``batch`` gains optional
+``backend`` / ``workers`` / ``steals`` plus the ``"remote"`` ``mode``
+value (see :mod:`repro.sched`); all are omitted on local runs, so
+pool/serial envelopes are byte-identical to their pre-scheduler form
+and no version bump was needed.
 
 Besides the envelope, this module owns the *status contract*: the one
 mapping from triage verdicts to CLI exit codes and HTTP status codes,

@@ -23,7 +23,7 @@ Two submission kinds share one pipeline:
 
 * ``{"benchmark": NAME}`` — or a raw ``{"source": ...}`` whose text is
   byte-identical to a Figure 7 program — runs the exact batch-driver
-  path (`_triage_with_retries`): ground-truth oracle, retry/quarantine
+  path (`triage_with_retries`): ground-truth oracle, retry/quarantine
   policy, persistent store, incremental short-circuit.  Verdicts are
   therefore identical to ``Pipeline.triage``'s.
 * ``{"source": ...}`` for unknown programs runs analyze → (if
@@ -65,8 +65,9 @@ from typing import Any
 from contextlib import nullcontext
 
 from .. import obs
-from ..batch.driver import _report_key, _triage_with_retries
-from ..cache import open_store, use_store
+from ..batch.driver import triage_with_retries
+from ..batch.outcomes import _report_key
+from ..cache import open_store, use_store_here
 from ..diagnosis import EngineConfig, SamplingOracle, diagnose_error
 from ..diagnosis.stages import STAGE_VERSION, config_fingerprint
 from ..limits import Limits, ResourceExhausted
@@ -426,10 +427,15 @@ class TriageService:
         repair = payload.get("repair", False)
         if not isinstance(repair, bool):
             raise BadRequest("'repair' must be a boolean")
+        attempt = payload.get("attempt", 0)
+        if not isinstance(attempt, int) or isinstance(attempt, bool) \
+                or attempt < 0:
+            raise BadRequest("'attempt' must be a non-negative integer")
         request: dict = {
             "limits": payload.get("limits"),
             "explain": bool(payload.get("explain", False)),
             "repair": repair,
+            "attempt": attempt,
         }
         _clamped_limits(self.limits, request["limits"])  # validate early
         if benchmark is not None:
@@ -462,14 +468,22 @@ class TriageService:
         function of.  Benchmarks key on their (fixed) source through
         the analysis judgment — same key as the incremental triage
         artifact chain — so identical submissions coalesce in flight
-        and same-judgment sources share through the store."""
+        and same-judgment sources share through the store.
+
+        A coordinator retrying a report (``attempt > 0``, see
+        :mod:`repro.sched.remote`) gets a fresh key: the retry must
+        never coalesce onto the original, possibly wedged, job."""
         mode = "repair" if request.get("repair") else "triage"
+        extra = ()
+        if request.get("attempt"):
+            extra = (f"attempt={request['attempt']}",)
         if request["kind"] == "benchmark":
             return digest_many("serve.bench", STAGE_VERSION, mode,
-                               request["name"], self._fingerprint)
+                               request["name"], self._fingerprint,
+                               *extra)
         return digest_many("serve.adhoc", STAGE_VERSION, mode,
                            self._fingerprint,
-                           digest_text(request["source"]))
+                           digest_text(request["source"]), *extra)
 
     # ------------------------------------------------------------------
     # queries
@@ -739,10 +753,11 @@ class TriageService:
         """The exact batch-driver path: ground-truth oracle, retries,
         store, incremental short-circuit — verdicts identical to
         ``Pipeline.triage``."""
-        outcome = _triage_with_retries(
+        outcome = triage_with_retries(
             name, self.config, True, limits,
             cache_dir=self.cache_dir,
             incremental=self.cache_dir is not None,
+            thread_scoped=True,
         )
         return outcome.to_dict(), outcome.events
 
@@ -778,7 +793,9 @@ class TriageService:
         from ..api import InitialVerdict, Pipeline
 
         marker = obs.span_sequence()
-        scoped = use_store(open_store(self.cache_dir)) \
+        # thread-scoped: this runs on a worker thread concurrent with
+        # other requests — never touch the process-global store slot
+        scoped = use_store_here(open_store(self.cache_dir)) \
             if self.cache_dir is not None else nullcontext()
         pipeline = Pipeline(config=self.config)
         try:

@@ -132,7 +132,13 @@ class PortfolioSolver:
         enough for an answer.
         """
         obs.inc("smt.portfolio.races")
+        from ..cache import current_store, use_store_here
+
         ambient = _limits.current_governor()
+        # strategy threads inherit the caller's store explicitly: the
+        # caller may have bound it thread-locally (serve worker threads,
+        # Pipeline scopes), which a child thread would not see
+        store = current_store()
         tokens = {name: CancellationToken()
                   for name in self._strategies}
         lock = threading.Lock()
@@ -145,7 +151,8 @@ class PortfolioSolver:
             runner = self._runners[name]
             limits = self._child_limits(ambient, tokens[name])
             try:
-                with _limits.governed_here(limits) as governor:
+                with use_store_here(store), \
+                        _limits.governed_here(limits) as governor:
                     verdict = runner(phi)
                 spend = governor.spend_snapshot()
             except BaseException as exc:  # noqa: BLE001 — reported below

@@ -50,16 +50,11 @@ class TestTriageMany:
         assert sorted(o.name for o in result.degraded) == sorted(NAMES)
         assert not result.failures
 
-    def test_timeout_param_is_deprecated_alias(self):
-        with pytest.warns(DeprecationWarning, match="timeout"):
-            result = triage_many([NAMES[0]], jobs=1, timeout=1e-4)
-        # the deprecated knob lands in the governing Limits (with the
-        # default retry budget, so the report may still recover: a warm
-        # second attempt can finish inside even this deadline)
-        assert result.limits is not None
-        assert result.limits["deadline"] == pytest.approx(1e-4)
-        (outcome,) = result.outcomes
-        assert outcome.attempts >= 2 or outcome.timed_out
+    def test_timeout_param_is_gone(self):
+        # the PR-7-era deprecation shim served its "one more release";
+        # the spelling now is limits=Limits(deadline=...)
+        with pytest.raises(TypeError, match="timeout"):
+            triage_many([NAMES[0]], jobs=1, timeout=1e-4)
 
     def test_worker_errors_become_outcomes(self):
         result = triage_many(["no_such_benchmark"], jobs=1)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -95,6 +96,49 @@ class TestCacheStore:
         assert store.get("entail", keys[0]) is not None   # refreshed: kept
         assert store.get("entail", keys[1]) is None       # oldest: evicted
 
+    def test_shared_root_eviction_spares_peer_fresh_writes(self, tmp_path):
+        """Two stores on one root (the fleet's shared-cache shape), both
+        at the eviction watermark: a store evicting must never unlink an
+        entry its peer just wrote — the mtime re-check against the scan
+        start guarantees a put followed by a get always hits."""
+        root = tmp_path / "shared"
+        flooder = CacheStore(root, max_entries=30)
+        writer = CacheStore(root, max_entries=30)
+        hot = [f"{i:02d}" * 16 for i in range(10)]
+        errors: list[BaseException] = []
+
+        def flood():
+            try:
+                # unique keys: every put is fresh, so the store crosses
+                # the watermark over and over and keeps evicting
+                for i in range(200):
+                    flooder.put("entail", f"{i:08x}" + "ab" * 12, {"i": i})
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def rewrite():
+            try:
+                for i in range(200):
+                    key = hot[i % len(hot)]
+                    writer.put("entail", key, {"i": i})
+                    if writer.get("entail", key) is None:
+                        raise AssertionError(
+                            f"peer eviction dropped fresh write {key[:8]}")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=flood),
+                   threading.Thread(target=rewrite)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors, errors
+        assert flooder.stats()["evictions"] >= 1  # the flood really evicted
+        assert flooder.stats()["corrupt"] == 0
+        assert writer.stats()["corrupt"] == 0
+
     def test_clear_removes_entries_not_layout(self, tmp_path):
         store = CacheStore(tmp_path / "cache")
         store.put("entail", "aa" * 16, {"x": 1})
@@ -132,6 +176,39 @@ class TestActiveStore:
         first = open_store(tmp_path / "cache")
         assert open_store(tmp_path / "cache") is first
         assert open_store(tmp_path / "other") is not first
+
+    def test_thread_scoped_binding_never_poisons_the_global(self, tmp_path):
+        """Concurrent ``use_store_here`` scopes (the serve worker-thread
+        shape) are invisible to other threads and leave the process-wide
+        slot untouched — the global save/restore of ``use_store`` is not
+        reentrant across threads, which is exactly why serve binds
+        thread-locally."""
+        from repro.cache import use_store_here
+
+        store_a = open_store(tmp_path / "a")
+        store_b = open_store(tmp_path / "b")
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(2, timeout=10)
+
+        def worker(store):
+            try:
+                for _ in range(200):
+                    with use_store_here(store):
+                        barrier.wait()
+                        assert current_store() is store
+                        barrier.wait()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in (store_a, store_b)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors, errors
+        assert current_store() is None  # the global slot never moved
 
 
 # ---------------------------------------------------------------------------

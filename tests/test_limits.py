@@ -260,12 +260,10 @@ class TestDeprecatedKnobs:
         # omega.py, so `-W error::DeprecationWarning` blames user code
         assert records[0].filename == __file__
 
-    def test_pipeline_triage_timeout_warns(self):
+    def test_pipeline_triage_timeout_removed(self):
         from repro.api import Pipeline
-        with pytest.warns(DeprecationWarning, match="timeout"):
-            result = Pipeline().triage(["d01_plus_one"], jobs=1,
-                                       timeout=30.0)
-        assert result.limits["deadline"] == pytest.approx(30.0)
+        with pytest.raises(TypeError, match="timeout"):
+            Pipeline().triage(["d01_plus_one"], jobs=1, timeout=30.0)
 
 
 class TestEngineIntegration:

@@ -197,13 +197,12 @@ class TestRemovedAliases:
         with pytest.raises(AttributeError):
             getattr(repro, name)
 
-    def test_triage_timeout_still_warns(self):
-        """``Pipeline.triage(timeout=)`` stays one more release — as a
-        proper DeprecationWarning, not silent breakage."""
-        with pytest.warns(DeprecationWarning, match="timeout"):
-            result = Pipeline().triage(["d01_plus_one"], jobs=1,
-                                       timeout=60.0)
-        assert result.accuracy == 1.0
+    def test_triage_timeout_is_gone(self):
+        """The PR-7-era ``timeout=`` shim is removed: the only spelling
+        is ``limits=Limits(deadline=...)``, and a stale caller fails
+        loudly instead of silently triaging unbounded."""
+        with pytest.raises(TypeError, match="timeout"):
+            Pipeline().triage(["d01_plus_one"], jobs=1, timeout=60.0)
 
 
 class TestRunUserStudySignature:
